@@ -1,0 +1,322 @@
+// Benchmarks regenerating every artifact of the paper's evaluation — one
+// benchmark per table/figure (see the DESIGN.md per-experiment index) plus
+// component micro-benchmarks. The figure benches run a reduced but
+// shape-preserving scale (fewer runs/solver iterations than the paper's 10
+// runs) so the whole suite stays in minutes on a laptop; `cmd/dcnflow fig2
+// -runs 10` reproduces the full-scale figure. Reported custom metrics are
+// the ratio series of the paper's Fig. 2 (energy normalised by the
+// fractional lower bound).
+package dcnflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dcnflow"
+	"dcnflow/internal/experiments"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/yds"
+)
+
+// BenchmarkExampleOne regenerates E1: the Fig. 1 / Example 1 closed-form
+// check (Most-Critical-First vs analytic optimum).
+func BenchmarkExampleOne(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunExample1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = res.MaxRelError
+	}
+	b.ReportMetric(maxErr, "max-rel-err")
+}
+
+// benchFig2 runs one Fig. 2 panel at bench scale and reports the ratio
+// series as custom metrics.
+func benchFig2(b *testing.B, alpha float64) {
+	b.Helper()
+	cfg := experiments.Fig2Config{
+		Alpha:       alpha,
+		FlowCounts:  []int{40, 120, 200},
+		Runs:        1,
+		FatTreeK:    8,
+		Seed:        1,
+		SolverIters: 30,
+	}
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.RS, fmt.Sprintf("RS/LB(n=%d)", p.N))
+		b.ReportMetric(p.SPMCF, fmt.Sprintf("SP/LB(n=%d)", p.N))
+	}
+}
+
+// BenchmarkFig2Alpha2 regenerates F2, the x^2 panel of Fig. 2: LB, RS/LB
+// and SP+MCF/LB on the 80-switch fat-tree, flows 40..200.
+func BenchmarkFig2Alpha2(b *testing.B) { benchFig2(b, 2) }
+
+// BenchmarkFig2Alpha4 regenerates F2, the x^4 panel of Fig. 2.
+func BenchmarkFig2Alpha4(b *testing.B) { benchFig2(b, 4) }
+
+// BenchmarkHardnessGadget regenerates T2/T3: the Theorem 2 3-partition
+// gadget (RS vs the provable optimum) and the Theorem 3 constant.
+func BenchmarkHardnessGadget(b *testing.B) {
+	var last *experiments.HardnessResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHardness(experiments.HardnessConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.RSRatio, "RS/opt")
+	b.ReportMetric(last.Theorem3Gamma, "gamma(alpha)")
+}
+
+// BenchmarkAblationLambda regenerates A1: RS/LB as the interval
+// granularity (lambda) grows.
+func BenchmarkAblationLambda(b *testing.B) {
+	var last *experiments.LambdaResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationLambda(
+			experiments.AblateConfig{N: 30, Runs: 2, Seed: 1, SolverIters: 25},
+			[]float64{20, 5, 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.Ratio, fmt.Sprintf("RS/LB(q=%g)", p.Quantum))
+	}
+}
+
+// BenchmarkAblationRounding regenerates A2: feasibility rate vs the
+// re-rounding budget on a capacity-tight instance.
+func BenchmarkAblationRounding(b *testing.B) {
+	var last *experiments.RoundingResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationRounding(
+			experiments.AblateConfig{Runs: 10, Seed: 1},
+			[]int{1, 5, 50},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.FeasibleRate, fmt.Sprintf("feasible(att=%d)", p.Attempts))
+	}
+}
+
+// BenchmarkAblationSurrogate regenerates A3: dynamic vs envelope
+// relaxation cost under idle power.
+func BenchmarkAblationSurrogate(b *testing.B) {
+	var last *experiments.SurrogateResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationSurrogate(
+			experiments.AblateConfig{N: 30, Runs: 2, Seed: 1, SolverIters: 25},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Points {
+		b.ReportMetric(p.ActiveLinks, "links("+p.Cost[:3]+")")
+	}
+}
+
+// --- Component micro-benchmarks ---------------------------------------------
+
+// BenchmarkMostCriticalFirst measures the optimal DCFS solver on a
+// 100-flow fat-tree instance with shortest-path routing.
+func BenchmarkMostCriticalFirst(b *testing.B) {
+	ft, err := dcnflow.FatTree(8, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 100, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	paths, err := dcnflow.ShortestPathRouting(ft.Graph, flows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcnflow.SolveDCFS(ft.Graph, flows, paths, model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomSchedule measures the full DCFSR pipeline on a 40-flow
+// k=4 fat-tree instance.
+func BenchmarkRandomSchedule(b *testing.B) {
+	ft, err := dcnflow.FatTree(4, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 40, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcnflow.SolveDCFSR(ft.Graph, flows, model, dcnflow.DCFSROptions{
+			Seed: 1, Solver: dcnflow.SolverOptions{MaxIters: 25},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrankWolfe measures one F-MCF solve (30 commodities, k=8
+// fat-tree).
+func BenchmarkFrankWolfe(b *testing.B) {
+	ft, err := dcnflow.FatTree(8, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := make([]mcfsolve.Commodity, 30)
+	for i := range comms {
+		comms[i] = mcfsolve.Commodity{
+			Src:    ft.Hosts[(i*7)%len(ft.Hosts)],
+			Dst:    ft.Hosts[(i*13+5)%len(ft.Hosts)],
+			Demand: 1 + float64(i%5),
+		}
+	}
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcfsolve.Solve(ft.Graph, comms, model, mcfsolve.Options{MaxIters: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDijkstraFatTree8 measures the shortest-path oracle on the
+// paper's evaluation topology.
+func BenchmarkDijkstraFatTree8(b *testing.B) {
+	ft, err := dcnflow.FatTree(8, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, dst := ft.Hosts[0], ft.Hosts[len(ft.Hosts)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ft.Graph.ShortestPath(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYDS measures the single-processor speed-scaling substrate on
+// 100 jobs.
+func BenchmarkYDS(b *testing.B) {
+	jobs := make([]yds.Job, 100)
+	for i := range jobs {
+		r := float64(i%37) * 2.3
+		jobs[i] = yds.Job{ID: i, Release: r, Deadline: r + 5 + float64(i%11), Work: 1 + float64(i%7)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := yds.Solve(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactSmall measures the brute-force DCFSR verifier on a
+// 4-flow, 3-parallel-link instance (81 assignments).
+func BenchmarkExactSmall(b *testing.B) {
+	top, src, dst, err := dcnflow.ParallelLinks(3, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := dcnflow.NewFlowSet([]dcnflow.Flow{
+		{Src: src, Dst: dst, Release: 0, Deadline: 1, Size: 1},
+		{Src: src, Dst: dst, Release: 0, Deadline: 2, Size: 2},
+		{Src: src, Dst: dst, Release: 1, Deadline: 3, Size: 1.5},
+		{Src: src, Dst: dst, Release: 0.5, Deadline: 2.5, Size: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := dcnflow.PowerModel{Sigma: 1, Mu: 1, Alpha: 2, C: 1e12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcnflow.SolveDCFSRExact(top.Graph, flows, m, dcnflow.ExactOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineGreedy measures the online admission pipeline on 100
+// flows.
+func BenchmarkOnlineGreedy(b *testing.B) {
+	ft, err := dcnflow.FatTree(8, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 100, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcnflow.SolveOnline(ft.Graph, flows, m, dcnflow.OnlineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the discrete-event simulator on a 100-flow
+// SP+MCF schedule.
+func BenchmarkSimulator(b *testing.B) {
+	ft, err := dcnflow.FatTree(8, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 100, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	sp, err := dcnflow.SPMCF(ft.Graph, flows, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcnflow.Simulate(ft.Graph, flows, sp.Schedule, model, dcnflow.SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Command dcnflow regenerates every artifact of the paper's evaluation
+// (DESIGN.md per-experiment index) from the command line:
+//
+//	dcnflow example1                 # Fig. 1 / Example 1 closed-form check
+//	dcnflow fig2 -alpha 2            # Fig. 2, x^2 panel
+//	dcnflow fig2 -alpha 4 -runs 10   # Fig. 2, x^4 panel, paper-scale runs
+//	dcnflow hardness                 # Theorem 2 gadget + Theorem 3 constant
+//	dcnflow ablate lambda            # A1: interval granularity
+//	dcnflow ablate rounding          # A2: re-rounding budget
+//	dcnflow ablate surrogate         # A3: relaxation cost
+//	dcnflow workload -n 100          # dump a generated workload as CSV
+//	dcnflow topo -kind fattree -k 4  # emit a topology in Graphviz DOT
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dcnflow/internal/baseline"
+	"dcnflow/internal/core"
+	"dcnflow/internal/experiments"
+	"dcnflow/internal/flow"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/online"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/sim"
+	"dcnflow/internal/stats"
+	"dcnflow/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcnflow:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: dcnflow <command> [flags]
+
+commands:
+  example1    reproduce Fig. 1 / Example 1 (closed-form optimum check)
+  fig2        reproduce Fig. 2 (approximation performance of Random-Schedule)
+  hardness    run the Theorem 2 gadget and report the Theorem 3 constant
+  ablate      run an ablation: lambda | rounding | surrogate | online | exact
+  workload    generate and print a random workload as CSV
+  compare     run every scheme (LB, RS, SP+MCF, ECMP+MCF, online, always-on)
+              on one workload and print the energy table
+  trace       schedule a CSV flow trace (id,src,dst,release,deadline,size)
+              on a chosen topology with a chosen scheme
+  topo        emit a topology in Graphviz DOT
+`
+
+func run(args []string) error {
+	if len(args) == 0 {
+		fmt.Print(usage)
+		return errors.New("missing command")
+	}
+	switch args[0] {
+	case "example1":
+		return runExample1(args[1:])
+	case "fig2":
+		return runFig2(args[1:])
+	case "hardness":
+		return runHardness(args[1:])
+	case "ablate":
+		return runAblate(args[1:])
+	case "workload":
+		return runWorkload(args[1:])
+	case "compare":
+		return runCompare(args[1:])
+	case "trace":
+		return runTrace(args[1:])
+	case "topo":
+		return runTopo(args[1:])
+	case "help", "-h", "--help":
+		fmt.Print(usage)
+		return nil
+	default:
+		fmt.Print(usage)
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func runExample1(args []string) error {
+	fs := flag.NewFlagSet("example1", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.RunExample1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Example 1 (line network, f(x) = x^2):")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	alpha := fs.Float64("alpha", 2, "power exponent (paper: 2 or 4)")
+	k := fs.Int("k", 8, "fat-tree arity (8 = the paper's 80 switches)")
+	runs := fs.Int("runs", 10, "independent runs per point (paper: 10)")
+	iters := fs.Int("iters", 40, "Frank-Wolfe iterations per interval")
+	seed := fs.Int64("seed", 1, "base seed")
+	counts := fs.String("n", "40,80,120,160,200", "comma-separated flow counts")
+	idleMult := fs.Float64("idle-mult", 0, "idle-power extension: Ropt at this multiple of mean density (0 = paper's sigma=0)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	flowCounts, err := parseInts(*counts)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunFig2(experiments.Fig2Config{
+		Alpha:            *alpha,
+		FlowCounts:       flowCounts,
+		Runs:             *runs,
+		FatTreeK:         *k,
+		Seed:             *seed,
+		SolverIters:      *iters,
+		IdleRoptMultiple: *idleMult,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 2 (power function x^%g, fat-tree k=%d, %d runs):\n", *alpha, *k, *runs)
+	if *csv {
+		tb := stats.NewTable("n", "RS/LB", "RS_std", "SPMCF/LB", "SPMCF_std", "LB")
+		for _, p := range res.Points {
+			tb.AddRow(p.N, p.RS, p.RSStd, p.SPMCF, p.SPMCFStd, p.LB)
+		}
+		fmt.Print(tb.CSV())
+		return nil
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runHardness(args []string) error {
+	fs := flag.NewFlagSet("hardness", flag.ContinueOnError)
+	m := fs.Int("m", 4, "number of 3-element groups")
+	b := fs.Float64("b", 12, "group sum B")
+	alpha := fs.Float64("alpha", 2, "power exponent")
+	links := fs.Int("links", 0, "parallel links (0 = 8m)")
+	runs := fs.Int("runs", 5, "rounding seeds to average")
+	seed := fs.Int64("seed", 1, "base seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.RunHardness(experiments.HardnessConfig{
+		M: *m, B: *b, Alpha: *alpha, Links: *links, Runs: *runs, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Theorem 2 gadget (3-partition reduction):")
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runAblate(args []string) error {
+	if len(args) == 0 {
+		return errors.New("ablate: need one of lambda | rounding | surrogate | online | exact")
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
+	n := fs.Int("n", 40, "flows")
+	runs := fs.Int("runs", 5, "runs per point")
+	seed := fs.Int64("seed", 1, "base seed")
+	alpha := fs.Float64("alpha", 2, "power exponent")
+	iters := fs.Int("iters", 40, "Frank-Wolfe iterations")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	cfg := experiments.AblateConfig{
+		N: *n, Runs: *runs, Seed: *seed, Alpha: *alpha, SolverIters: *iters,
+	}
+	switch which {
+	case "lambda":
+		res, err := experiments.RunAblationLambda(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A1 — interval granularity (lambda) sensitivity:")
+		fmt.Print(res.Table())
+	case "rounding":
+		res, err := experiments.RunAblationRounding(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A2 — re-rounding budget on a capacity-tight instance:")
+		fmt.Print(res.Table())
+	case "surrogate":
+		res, err := experiments.RunAblationSurrogate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A3 — relaxation cost (dynamic vs envelope):")
+		fmt.Print(res.Table())
+	case "online":
+		res, err := experiments.RunOnlineComparison(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("EXT — online greedy vs offline Random-Schedule:")
+		fmt.Print(res.Table())
+	case "exact":
+		res, err := experiments.RunExactComparison(cfg.Seed, cfg.Runs, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("EXT — Random-Schedule vs brute-force optimum (small instances):")
+		fmt.Print(res.Table())
+	default:
+		return fmt.Errorf("ablate: unknown study %q", which)
+	}
+	return nil
+}
+
+func runWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	n := fs.Int("n", 100, "number of flows")
+	t0 := fs.Float64("t0", 1, "horizon start")
+	t1 := fs.Float64("t1", 100, "horizon end")
+	mean := fs.Float64("mean", 10, "size mean")
+	std := fs.Float64("std", 3, "size stddev")
+	k := fs.Int("k", 8, "fat-tree arity for host naming")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ft, err := topology.FatTree(*k, 1e12)
+	if err != nil {
+		return err
+	}
+	set, err := flow.Uniform(flow.GenConfig{
+		N: *n, T0: *t0, T1: *t1, SizeMean: *mean, SizeStddev: *std,
+		Hosts: ft.Hosts, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("id", "src", "dst", "release", "deadline", "size")
+	for _, f := range set.Flows() {
+		tb.AddRow(int(f.ID), int(f.Src), int(f.Dst), f.Release, f.Deadline, f.Size)
+	}
+	fmt.Print(tb.CSV())
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	n := fs.Int("n", 60, "number of flows")
+	k := fs.Int("k", 4, "fat-tree arity")
+	alpha := fs.Float64("alpha", 2, "power exponent")
+	seed := fs.Int64("seed", 1, "seed")
+	idleMult := fs.Float64("idle-mult", 0, "idle power: Ropt at this multiple of mean density (0 = sigma 0)")
+	capacity := fs.Float64("cap", 1000, "link capacity C")
+	iters := fs.Int("iters", 40, "Frank-Wolfe iterations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ft, err := topology.FatTree(*k, *capacity)
+	if err != nil {
+		return err
+	}
+	set, err := flow.Uniform(flow.GenConfig{
+		N: *n, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	var sigma float64
+	if *idleMult > 0 {
+		sigma = power.SigmaForRopt(1, *alpha, *idleMult*set.MeanDensity())
+	}
+	model := power.Model{Sigma: sigma, Mu: 1, Alpha: *alpha, C: *capacity}
+
+	rs, err := core.SolveDCFSR(core.DCFSRInput{
+		Graph: ft.Graph, Flows: set, Model: model,
+		Opts: core.DCFSROptions{Seed: *seed, Solver: mcfsolve.Options{MaxIters: *iters}},
+	})
+	if err != nil {
+		return err
+	}
+	sp, err := baseline.SPMCF(ft.Graph, set, model)
+	if err != nil {
+		return err
+	}
+	ecmp, err := baseline.ECMPMCF(ft.Graph, set, model, 8, *seed)
+	if err != nil {
+		return err
+	}
+	onl, err := online.Run(ft.Graph, set, model, online.Options{CostFull: sigma > 0})
+	if err != nil {
+		return err
+	}
+
+	lb := rs.LowerBound
+	tb := stats.NewTable("scheme", "energy", "vs LB", "links on")
+	tb.AddRow("fractional LB", lb, 1.0, "-")
+	add := func(name string, energy float64, links int) {
+		tb.AddRow(name, energy, energy/lb, links)
+	}
+	add("Random-Schedule (offline)", rs.Schedule.EnergyTotal(model), len(rs.Schedule.ActiveLinks()))
+	add("SP+MCF", sp.Schedule.EnergyTotal(model), len(sp.Schedule.ActiveLinks()))
+	add("ECMP+MCF", ecmp.Schedule.EnergyTotal(model), len(ecmp.Schedule.ActiveLinks()))
+	add("online greedy", onl.Schedule.EnergyTotal(model), len(onl.Schedule.ActiveLinks()))
+	if ao, err := baseline.AlwaysOnFullRate(ft.Graph, set, model); err == nil {
+		add("always-on full rate", ao.Energy, ft.Graph.NumEdges())
+	}
+	fmt.Printf("%s, %d flows, alpha=%g, sigma=%.4g:\n", ft.Name, set.Len(), *alpha, sigma)
+	fmt.Print(tb.String())
+	return nil
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	path := fs.String("file", "", "trace file (default: stdin)")
+	kind := fs.String("topo", "fattree", "fattree | bcube | leafspine | line")
+	k := fs.Int("k", 4, "topology size parameter")
+	scheme := fs.String("scheme", "rs", "rs | spmcf | online")
+	alpha := fs.Float64("alpha", 2, "power exponent")
+	sigma := fs.Float64("sigma", 0, "idle power")
+	capacity := fs.Float64("cap", 1000, "link capacity C")
+	seed := fs.Int64("seed", 1, "rounding seed")
+	gantt := fs.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	set, err := flow.ReadTrace(in)
+	if err != nil {
+		return err
+	}
+	var top *topology.Topology
+	switch *kind {
+	case "fattree":
+		top, err = topology.FatTree(*k, *capacity)
+	case "bcube":
+		top, err = topology.BCube(*k, 1, *capacity)
+	case "leafspine":
+		top, err = topology.LeafSpine(*k, 2*(*k), 8, *capacity)
+	case "line":
+		top, err = topology.Line(*k, *capacity)
+	default:
+		return fmt.Errorf("trace: unknown topology %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	model := power.Model{Sigma: *sigma, Mu: 1, Alpha: *alpha, C: *capacity}
+	var sched *schedule.Schedule
+	switch *scheme {
+	case "rs":
+		res, rerr := core.SolveDCFSR(core.DCFSRInput{
+			Graph: top.Graph, Flows: set, Model: model,
+			Opts: core.DCFSROptions{Seed: *seed},
+		})
+		if rerr != nil {
+			return rerr
+		}
+		sched = res.Schedule
+		fmt.Printf("lower bound: %.4g\n", res.LowerBound)
+	case "spmcf":
+		res, rerr := baseline.SPMCF(top.Graph, set, model)
+		if rerr != nil {
+			return rerr
+		}
+		sched = res.Schedule
+	case "online":
+		res, rerr := online.Run(top.Graph, set, model, online.Options{CostFull: *sigma > 0})
+		if rerr != nil {
+			return rerr
+		}
+		sched = res.Schedule
+	default:
+		return fmt.Errorf("trace: unknown scheme %q", *scheme)
+	}
+	simRes, err := sim.Run(top.Graph, set, sched, model, sim.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: energy %.4g, deadlines %d/%d, peak rate %.4g, %d links on\n",
+		*scheme, top.Name, simRes.TotalEnergy, simRes.DeadlinesMet, set.Len(),
+		simRes.MaxLinkRate, simRes.ActiveLinks)
+	if *gantt {
+		fmt.Print(sched.Gantt(72))
+	}
+	return nil
+}
+
+func runTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
+	kind := fs.String("kind", "fattree", "fattree | bcube | leafspine | line | parallel")
+	k := fs.Int("k", 4, "fat-tree arity / bcube n / line length / parallel links")
+	l := fs.Int("l", 1, "bcube level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		top *topology.Topology
+		err error
+	)
+	switch *kind {
+	case "fattree":
+		top, err = topology.FatTree(*k, 1)
+	case "bcube":
+		top, err = topology.BCube(*k, *l, 1)
+	case "leafspine":
+		top, err = topology.LeafSpine(*k, 2*(*k), 8, 1)
+	case "line":
+		top, err = topology.Line(*k, 1)
+	case "parallel":
+		top, _, _, err = topology.ParallelLinks(*k, 1)
+	default:
+		return fmt.Errorf("topo: unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(top.Graph.DOT())
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresCommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+}
+
+func TestRunExample1Command(t *testing.T) {
+	if err := run([]string{"example1"}); err != nil {
+		t.Fatalf("example1: %v", err)
+	}
+}
+
+func TestRunFig2CommandTiny(t *testing.T) {
+	err := run([]string{"fig2", "-alpha", "2", "-k", "4", "-runs", "1", "-n", "8", "-iters", "10"})
+	if err != nil {
+		t.Fatalf("fig2: %v", err)
+	}
+	err = run([]string{"fig2", "-alpha", "2", "-k", "4", "-runs", "1", "-n", "8", "-iters", "10", "-csv"})
+	if err != nil {
+		t.Fatalf("fig2 csv: %v", err)
+	}
+	if err := run([]string{"fig2", "-n", "not-a-number"}); err == nil {
+		t.Fatal("bad -n accepted")
+	}
+}
+
+func TestRunHardnessCommand(t *testing.T) {
+	if err := run([]string{"hardness", "-m", "2", "-b", "6", "-runs", "2"}); err != nil {
+		t.Fatalf("hardness: %v", err)
+	}
+}
+
+func TestRunAblateCommands(t *testing.T) {
+	if err := run([]string{"ablate"}); err == nil {
+		t.Fatal("ablate without study accepted")
+	}
+	if err := run([]string{"ablate", "bogus"}); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+	if err := run([]string{"ablate", "rounding", "-runs", "2"}); err != nil {
+		t.Fatalf("ablate rounding: %v", err)
+	}
+	if err := run([]string{"ablate", "online", "-runs", "1", "-n", "8", "-iters", "10"}); err != nil {
+		t.Fatalf("ablate online: %v", err)
+	}
+	if err := run([]string{"ablate", "exact", "-runs", "1"}); err != nil {
+		t.Fatalf("ablate exact: %v", err)
+	}
+	if err := run([]string{"ablate", "lambda", "-runs", "1", "-n", "8", "-iters", "10"}); err != nil {
+		t.Fatalf("ablate lambda: %v", err)
+	}
+	if err := run([]string{"ablate", "surrogate", "-runs", "1", "-n", "8", "-iters", "10"}); err != nil {
+		t.Fatalf("ablate surrogate: %v", err)
+	}
+	if err := run([]string{"ablate", "rounding", "-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunWorkloadCommand(t *testing.T) {
+	if err := run([]string{"workload", "-n", "5", "-k", "4"}); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+}
+
+func TestRunTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.csv"
+	data := "id,src,dst,release,deadline,size\n0,16,17,0,10,5\n1,17,18,2,12,3\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"rs", "spmcf", "online"} {
+		if err := run([]string{"trace", "-file", path, "-scheme", scheme, "-k", "4"}); err != nil {
+			t.Fatalf("trace %s: %v", scheme, err)
+		}
+	}
+	if err := run([]string{"trace", "-file", path, "-scheme", "rs", "-gantt"}); err != nil {
+		t.Fatalf("trace gantt: %v", err)
+	}
+	if err := run([]string{"trace", "-file", path, "-scheme", "bogus"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run([]string{"trace", "-file", path, "-topo", "bogus"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if err := run([]string{"trace", "-file", dir + "/missing.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunCompareCommand(t *testing.T) {
+	if err := run([]string{"compare", "-n", "10", "-k", "4", "-iters", "10"}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if err := run([]string{"compare", "-n", "10", "-k", "4", "-iters", "10", "-idle-mult", "3"}); err != nil {
+		t.Fatalf("compare with idle power: %v", err)
+	}
+}
+
+func TestRunTopoCommand(t *testing.T) {
+	for _, kind := range []string{"fattree", "bcube", "leafspine", "line", "parallel"} {
+		if err := run([]string{"topo", "-kind", kind, "-k", "4"}); err != nil {
+			t.Fatalf("topo %s: %v", kind, err)
+		}
+	}
+	if err := run([]string{"topo", "-kind", "bogus"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	if !strings.Contains(usage, "fig2") {
+		t.Fatal("usage missing fig2")
+	}
+}

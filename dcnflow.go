@@ -1,0 +1,292 @@
+// Package dcnflow is a library for energy-efficient scheduling and routing
+// of deadline-constrained flows in data center networks, reproducing
+//
+//	Wang, Zhang, Zheng, Vasilakos, Ren, Liu:
+//	"Energy-Efficient Flow Scheduling and Routing with Hard Deadlines in
+//	Data Center Networks", ICDCS 2014 (arXiv:1405.7484).
+//
+// The library covers both problem versions from the paper:
+//
+//   - DCFS (routing given): SolveDCFS runs the optimal Most-Critical-First
+//     combinatorial algorithm (Algorithm 1 / Theorem 1 / Corollary 1).
+//   - DCFSR (joint routing + scheduling, strongly NP-hard): SolveDCFSR runs
+//     the Random-Schedule relaxation/rounding approximation (Algorithm 2 /
+//     Theorems 4, 6, 7), and LowerBound exposes the fractional bound its
+//     evaluation is normalised by.
+//
+// Quick start:
+//
+//	ft, _ := dcnflow.FatTree(8, 1000)            // 80 switches, 128 hosts
+//	flows, _ := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+//	    N: 100, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+//	    Hosts: ft.Hosts, Seed: 42,
+//	})
+//	model := dcnflow.PowerModel{Sigma: 1, Mu: 1, Alpha: 2, C: 1000}
+//	res, _ := dcnflow.SolveDCFSR(ft.Graph, flows, model, dcnflow.DCFSROptions{Seed: 1})
+//	fmt.Println("energy:", res.Schedule.EnergyTotal(model), "LB:", res.LowerBound)
+//
+// The subsystems (graph, topologies, power model, workloads, YDS,
+// F-MCF solver, simulator, baselines, experiment harness) live under
+// internal/ and are surfaced here through aliases, so external users never
+// import internal paths directly.
+package dcnflow
+
+import (
+	"io"
+
+	"dcnflow/internal/baseline"
+	"dcnflow/internal/core"
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/online"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/sim"
+	"dcnflow/internal/timeline"
+	"dcnflow/internal/topology"
+)
+
+// Graph model re-exports.
+type (
+	// Graph is the directed network graph (two directed edges per physical
+	// link).
+	Graph = graph.Graph
+	// NodeID identifies a switch or host.
+	NodeID = graph.NodeID
+	// EdgeID identifies one direction of a physical link.
+	EdgeID = graph.EdgeID
+	// Path is a directed path given by its edge ids.
+	Path = graph.Path
+	// Topology bundles a generated graph with its host and switch lists.
+	Topology = topology.Topology
+)
+
+// Flow model re-exports.
+type (
+	// Flow is a deadline-constrained flow: Size units of data from Src to
+	// Dst within [Release, Deadline].
+	Flow = flow.Flow
+	// FlowID identifies a flow within a FlowSet.
+	FlowID = flow.ID
+	// FlowSet is an ordered, validated collection of flows.
+	FlowSet = flow.Set
+	// WorkloadConfig parameterises the random workload generator used by
+	// the paper's evaluation (uniform spans, N(mean, stddev) sizes).
+	WorkloadConfig = flow.GenConfig
+)
+
+// Power and schedule re-exports.
+type (
+	// PowerModel is the link power function f(x) = sigma + mu*x^alpha for
+	// 0 < x <= C and f(0) = 0.
+	PowerModel = power.Model
+	// Schedule is a complete solution: per-flow paths and rate functions.
+	Schedule = schedule.Schedule
+	// FlowSchedule is one flow's path and piecewise-constant rate function.
+	FlowSchedule = schedule.FlowSchedule
+	// RateSegment is one constant-rate piece of a flow schedule.
+	RateSegment = schedule.RateSegment
+	// VerifyOptions controls Schedule.Verify strictness.
+	VerifyOptions = schedule.VerifyOptions
+	// Interval is a closed time interval.
+	Interval = timeline.Interval
+)
+
+// Solver re-exports.
+type (
+	// DCFSInput is a Deadline-Constrained Flow Scheduling instance (paths
+	// given).
+	DCFSInput = core.DCFSInput
+	// DCFSResult is the Most-Critical-First output.
+	DCFSResult = core.DCFSResult
+	// CriticalRound logs one Most-Critical-First iteration.
+	CriticalRound = core.CriticalRound
+	// DCFSROptions tunes Random-Schedule.
+	DCFSROptions = core.DCFSROptions
+	// DCFSRResult is the Random-Schedule output.
+	DCFSRResult = core.DCFSRResult
+	// ExactOptions bounds the brute-force small-instance DCFSR solver.
+	ExactOptions = core.ExactOptions
+	// ExactResult is the brute-force optimum.
+	ExactResult = core.ExactResult
+	// SimResult reports simulator measurements.
+	SimResult = sim.Result
+	// SimOptions configures the simulator.
+	SimOptions = sim.Options
+	// EDFReport is the Theorem 4 per-link EDF time-sharing check.
+	EDFReport = sim.EDFReport
+	// AlwaysOnResult is the no-energy-management baseline outcome.
+	AlwaysOnResult = baseline.AlwaysOnResult
+	// SolverOptions tunes the Frank–Wolfe F-MCF relaxation inside
+	// Random-Schedule (DCFSROptions.Solver).
+	SolverOptions = mcfsolve.Options
+	// CostKind selects the relaxation's per-link cost.
+	CostKind = mcfsolve.CostKind
+)
+
+// Relaxation cost kinds.
+const (
+	// CostDynamic relaxes with g(x) = mu*x^alpha (the paper's Section V-A
+	// speed-scaling relaxation).
+	CostDynamic = mcfsolve.CostDynamic
+	// CostEnvelope relaxes with the convex lower envelope of the full
+	// power function f, rewarding consolidation under idle power.
+	CostEnvelope = mcfsolve.CostEnvelope
+)
+
+// Topology constructors.
+var (
+	// FatTree builds a k-ary fat-tree (k=8 gives the paper's 80 switches /
+	// 128 servers).
+	FatTree = topology.FatTree
+	// BCube builds a BCube(n, l) server-centric topology.
+	BCube = topology.BCube
+	// LeafSpine builds a two-tier Clos.
+	LeafSpine = topology.LeafSpine
+	// VL2 builds a VL2-style folded Clos with dual-homed ToRs.
+	VL2 = topology.VL2
+	// Jellyfish builds a random regular switch graph (seeded).
+	Jellyfish = topology.Jellyfish
+	// Line builds the paper's Fig. 1 line network.
+	Line = topology.Line
+	// Star builds a single-switch star.
+	Star = topology.Star
+	// ParallelLinks builds the Theorem 2/3 hardness gadget.
+	ParallelLinks = topology.ParallelLinks
+)
+
+// Online scheduling (the paper's future-work direction): flows are revealed
+// at release time and placed irrevocably by marginal-cost greedy routing at
+// density rates.
+type (
+	// OnlineOptions tunes the online scheduler.
+	OnlineOptions = online.Options
+	// OnlineResult is the outcome of an online run.
+	OnlineResult = online.Result
+	// OnlineScheduler admits flows one at a time.
+	OnlineScheduler = online.Scheduler
+	// DiurnalConfig parameterises the sinusoidal time-varying workload.
+	DiurnalConfig = flow.DiurnalConfig
+	// PacketLevelOptions configures the store-and-forward simulation.
+	PacketLevelOptions = sim.PacketLevelOptions
+	// PacketLevelResult reports per-flow completion under the per-link EDF
+	// serialisation discipline.
+	PacketLevelResult = sim.PacketLevelResult
+)
+
+// SolveOnline replays the flow set in release order through the online
+// marginal-cost greedy scheduler.
+func SolveOnline(g *Graph, flows *FlowSet, m PowerModel, opts OnlineOptions) (*OnlineResult, error) {
+	return online.Run(g, flows, m, opts)
+}
+
+// NewOnlineScheduler creates an incremental online scheduler for callers
+// that admit flows as they arrive.
+func NewOnlineScheduler(g *Graph, m PowerModel, horizon Interval, opts OnlineOptions) (*OnlineScheduler, error) {
+	return online.New(g, m, horizon, opts)
+}
+
+// SimulatePacketLevel runs the store-and-forward per-link EDF simulation
+// of a Random-Schedule output.
+func SimulatePacketLevel(g *Graph, flows *FlowSet, sched *Schedule, opts PacketLevelOptions) (*PacketLevelResult, error) {
+	return sim.RunPacketLevel(g, flows, sched, opts)
+}
+
+// WriteTrace serializes a flow set as CSV (id,src,dst,release,deadline,size).
+func WriteTrace(w io.Writer, flows *FlowSet) error { return flow.WriteTrace(w, flows) }
+
+// ReadTrace parses a CSV flow trace produced by WriteTrace.
+func ReadTrace(r io.Reader) (*FlowSet, error) { return flow.ReadTrace(r) }
+
+// DiurnalWorkload draws flows from a sinusoidal arrival-intensity profile,
+// modelling the time-varying load the paper's introduction cites.
+func DiurnalWorkload(cfg DiurnalConfig) (*FlowSet, error) { return flow.Diurnal(cfg) }
+
+// IncastWorkload generates a many-to-one pattern with a shared deadline.
+var IncastWorkload = flow.Incast
+
+// Workload constructors.
+var (
+	// NewFlowSet validates and indexes a set of flows.
+	NewFlowSet = flow.NewSet
+	// UniformWorkload draws the paper's evaluation workload.
+	UniformWorkload = flow.Uniform
+	// PartitionAggregateWorkload models search-style fan-in with one
+	// shared deadline.
+	PartitionAggregateWorkload = flow.PartitionAggregate
+	// ShuffleWorkload models an all-to-all shuffle stage.
+	ShuffleWorkload = flow.Shuffle
+	// SplitFlow divides a flow into k equal sub-flows sharing its span —
+	// the paper's Section II-B device for multi-path routing.
+	SplitFlow = flow.Split
+	// SplitFlowSet splits every flow above a size threshold.
+	SplitFlowSet = flow.SplitSet
+)
+
+// SolveDCFS schedules flows on the given routing paths with the optimal
+// Most-Critical-First algorithm.
+func SolveDCFS(g *Graph, flows *FlowSet, paths map[FlowID]Path, m PowerModel) (*DCFSResult, error) {
+	return core.SolveDCFS(core.DCFSInput{Graph: g, Flows: flows, Paths: paths, Model: m})
+}
+
+// SolveDCFSR jointly routes and schedules flows with the Random-Schedule
+// approximation.
+func SolveDCFSR(g *Graph, flows *FlowSet, m PowerModel, opts DCFSROptions) (*DCFSRResult, error) {
+	return core.SolveDCFSR(core.DCFSRInput{Graph: g, Flows: flows, Model: m, Opts: opts})
+}
+
+// LowerBound computes the fractional relaxation bound used to normalise the
+// paper's Fig. 2.
+func LowerBound(g *Graph, flows *FlowSet, m PowerModel, opts DCFSROptions) (float64, error) {
+	return core.LowerBound(g, flows, m, opts)
+}
+
+// SolveDCFSRExact computes the exact DCFSR optimum for small instances by
+// exhaustive path enumeration with optimal per-assignment scheduling — a
+// verification tool for the approximation algorithms.
+func SolveDCFSRExact(g *Graph, flows *FlowSet, m PowerModel, opts ExactOptions) (*ExactResult, error) {
+	return core.SolveDCFSRExact(core.DCFSRInput{Graph: g, Flows: flows, Model: m}, opts)
+}
+
+// ShortestPathRouting assigns every flow its deterministic minimum-hop
+// path — the input for the SP+MCF comparison scheme.
+func ShortestPathRouting(g *Graph, flows *FlowSet) (map[FlowID]Path, error) {
+	return baseline.ShortestPaths(g, flows)
+}
+
+// SPMCF runs the paper's comparison baseline: shortest-path routing
+// followed by the optimal Most-Critical-First schedule.
+func SPMCF(g *Graph, flows *FlowSet, m PowerModel) (*DCFSResult, error) {
+	return baseline.SPMCF(g, flows, m)
+}
+
+// ECMPMCF is SPMCF with randomised equal-cost multi-path routing over up to
+// k shortest paths.
+func ECMPMCF(g *Graph, flows *FlowSet, m PowerModel, k int, seed int64) (*DCFSResult, error) {
+	return baseline.ECMPMCF(g, flows, m, k, seed)
+}
+
+// AlwaysOnFullRate is the no-energy-management baseline: shortest paths,
+// full-rate transmission, every link powered for the whole horizon.
+func AlwaysOnFullRate(g *Graph, flows *FlowSet, m PowerModel) (*AlwaysOnResult, error) {
+	return baseline.AlwaysOnFullRate(g, flows, m)
+}
+
+// Simulate executes a schedule on the network with the discrete-event
+// simulator, independently measuring energy, deadlines and capacities.
+func Simulate(g *Graph, flows *FlowSet, sched *Schedule, m PowerModel, opts SimOptions) (*SimResult, error) {
+	return sim.Run(g, flows, sched, m, opts)
+}
+
+// VerifyEDFTimeSharing checks Theorem 4's per-link EDF discipline on a
+// Random-Schedule output.
+func VerifyEDFTimeSharing(g *Graph, flows *FlowSet, sched *Schedule) (*EDFReport, error) {
+	return sim.VerifyEDFTimeSharing(g, flows, sched)
+}
+
+// SigmaForRopt returns the idle power sigma that places the energy-optimal
+// link rate (Lemma 3) at r: sigma = mu*(alpha-1)*r^alpha.
+func SigmaForRopt(mu, alpha, r float64) float64 {
+	return power.SigmaForRopt(mu, alpha, r)
+}

@@ -1,0 +1,139 @@
+package dcnflow_test
+
+import (
+	"math"
+	"testing"
+
+	"dcnflow"
+)
+
+// TestFacadeEndToEnd exercises the full public API path a downstream user
+// would follow: build a topology, draw a workload, solve DCFSR, compare
+// against SP+MCF, and cross-check with the simulator.
+func TestFacadeEndToEnd(t *testing.T) {
+	ft, err := dcnflow.FatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 20, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dcnflow.PowerModel{
+		Sigma: dcnflow.SigmaForRopt(1, 2, 1),
+		Mu:    1, Alpha: 2, C: 1e9,
+	}
+
+	rs, err := dcnflow.SolveDCFSR(ft.Graph, flows, model, dcnflow.DCFSROptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := dcnflow.SPMCF(ft.Graph, flows, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsEnergy := rs.Schedule.EnergyTotal(model)
+	spEnergy := sp.Schedule.EnergyTotal(model)
+	if rsEnergy < rs.LowerBound*(1-1e-6) {
+		t.Fatalf("RS energy %v below LB %v", rsEnergy, rs.LowerBound)
+	}
+	if spEnergy <= 0 {
+		t.Fatal("SP+MCF energy not positive")
+	}
+
+	simRes, err := dcnflow.Simulate(ft.Graph, flows, rs.Schedule, model, dcnflow.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.DeadlinesMissed != 0 {
+		t.Fatalf("simulator saw %d missed deadlines", simRes.DeadlinesMissed)
+	}
+	if math.Abs(simRes.TotalEnergy-rsEnergy)/rsEnergy > 1e-6 {
+		t.Fatalf("sim energy %v != analytic %v", simRes.TotalEnergy, rsEnergy)
+	}
+
+	report, err := dcnflow.VerifyEDFTimeSharing(ft.Graph, flows, rs.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("EDF time-sharing violated: %v", report.Violations)
+	}
+}
+
+func TestFacadeDCFSWithExplicitRouting(t *testing.T) {
+	line, err := dcnflow.Line(3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := dcnflow.NewFlowSet([]dcnflow.Flow{
+		{Src: line.Hosts[0], Dst: line.Hosts[2], Release: 2, Deadline: 4, Size: 6},
+		{Src: line.Hosts[0], Dst: line.Hosts[1], Release: 1, Deadline: 3, Size: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := dcnflow.ShortestPathRouting(line.Graph, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e9}
+	res, err := dcnflow.SolveDCFS(line.Graph, flows, paths, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12*(8+6*math.Sqrt2)/3/math.Sqrt2 + 8*(8+6*math.Sqrt2)/3
+	if got := res.Schedule.EnergyDynamic(model); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("Example 1 energy = %v, want %v", got, want)
+	}
+}
+
+func TestFacadeLowerBoundAndAlwaysOn(t *testing.T) {
+	ft, err := dcnflow.FatTree(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 10, T0: 1, T1: 100, SizeMean: 5, SizeStddev: 1,
+		Hosts: ft.Hosts, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dcnflow.PowerModel{Sigma: 1, Mu: 1, Alpha: 2, C: 100}
+	lb, err := dcnflow.LowerBound(ft.Graph, flows, model, dcnflow.DCFSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, err := dcnflow.AlwaysOnFullRate(ft.Graph, flows, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ao.Energy <= lb {
+		t.Fatalf("always-on energy %v should exceed the lower bound %v", ao.Energy, lb)
+	}
+}
+
+func TestFacadeWorkloadHelpers(t *testing.T) {
+	ft, err := dcnflow.FatTree(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := dcnflow.PartitionAggregateWorkload(ft.Hosts[0], ft.Hosts[1:5], 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Len() != 4 {
+		t.Fatalf("partition-aggregate flows = %d, want 4", pa.Len())
+	}
+	sh, err := dcnflow.ShuffleWorkload(ft.Hosts[:3], 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Len() != 6 {
+		t.Fatalf("shuffle flows = %d, want 6", sh.Len())
+	}
+}

@@ -1,0 +1,51 @@
+package dcnflow_test
+
+import (
+	"fmt"
+
+	"dcnflow"
+)
+
+// ExampleSolveDCFS reproduces the paper's Example 1: two flows on a line
+// network scheduled optimally by Most-Critical-First.
+func ExampleSolveDCFS() {
+	line, _ := dcnflow.Line(3, 1000)
+	a, b, c := line.Hosts[0], line.Hosts[1], line.Hosts[2]
+	flows, _ := dcnflow.NewFlowSet([]dcnflow.Flow{
+		{Src: a, Dst: c, Release: 2, Deadline: 4, Size: 6},
+		{Src: a, Dst: b, Release: 1, Deadline: 3, Size: 8},
+	})
+	paths, _ := dcnflow.ShortestPathRouting(line.Graph, flows)
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1000} // f(x) = x^2
+
+	res, _ := dcnflow.SolveDCFS(line.Graph, flows, paths, model)
+	fmt.Printf("energy %.4f over %d critical rounds\n",
+		res.Schedule.EnergyDynamic(model), len(res.Rounds))
+	// Output: energy 90.5882 over 1 critical rounds
+}
+
+// ExampleSolveDCFSR jointly routes and schedules a small workload on a
+// fat-tree and reports the approximation ratio against the fractional
+// lower bound.
+func ExampleSolveDCFSR() {
+	ft, _ := dcnflow.FatTree(4, 1000)
+	flows, _ := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
+		N: 20, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1000}
+
+	res, _ := dcnflow.SolveDCFSR(ft.Graph, flows, model, dcnflow.DCFSROptions{Seed: 1})
+	fmt.Printf("deadlines guaranteed, ratio %.1fx of the lower bound\n",
+		res.Schedule.EnergyTotal(model)/res.LowerBound)
+	// Output: deadlines guaranteed, ratio 1.6x of the lower bound
+}
+
+// ExampleSigmaForRopt positions the energy-optimal link rate (Lemma 3) for
+// a combined speed-scaling + power-down model.
+func ExampleSigmaForRopt() {
+	sigma := dcnflow.SigmaForRopt(1, 2, 2) // mu=1, alpha=2, Ropt=2
+	model := dcnflow.PowerModel{Sigma: sigma, Mu: 1, Alpha: 2, C: 1000}
+	fmt.Printf("sigma=%.0f, power rate at Ropt: %.0f\n", sigma, model.PowerRate(2))
+	// Output: sigma=4, power rate at Ropt: 4
+}

@@ -1,0 +1,93 @@
+// Command greenbcube runs a MapReduce-style shuffle on a BCube(4, 1)
+// server-centric topology and shows how joint scheduling and routing
+// (Random-Schedule) exploits BCube's path diversity to finish every
+// transfer by its deadline with less energy than shortest-path routing.
+// It also demonstrates the Theorem 4 EDF time-sharing check.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcnflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	bc, err := dcnflow.BCube(4, 1, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %s — %d servers, %d switches, %d links\n",
+		bc.Name, len(bc.Hosts), len(bc.Switches), bc.NumPhysicalLinks())
+
+	// Shuffle stage: 8 mappers each send an equal partition to 8 reducers
+	// within a common window.
+	mappers := bc.Hosts[:8]
+	reducers := bc.Hosts[8:16]
+	var raw []dcnflow.Flow
+	for _, m := range mappers {
+		for _, r := range reducers {
+			raw = append(raw, dcnflow.Flow{
+				Src: m, Dst: r,
+				Release: 0, Deadline: 40,
+				Size: 6,
+			})
+		}
+	}
+	flows, err := dcnflow.NewFlowSet(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d shuffle flows, deadline 40 units\n", flows.Len())
+
+	model := dcnflow.PowerModel{
+		Sigma: dcnflow.SigmaForRopt(1, 2, 3*flows.MeanDensity()),
+		Mu:    1, Alpha: 2, C: 1000,
+	}
+
+	rs, err := dcnflow.SolveDCFSR(ft(bc), flows, model, dcnflow.DCFSROptions{Seed: 3})
+	if err != nil {
+		return err
+	}
+	sp, err := dcnflow.SPMCF(bc.Graph, flows, model)
+	if err != nil {
+		return err
+	}
+
+	rsE := rs.Schedule.EnergyTotal(model)
+	spE := sp.Schedule.EnergyTotal(model)
+	fmt.Printf("Random-Schedule: energy %.1f (%.2fx LB), %d links on\n",
+		rsE, rsE/rs.LowerBound, len(rs.Schedule.ActiveLinks()))
+	fmt.Printf("SP+MCF:          energy %.1f (%.2fx LB), %d links on\n",
+		spE, spE/rs.LowerBound, len(sp.Schedule.ActiveLinks()))
+
+	// Theorem 4: per-link EDF time sharing serialises every interval's
+	// data by the interval end — validate it explicitly.
+	report, err := dcnflow.VerifyEDFTimeSharing(bc.Graph, flows, rs.Schedule)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EDF time-sharing check: %d links, %d (link, interval) pairs, violations: %d\n",
+		report.LinksChecked, report.IntervalsChecked, len(report.Violations))
+	if !report.OK() {
+		return fmt.Errorf("greenbcube: EDF discipline violated: %v", report.Violations[0])
+	}
+
+	simRes, err := dcnflow.Simulate(bc.Graph, flows, rs.Schedule, model, dcnflow.SimOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated: %d/%d deadlines met, peak link rate %.2f (C=%g)\n",
+		simRes.DeadlinesMet, flows.Len(), simRes.MaxLinkRate, model.C)
+	return nil
+}
+
+// ft returns the graph of a topology (tiny helper to keep the call site
+// readable).
+func ft(t *dcnflow.Topology) *dcnflow.Graph { return t.Graph }

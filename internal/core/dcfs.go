@@ -1,0 +1,418 @@
+// Package core implements the paper's two contributions: the optimal
+// Most-Critical-First algorithm for Deadline-Constrained Flow Scheduling
+// (DCFS, Section III) and the Random-Schedule approximation for joint
+// Deadline-Constrained Flow Scheduling and Routing (DCFSR, Section V),
+// together with the fractional lower bound used to normalise the
+// evaluation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/timeline"
+)
+
+// taskInfo is a critical-round flow with its required transmission duration
+// and the union of blocked slots across its path links.
+type taskInfo struct {
+	f        flow.Flow
+	duration float64
+	avail    *timeline.SlotSet // union of blocked slots over path links
+}
+
+// Errors returned by the core solvers.
+var (
+	ErrInfeasible = errors.New("core: infeasible instance")
+	ErrBadInput   = errors.New("core: invalid input")
+)
+
+// errNoCandidate signals that no (link, window) candidate with positive
+// availability remains — the surviving flows can only be scheduled by
+// sharing links (the packet-switching extension of Section III-C).
+var errNoCandidate = errors.New("core: no candidate critical interval")
+
+// DCFSInput is an instance of the Deadline-Constrained Flow Scheduling
+// problem: routing paths are given, transmission rates are to be chosen.
+type DCFSInput struct {
+	Graph *graph.Graph
+	Flows *flow.Set
+	// Paths maps every flow to its (given) routing path P_i.
+	Paths map[flow.ID]graph.Path
+	Model power.Model
+}
+
+// CriticalRound records one iteration of Most-Critical-First for
+// diagnostics: the critical link, the critical interval, the intensity and
+// the flows scheduled in the round.
+type CriticalRound struct {
+	Link      graph.EdgeID
+	Window    timeline.Interval
+	Intensity float64
+	FlowIDs   []flow.ID
+}
+
+// DCFSResult is the output of Most-Critical-First.
+type DCFSResult struct {
+	Schedule *schedule.Schedule
+	// Rounds logs the critical intervals in scheduling order.
+	Rounds []CriticalRound
+	// Conflicts counts flows whose execution could not be placed fully
+	// conflict-free across all their path links (see the package note on
+	// the virtual-circuit assumption); their remainders were placed using
+	// the paper-literal critical-link availability.
+	Conflicts int
+}
+
+// validate checks the DCFS input.
+func (in DCFSInput) validate() error {
+	if in.Graph == nil || in.Flows == nil {
+		return fmt.Errorf("%w: nil graph or flows", ErrBadInput)
+	}
+	if err := in.Model.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	for _, f := range in.Flows.Flows() {
+		p, ok := in.Paths[f.ID]
+		if !ok {
+			return fmt.Errorf("%w: flow %d has no path", ErrBadInput, f.ID)
+		}
+		if err := p.Validate(in.Graph, f.Src, f.Dst); err != nil {
+			return fmt.Errorf("%w: flow %d: %v", ErrBadInput, f.ID, err)
+		}
+		if p.Len() == 0 {
+			return fmt.Errorf("%w: flow %d has empty path", ErrBadInput, f.ID)
+		}
+	}
+	return nil
+}
+
+// SolveDCFS runs the Most-Critical-First algorithm (Algorithm 1): it
+// iteratively finds the (link, interval) pair with the highest intensity
+// delta(I, e) = sum of contained virtual weights / available time
+// (Definitions 1-2), schedules the contained flows with preemptive EDF at
+// the rates of Theorem 1,
+//
+//	s_i = sum_j w'_j / (|P_i|^(1/alpha) * (a ~ b)),
+//
+// and marks the execution slots unavailable on every link of each
+// scheduled flow's path. The resulting schedule is optimal for DCFS
+// (Corollary 1). The maximum-rate constraint is relaxed, as justified in
+// Section III-A.
+func SolveDCFS(in DCFSInput) (*DCFSResult, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	t0, t1 := in.Flows.Horizon()
+	sched := schedule.New(timeline.Interval{Start: t0, End: t1})
+	res := &DCFSResult{Schedule: sched}
+	if in.Flows.Len() == 0 {
+		return res, nil
+	}
+
+	flows := in.Flows.Flows()
+	// Per-link pending flow lists.
+	linkFlows := make(map[graph.EdgeID][]flow.ID)
+	for _, f := range flows {
+		for _, eid := range in.Paths[f.ID].Edges {
+			linkFlows[eid] = append(linkFlows[eid], f.ID)
+		}
+	}
+	// Virtual weights w'_i = w_i * |P_i|^(1/alpha).
+	vweight := make(map[flow.ID]float64, len(flows))
+	for _, f := range flows {
+		vweight[f.ID] = in.Model.VirtualWeight(f.Size, in.Paths[f.ID].Len())
+	}
+
+	pending := make(map[flow.ID]flow.Flow, len(flows))
+	for _, f := range flows {
+		pending[f.ID] = f
+	}
+	blocked := make(map[graph.EdgeID]*timeline.SlotSet)
+	blockedOn := func(eid graph.EdgeID) *timeline.SlotSet {
+		b, ok := blocked[eid]
+		if !ok {
+			b = &timeline.SlotSet{}
+			blocked[eid] = b
+		}
+		return b
+	}
+
+	for len(pending) > 0 {
+		round, err := findCritical(pending, linkFlows, vweight, blockedOn)
+		if errors.Is(err, errNoCandidate) {
+			// Every remaining flow's span is fully blocked on all its
+			// links by earlier virtual circuits. Exclusive occupancy is
+			// impossible; fall back to link sharing (packet-switching
+			// extension): transmit each flow at its density rate across
+			// its whole span and account the superposed energy honestly.
+			if ferr := scheduleSharedFallback(in, sched, pending, blockedOn); ferr != nil {
+				return nil, ferr
+			}
+			res.Conflicts += len(pending)
+			pending = map[flow.ID]flow.Flow{}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		avail := blockedOn(round.Link).AvailableWithin(round.Window.Start, round.Window.End)
+		var sumW float64
+		for _, id := range round.FlowIDs {
+			sumW += vweight[id]
+		}
+
+		// Rates and durations (Theorem 1): duration_i = w'_i * avail / sumW.
+		slots, conflicts, err := packCritical(in, round, pending, vweight, sumW, avail, blocked, blockedOn)
+		if err != nil {
+			return nil, err
+		}
+		res.Conflicts += conflicts
+
+		for _, fid := range round.FlowIDs {
+			// Rate = size / scheduled time. For unclamped flows this equals
+			// the Theorem 1 closed form sumW / (|P|^(1/alpha) * avail); for
+			// span-clamped flows it rises to at least the density, keeping
+			// the data-completion identity exact either way.
+			var placed float64
+			for _, iv := range slots[fid] {
+				placed += iv.Length()
+			}
+			if placed <= timeline.Eps {
+				return nil, fmt.Errorf("%w: flow %d received no transmission time", ErrInfeasible, fid)
+			}
+			rate := pending[fid].Size / placed
+			segs := make([]schedule.RateSegment, 0, len(slots[fid]))
+			for _, iv := range slots[fid] {
+				segs = append(segs, schedule.RateSegment{Interval: iv, Rate: rate})
+			}
+			if err := sched.SetFlow(&schedule.FlowSchedule{
+				FlowID:   fid,
+				Path:     in.Paths[fid].Clone(),
+				Segments: segs,
+			}); err != nil {
+				return nil, fmt.Errorf("core: installing flow %d: %w", fid, err)
+			}
+			// Block the slots on every link of the path (virtual circuit).
+			for _, eid := range in.Paths[fid].Edges {
+				blockedOn(eid).AddAll(slots[fid])
+			}
+			delete(pending, fid)
+		}
+		res.Rounds = append(res.Rounds, round)
+	}
+	sched.AssignPriorities()
+	return res, nil
+}
+
+// findCritical scans all (link, window) candidates and returns the most
+// critical one. Windows start at a pending release and end at a pending
+// deadline of flows on the link.
+func findCritical(
+	pending map[flow.ID]flow.Flow,
+	linkFlows map[graph.EdgeID][]flow.ID,
+	vweight map[flow.ID]float64,
+	blockedOn func(graph.EdgeID) *timeline.SlotSet,
+) (CriticalRound, error) {
+	best := CriticalRound{Intensity: -1}
+	found := false
+
+	// Deterministic link order.
+	links := make([]graph.EdgeID, 0, len(linkFlows))
+	for eid := range linkFlows {
+		links = append(links, eid)
+	}
+	sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
+
+	for _, eid := range links {
+		var active []flow.Flow
+		for _, fid := range linkFlows[eid] {
+			if f, ok := pending[fid]; ok {
+				active = append(active, f)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		releases := make([]float64, 0, len(active))
+		deadlines := make([]float64, 0, len(active))
+		for _, f := range active {
+			releases = append(releases, f.Release)
+			deadlines = append(deadlines, f.Deadline)
+		}
+		releases = timeline.Breakpoints(releases)
+		deadlines = timeline.Breakpoints(deadlines)
+		blk := blockedOn(eid)
+
+		for _, a := range releases {
+			for _, b := range deadlines {
+				if b <= a {
+					continue
+				}
+				var sumW float64
+				contained := false
+				for _, f := range active {
+					if f.Release >= a-timeline.Eps && f.Deadline <= b+timeline.Eps {
+						sumW += vweight[f.ID]
+						contained = true
+					}
+				}
+				if !contained {
+					continue
+				}
+				avail := blk.AvailableWithin(a, b)
+				if avail <= timeline.Eps {
+					// Fully blocked window: a larger window may still
+					// cover the contained flows; if none does, the caller
+					// falls back to link sharing.
+					continue
+				}
+				delta := sumW / avail
+				if delta > best.Intensity+timeline.Eps {
+					best = CriticalRound{Link: eid, Window: timeline.Interval{Start: a, End: b}, Intensity: delta}
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return CriticalRound{}, errNoCandidate
+	}
+	// Collect the flow set of the winning candidate.
+	for _, fid := range linkFlows[best.Link] {
+		f, ok := pending[fid]
+		if !ok {
+			continue
+		}
+		if f.Release >= best.Window.Start-timeline.Eps && f.Deadline <= best.Window.End+timeline.Eps {
+			best.FlowIDs = append(best.FlowIDs, fid)
+		}
+	}
+	sort.Slice(best.FlowIDs, func(a, b int) bool { return best.FlowIDs[a] < best.FlowIDs[b] })
+	return best, nil
+}
+
+// packCritical places the critical flows' execution slots. It first runs a
+// path-aware preemptive EDF (a flow may transmit only while every link of
+// its path is free), then falls back to the paper-literal critical-link
+// availability for any remainder, counting such flows as conflicts.
+func packCritical(
+	in DCFSInput,
+	round CriticalRound,
+	pending map[flow.ID]flow.Flow,
+	vweight map[flow.ID]float64,
+	sumW, avail float64,
+	blocked map[graph.EdgeID]*timeline.SlotSet,
+	blockedOn func(graph.EdgeID) *timeline.SlotSet,
+) (map[flow.ID][]timeline.Interval, int, error) {
+	// Per-flow availability: complement of the union of blocked slots over
+	// the flow's path links, within the critical window.
+	window := round.Window
+	tasks := make([]taskInfo, 0, len(round.FlowIDs))
+	for _, fid := range round.FlowIDs {
+		f := pending[fid]
+		// Theorem 1 duration, clamped to the flow's span: when earlier
+		// rounds blocked most of the flow's span on this link, the
+		// critical window's availability can exceed what the flow can
+		// physically use, and the un-clamped duration would overrun the
+		// deadline. Clamping raises the flow's rate to at least its
+		// density.
+		dur := math.Min(vweight[fid]*avail/sumW, f.Span())
+		union := &timeline.SlotSet{}
+		for _, eid := range in.Paths[fid].Edges {
+			if b, ok := blocked[eid]; ok {
+				union.AddAll(b.Slots())
+			}
+		}
+		tasks = append(tasks, taskInfo{f: f, duration: dur, avail: union})
+	}
+
+	out, remaining := edfPathAware(tasks, window)
+
+	conflicts := 0
+	if len(remaining) > 0 {
+		// Fallback: place remainders on the critical link's availability
+		// (the paper-literal rule), avoiding each flow's already-assigned
+		// slots.
+		critBlocked := blockedOn(round.Link)
+		for _, ti := range tasks {
+			rem := remaining[ti.f.ID]
+			if rem <= timeline.Eps {
+				continue
+			}
+			conflicts++
+			own := &timeline.SlotSet{}
+			own.AddAll(critBlocked.Slots())
+			own.AddAll(out[ti.f.ID])
+			free := own.Complement(math.Max(window.Start, ti.f.Release), math.Min(window.End, ti.f.Deadline))
+			rem = placeGreedy(out, ti.f.ID, free, rem)
+			if rem > timeline.Eps {
+				// Last resort: ignore the critical link's other flows and
+				// respect only this flow's own occupancy within its span.
+				own2 := &timeline.SlotSet{}
+				own2.AddAll(out[ti.f.ID])
+				free2 := own2.Complement(ti.f.Release, ti.f.Deadline)
+				rem = placeGreedy(out, ti.f.ID, free2, rem)
+			}
+			if rem > 1e-6 {
+				return nil, conflicts, fmt.Errorf("%w: flow %d cannot place %v units of transmission time",
+					ErrInfeasible, ti.f.ID, rem)
+			}
+		}
+	}
+	// Normalise slot lists.
+	for fid, slots := range out {
+		set := &timeline.SlotSet{}
+		set.AddAll(slots)
+		out[fid] = set.Slots()
+	}
+	return out, conflicts, nil
+}
+
+// scheduleSharedFallback installs the remaining flows at their density
+// rates across their whole spans, sharing links with earlier virtual
+// circuits. Deadlines are still met (density completes exactly at the
+// deadline); the superposed link rates raise the measured energy, which the
+// accounting reflects.
+func scheduleSharedFallback(
+	in DCFSInput,
+	sched *schedule.Schedule,
+	pending map[flow.ID]flow.Flow,
+	blockedOn func(graph.EdgeID) *timeline.SlotSet,
+) error {
+	for _, fid := range sortedIDs(pending) {
+		f := pending[fid]
+		iv := timeline.Interval{Start: f.Release, End: f.Deadline}
+		if err := sched.SetFlow(&schedule.FlowSchedule{
+			FlowID:   fid,
+			Path:     in.Paths[fid].Clone(),
+			Segments: []schedule.RateSegment{{Interval: iv, Rate: f.Density()}},
+		}); err != nil {
+			return fmt.Errorf("core: installing shared-fallback flow %d: %w", fid, err)
+		}
+		for _, eid := range in.Paths[fid].Edges {
+			blockedOn(eid).Add(iv)
+		}
+	}
+	return nil
+}
+
+// placeGreedy assigns up to rem time from the free slots (ascending) to the
+// flow and returns the remaining unplaced time.
+func placeGreedy(out map[flow.ID][]timeline.Interval, fid flow.ID, free []timeline.Interval, rem float64) float64 {
+	for _, iv := range free {
+		if rem <= timeline.Eps {
+			break
+		}
+		take := math.Min(rem, iv.Length())
+		out[fid] = append(out[fid], timeline.Interval{Start: iv.Start, End: iv.Start + take})
+		rem -= take
+	}
+	return rem
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/timeline"
+)
+
+// DCFSROptions tunes the Random-Schedule approximation.
+type DCFSROptions struct {
+	// Seed drives the randomized rounding; runs are deterministic per seed.
+	Seed int64
+	// MaxRoundingAttempts bounds the re-rounding loop used when a sampled
+	// path assignment violates link capacities (Section V-A: "we can
+	// always repeat the randomized rounding process until we obtain a
+	// feasible solution"). Default 20.
+	MaxRoundingAttempts int
+	// Solver configures the per-interval F-MCF relaxation.
+	Solver mcfsolve.Options
+	// Parallelism bounds concurrent per-interval solves; default NumCPU.
+	Parallelism int
+}
+
+func (o DCFSROptions) withDefaults() DCFSROptions {
+	if o.MaxRoundingAttempts <= 0 {
+		o.MaxRoundingAttempts = 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// DCFSRInput is an instance of the joint scheduling-and-routing problem.
+type DCFSRInput struct {
+	Graph *graph.Graph
+	Flows *flow.Set
+	Model power.Model
+	Opts  DCFSROptions
+}
+
+// DCFSRResult is the output of Random-Schedule.
+type DCFSRResult struct {
+	// Schedule assigns every flow a single path and the constant density
+	// rate D_i across its span (the fluid equivalent of the per-interval
+	// EDF time-sharing at rate sum D_j; link rates and energy coincide).
+	Schedule *schedule.Schedule
+	// LowerBound is the fractional relaxation value: sum over intervals of
+	// |I_k| times the envelope-cost F-MCF optimum. It is the LB series the
+	// paper's Fig. 2 normalises by.
+	LowerBound float64
+	// FractionalObjective equals LowerBound (kept for clarity when callers
+	// log both).
+	FractionalObjective float64
+	// Attempts is the number of rounding attempts consumed.
+	Attempts int
+	// CapacityFeasible reports whether the returned assignment satisfies
+	// all link capacities (always true for uncapped models).
+	CapacityFeasible bool
+	// MaxRate is the maximum per-link per-interval aggregate rate.
+	MaxRate float64
+	// Intervals is K, the number of decomposition intervals.
+	Intervals int
+	// Lambda is (t_K - t_0) / min_k |I_k| (Theorem 6).
+	Lambda float64
+}
+
+// candidate is one entry of a flow's rounded path distribution.
+type candidate struct {
+	path   graph.Path
+	weight float64
+}
+
+// relaxation holds the solved multi-step F-MCF.
+type relaxation struct {
+	intervals  []timeline.Interval
+	comms      [][]mcfsolve.Commodity
+	results    []*mcfsolve.Result
+	lowerBound float64
+	lambda     float64
+}
+
+// solveRelaxation decomposes the horizon at flow release/deadline
+// breakpoints and solves one F-MCF per interval (concurrently).
+func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (*relaxation, error) {
+	var times []float64
+	for _, f := range flows.Flows() {
+		times = append(times, f.Release, f.Deadline)
+	}
+	breaks := timeline.Breakpoints(times)
+	intervals := timeline.Decompose(breaks)
+
+	rel := &relaxation{
+		intervals: intervals,
+		comms:     make([][]mcfsolve.Commodity, len(intervals)),
+		results:   make([]*mcfsolve.Result, len(intervals)),
+		lambda:    timeline.Lambda(breaks),
+	}
+	for k, iv := range intervals {
+		for _, f := range flows.Flows() {
+			if f.Release <= iv.Start+timeline.Eps && f.Deadline >= iv.End-timeline.Eps {
+				rel.comms[k] = append(rel.comms[k], mcfsolve.Commodity{
+					ID: f.ID, Src: f.Src, Dst: f.Dst, Demand: f.Density(),
+				})
+			}
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, opts.Parallelism)
+	for k := range intervals {
+		if len(rel.comms[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := mcfsolve.Solve(g, rel.comms[k], m, opts.Solver)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("interval %d: %w", k, err)
+				}
+				mu.Unlock()
+				return
+			}
+			rel.results[k] = res
+		}(k)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for k, res := range rel.results {
+		if res != nil {
+			rel.lowerBound += res.Objective * intervals[k].Length()
+		}
+	}
+	return rel, nil
+}
+
+// LowerBound computes the fractional relaxation value on its own — the
+// normalisation denominator of Fig. 2 — without running the rounding.
+func LowerBound(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (float64, error) {
+	if g == nil || flows == nil {
+		return 0, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
+	}
+	if err := m.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	rel, err := solveRelaxation(g, flows, m, opts.withDefaults())
+	if err != nil {
+		return 0, err
+	}
+	return rel.lowerBound, nil
+}
+
+// SolveDCFSR runs the Random-Schedule approximation (Algorithm 2):
+//
+//  1. relax to a multi-step fractional MCF (one per interval I_k) and
+//     solve each by convex programming (Frank–Wolfe);
+//  2. extract candidate paths Q_i per flow with per-interval weights
+//     (Raghavan–Tompson decomposition, tracked natively by the solver);
+//  3. aggregate time-weighted path probabilities
+//     wbar_P = sum_k w_P(k) * |I_k| / (d_i - r_i);
+//  4. sample one path per flow; re-sample up to MaxRoundingAttempts times
+//     when link capacities are violated, keeping the best assignment;
+//  5. transmit each flow at its density D_i across its span on the chosen
+//     path (per-interval link rate sum_j D_j, EDF time-shared at the
+//     packet level — Theorem 4 guarantees every deadline is met).
+func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
+	if in.Graph == nil || in.Flows == nil {
+		return nil, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
+	}
+	if err := in.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	opts := in.Opts.withDefaults()
+
+	t0, t1 := in.Flows.Horizon()
+	horizon := timeline.Interval{Start: t0, End: t1}
+	if in.Flows.Len() == 0 {
+		return &DCFSRResult{Schedule: schedule.New(horizon), CapacityFeasible: true}, nil
+	}
+
+	rel, err := solveRelaxation(in.Graph, in.Flows, in.Model, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate candidate paths and time-weighted probabilities per flow.
+	cands := make(map[flow.ID]map[string]*candidate, in.Flows.Len())
+	for k, res := range rel.results {
+		if res == nil {
+			continue
+		}
+		ivLen := rel.intervals[k].Length()
+		for ci, c := range rel.comms[k] {
+			f, ferr := in.Flows.Flow(c.ID)
+			if ferr != nil {
+				return nil, ferr
+			}
+			span := f.Span()
+			byKey := cands[c.ID]
+			if byKey == nil {
+				byKey = make(map[string]*candidate, 4)
+				cands[c.ID] = byKey
+			}
+			for _, wp := range res.PathsByCommodity[ci] {
+				frac := wp.Weight / c.Demand
+				add := frac * ivLen / span
+				if entry, ok := byKey[wp.Path.Key()]; ok {
+					entry.weight += add
+				} else {
+					byKey[wp.Path.Key()] = &candidate{path: wp.Path, weight: add}
+				}
+			}
+		}
+	}
+	// Deterministic candidate ordering per flow.
+	ordered := make(map[flow.ID][]*candidate, len(cands))
+	for fid, byKey := range cands {
+		list := make([]*candidate, 0, len(byKey))
+		for _, c := range byKey {
+			list = append(list, c)
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].weight != list[b].weight {
+				return list[a].weight > list[b].weight
+			}
+			return list[a].path.Key() < list[b].path.Key()
+		})
+		ordered[fid] = list
+	}
+	for _, f := range in.Flows.Flows() {
+		if len(ordered[f.ID]) == 0 {
+			return nil, fmt.Errorf("%w: flow %d received no candidate paths", ErrInfeasible, f.ID)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var (
+		best          *schedule.Schedule
+		bestEnergy    = math.Inf(1)
+		bestViolation = math.Inf(1)
+		bestMaxRate   float64
+		feasibleFound bool
+		attempts      int
+	)
+	capLimit := math.Inf(1)
+	if in.Model.Capped() {
+		capLimit = in.Model.C
+	}
+
+	for attempts = 1; attempts <= opts.MaxRoundingAttempts; attempts++ {
+		sched := schedule.New(horizon)
+		for _, f := range in.Flows.Flows() {
+			list := ordered[f.ID]
+			chosen := samplePath(rng, list)
+			if err := sched.SetFlow(&schedule.FlowSchedule{
+				FlowID: f.ID,
+				Path:   chosen.Clone(),
+				Segments: []schedule.RateSegment{{
+					Interval: timeline.Interval{Start: f.Release, End: f.Deadline},
+					Rate:     f.Density(),
+				}},
+			}); err != nil {
+				return nil, fmt.Errorf("core: installing flow %d: %w", f.ID, err)
+			}
+		}
+		maxRate := sched.MaxLinkRate()
+		violation := math.Max(0, maxRate-capLimit)
+		if violation <= capLimit*1e-9 {
+			energy := sched.EnergyTotal(in.Model)
+			if !feasibleFound || energy < bestEnergy {
+				best, bestEnergy, bestMaxRate = sched, energy, maxRate
+				feasibleFound = true
+			}
+			// A feasible draw is accepted immediately — matching the
+			// paper's "repeat until feasible" loop.
+			break
+		}
+		if !feasibleFound && violation < bestViolation {
+			best, bestViolation, bestMaxRate = sched, violation, maxRate
+			bestEnergy = sched.EnergyTotal(in.Model)
+		}
+	}
+	if attempts > opts.MaxRoundingAttempts {
+		attempts = opts.MaxRoundingAttempts
+	}
+	best.AssignPriorities()
+	return &DCFSRResult{
+		Schedule:            best,
+		LowerBound:          rel.lowerBound,
+		FractionalObjective: rel.lowerBound,
+		Attempts:            attempts,
+		CapacityFeasible:    feasibleFound,
+		MaxRate:             bestMaxRate,
+		Intervals:           len(rel.intervals),
+		Lambda:              rel.lambda,
+	}, nil
+}
+
+// samplePath draws a path according to the aggregated weights (which sum to
+// ~1; any drift is normalised).
+func samplePath(rng *rand.Rand, list []*candidate) graph.Path {
+	var total float64
+	for _, c := range list {
+		total += c.weight
+	}
+	u := rng.Float64() * total
+	var acc float64
+	for _, c := range list {
+		acc += c.weight
+		if u <= acc {
+			return c.path
+		}
+	}
+	return list[len(list)-1].path
+}

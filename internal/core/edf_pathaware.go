@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/timeline"
+)
+
+// edfPathAware runs preemptive EDF over the critical window where each task
+// may transmit only while every link of its path is free (its blocked slot
+// set does not cover the instant). It returns the execution slots per flow
+// and the remaining unplaced durations (empty when fully packed).
+func edfPathAware(tasks []taskInfo, window timeline.Interval) (map[flow.ID][]timeline.Interval, map[flow.ID]float64) {
+	out := make(map[flow.ID][]timeline.Interval, len(tasks))
+	remaining := make(map[flow.ID]float64, len(tasks))
+	lastEnd := make(map[flow.ID]float64, len(tasks))
+	for _, ti := range tasks {
+		remaining[ti.f.ID] = ti.duration
+	}
+
+	// Event boundaries: window edges, releases, deadlines, and blocked-slot
+	// boundaries of every task. Between consecutive boundaries each task's
+	// eligibility is constant.
+	bounds := []float64{window.Start, window.End}
+	for _, ti := range tasks {
+		bounds = append(bounds, clamp(ti.f.Release, window), clamp(ti.f.Deadline, window))
+		for _, s := range ti.avail.Slots() {
+			if s.End <= window.Start || s.Start >= window.End {
+				continue
+			}
+			bounds = append(bounds, clamp(s.Start, window), clamp(s.End, window))
+		}
+	}
+	bounds = timeline.Breakpoints(bounds)
+
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		t, tNext := bounds[bi], bounds[bi+1]
+		for t < tNext-timeline.Eps {
+			mid := (t + tNext) / 2
+			best := -1
+			for i, ti := range tasks {
+				if remaining[ti.f.ID] <= timeline.Eps {
+					continue
+				}
+				if ti.f.Release > t+timeline.Eps || ti.f.Deadline < tNext-timeline.Eps {
+					continue
+				}
+				if ti.avail.Contains(mid) {
+					continue
+				}
+				if best == -1 ||
+					ti.f.Deadline < tasks[best].f.Deadline-timeline.Eps ||
+					(math.Abs(ti.f.Deadline-tasks[best].f.Deadline) <= timeline.Eps && ti.f.ID < tasks[best].f.ID) {
+					best = i
+				}
+			}
+			if best == -1 {
+				break
+			}
+			fid := tasks[best].f.ID
+			run := math.Min(remaining[fid], tNext-t)
+			slot := timeline.Interval{Start: t, End: t + run}
+			if len(out[fid]) > 0 && slot.Start-lastEnd[fid] <= timeline.Eps {
+				out[fid][len(out[fid])-1].End = slot.End
+			} else {
+				out[fid] = append(out[fid], slot)
+			}
+			lastEnd[fid] = slot.End
+			remaining[fid] -= run
+			t += run
+		}
+	}
+	for fid, rem := range remaining {
+		if rem <= timeline.Eps {
+			delete(remaining, fid)
+		}
+	}
+	return out, remaining
+}
+
+func clamp(t float64, window timeline.Interval) float64 {
+	return math.Max(window.Start, math.Min(window.End, t))
+}
+
+// sortedIDs returns map keys in ascending order (test helper shared within
+// the package).
+func sortedIDs[T any](m map[flow.ID]T) []flow.ID {
+	out := make([]flow.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dcnflow/internal/core"
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+	"dcnflow/internal/stats"
+	"dcnflow/internal/topology"
+)
+
+// Example1Result reproduces the paper's Fig. 1 / Example 1: two flows on a
+// three-node line network with f(x) = x^2, whose optimal rates satisfy
+// sqrt(2)*s1 = s2 = (8 + 6*sqrt2)/3.
+type Example1Result struct {
+	// S1, S2 are the rates computed by Most-Critical-First.
+	S1, S2 float64
+	// WantS1, WantS2 are the paper's analytic optima.
+	WantS1, WantS2 float64
+	// Energy and WantEnergy compare objective values.
+	Energy, WantEnergy float64
+	// MaxRelError is the largest relative deviation across the three
+	// quantities.
+	MaxRelError float64
+}
+
+// Table renders the comparison.
+func (r *Example1Result) Table() string {
+	tb := stats.NewTable("quantity", "paper", "measured", "rel.err")
+	rel := func(want, got float64) float64 {
+		if want == 0 {
+			return 0
+		}
+		return math.Abs(got-want) / want
+	}
+	tb.AddRow("s1", r.WantS1, r.S1, rel(r.WantS1, r.S1))
+	tb.AddRow("s2", r.WantS2, r.S2, rel(r.WantS2, r.S2))
+	tb.AddRow("energy", r.WantEnergy, r.Energy, rel(r.WantEnergy, r.Energy))
+	return tb.String()
+}
+
+// RunExample1 solves the Example 1 instance with Most-Critical-First and
+// compares against the closed-form optimum.
+func RunExample1() (*Example1Result, error) {
+	line, err := topology.Line(3, 1e9)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	a, b, c := line.Hosts[0], line.Hosts[1], line.Hosts[2]
+	fs, err := flow.NewSet([]flow.Flow{
+		{Src: a, Dst: c, Release: 2, Deadline: 4, Size: 6}, // j1
+		{Src: a, Dst: b, Release: 1, Deadline: 3, Size: 8}, // j2
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	paths := make(map[flow.ID]graph.Path, fs.Len())
+	for _, f := range fs.Flows() {
+		p, err := line.Graph.ShortestPath(f.Src, f.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		paths[f.ID] = p
+	}
+	model := power.Model{Sigma: 0, Mu: 1, Alpha: 2, C: 1e9}
+	res, err := core.SolveDCFS(core.DCFSInput{Graph: line.Graph, Flows: fs, Paths: paths, Model: model})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	wantS2 := (8 + 6*math.Sqrt2) / 3
+	wantS1 := wantS2 / math.Sqrt2
+	out := &Example1Result{
+		S1:         res.Schedule.FlowSchedule(0).MaxRate(),
+		S2:         res.Schedule.FlowSchedule(1).MaxRate(),
+		WantS1:     wantS1,
+		WantS2:     wantS2,
+		Energy:     res.Schedule.EnergyDynamic(model),
+		WantEnergy: 12*wantS1 + 8*wantS2,
+	}
+	for _, pair := range [][2]float64{{out.WantS1, out.S1}, {out.WantS2, out.S2}, {out.WantEnergy, out.Energy}} {
+		if pair[0] == 0 {
+			continue
+		}
+		if rel := math.Abs(pair[1]-pair[0]) / pair[0]; rel > out.MaxRelError {
+			out.MaxRelError = rel
+		}
+	}
+	return out, nil
+}

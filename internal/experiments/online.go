@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcnflow/internal/core"
+	"dcnflow/internal/flow"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/online"
+	"dcnflow/internal/stats"
+	"dcnflow/internal/topology"
+)
+
+// OnlinePoint is one row of the online-vs-offline extension experiment.
+type OnlinePoint struct {
+	N       int
+	Online  float64 // online greedy energy / LB
+	Offline float64 // offline Random-Schedule energy / LB
+}
+
+// OnlineResult is the EXT-ONLINE experiment: the price of irrevocable
+// online decisions relative to the offline Random-Schedule, both
+// normalised by the shared fractional lower bound.
+type OnlineResult struct {
+	Config AblateConfig
+	Points []OnlinePoint
+}
+
+// Table renders the series.
+func (r *OnlineResult) Table() string {
+	tb := stats.NewTable("n", "online/LB", "offline RS/LB")
+	for _, p := range r.Points {
+		tb.AddRow(p.N, p.Online, p.Offline)
+	}
+	return tb.String()
+}
+
+// RunOnlineComparison sweeps the flow count and measures online greedy vs
+// offline Random-Schedule on identical workloads.
+func RunOnlineComparison(cfg AblateConfig, flowCounts []int) (*OnlineResult, error) {
+	cfg = cfg.withDefaults()
+	if len(flowCounts) == 0 {
+		flowCounts = []int{20, 40, 80}
+	}
+	ft, err := topology.FatTree(cfg.FatTreeK, 1e12)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	out := &OnlineResult{Config: cfg}
+	for _, n := range flowCounts {
+		var onRatios, offRatios []float64
+		for run := 0; run < cfg.Runs; run++ {
+			fs, err := flow.Uniform(flow.GenConfig{
+				N: n, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+				Hosts: ft.Hosts, Seed: cfg.Seed + int64(1000*n+run),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			model := ablateModel(cfg, fs)
+			model.Sigma = 0 // match the paper's evaluation power function
+			off, err := core.SolveDCFSR(core.DCFSRInput{
+				Graph: ft.Graph, Flows: fs, Model: model,
+				Opts: core.DCFSROptions{
+					Seed:   cfg.Seed + int64(run),
+					Solver: mcfsolve.Options{MaxIters: cfg.SolverIters},
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: online comparison offline leg: %w", err)
+			}
+			on, err := online.Run(ft.Graph, fs, model, online.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: online comparison online leg: %w", err)
+			}
+			if off.LowerBound > 0 {
+				onRatios = append(onRatios, on.Schedule.EnergyTotal(model)/off.LowerBound)
+				offRatios = append(offRatios, off.Schedule.EnergyTotal(model)/off.LowerBound)
+			}
+		}
+		out.Points = append(out.Points, OnlinePoint{
+			N:       n,
+			Online:  stats.Mean(onRatios),
+			Offline: stats.Mean(offRatios),
+		})
+	}
+	return out, nil
+}

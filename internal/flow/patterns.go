@@ -1,0 +1,95 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dcnflow/internal/graph"
+)
+
+// Incast generates the many-to-one pattern that stresses the links around
+// one receiver: `senders` hosts all transmit to the same receiver with a
+// shared release and deadline. It is the degenerate, most congested form
+// of partition/aggregate.
+func Incast(receiver graph.NodeID, senders []graph.NodeID, release, deadline, size float64) (*Set, error) {
+	return PartitionAggregate(receiver, senders, release, deadline, size)
+}
+
+// DiurnalConfig parameterises the time-varying workload generator that
+// models the load variation the paper's introduction cites ("the traffic
+// load in a data center network varies significantly over time").
+type DiurnalConfig struct {
+	// N is the number of flows.
+	N int
+	// T0, T1 delimit the horizon; one full sinusoidal load cycle spans it.
+	T0, T1 float64
+	// PeakFactor is the ratio of peak arrival density to trough density
+	// (>= 1); default 4.
+	PeakFactor float64
+	// SizeMean, SizeStddev parameterise flow sizes.
+	SizeMean, SizeStddev float64
+	// SpanMean is the mean flow span; spans are exponential-ish around it
+	// and clipped to the horizon. Zero selects 10% of the horizon.
+	SpanMean float64
+	// Hosts are candidate endpoints.
+	Hosts []graph.NodeID
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Diurnal draws releases from a sinusoidal intensity profile (one cycle
+// across the horizon) via rejection sampling, producing the busy/idle
+// alternation that makes power-down worthwhile.
+func Diurnal(cfg DiurnalConfig) (*Set, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
+	}
+	if cfg.T1 <= cfg.T0 {
+		return nil, fmt.Errorf("workload: empty horizon [%v, %v]", cfg.T0, cfg.T1)
+	}
+	if len(cfg.Hosts) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 hosts, got %d", len(cfg.Hosts))
+	}
+	if cfg.SizeMean <= 0 {
+		return nil, fmt.Errorf("workload: size mean must be positive, got %v", cfg.SizeMean)
+	}
+	peak := cfg.PeakFactor
+	if peak < 1 {
+		peak = 4
+	}
+	spanMean := cfg.SpanMean
+	if spanMean <= 0 {
+		spanMean = (cfg.T1 - cfg.T0) / 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	horizon := cfg.T1 - cfg.T0
+
+	// Intensity in [1/peak, 1]: (1 + cos(2*pi*t'))/2 scaled.
+	intensity := func(t float64) float64 {
+		phase := (t - cfg.T0) / horizon
+		base := (1 + math.Cos(2*math.Pi*phase)) / 2 // 1 at edges, 0 mid
+		return 1/peak + (1-1/peak)*base
+	}
+	flows := make([]Flow, 0, cfg.N)
+	for len(flows) < cfg.N {
+		t := cfg.T0 + rng.Float64()*horizon
+		if rng.Float64() > intensity(t) {
+			continue // rejection sampling against the profile
+		}
+		span := spanMean * (0.25 + rng.ExpFloat64())
+		if t+span > cfg.T1 {
+			span = cfg.T1 - t
+		}
+		if span < horizon/1000 {
+			continue
+		}
+		src, dst := pickPair(rng, cfg.Hosts)
+		flows = append(flows, Flow{
+			Src: src, Dst: dst,
+			Release: t, Deadline: t + span,
+			Size: truncNormal(rng, cfg.SizeMean, cfg.SizeStddev),
+		})
+	}
+	return NewSet(flows)
+}

@@ -1,0 +1,57 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Split divides a flow into k sub-flows with the same endpoints, release
+// time and deadline, each carrying an equal share of the data. This is the
+// paper's Section II-B device for incorporating multi-path routing into the
+// single-path model: "multi-path routing protocols can be incorporated in
+// our model by splitting a big flow into many small flows with the same
+// release time and deadline at the source end and each of the small flows
+// will follow a single path."
+func Split(f Flow, k int) ([]Flow, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("flow: split count %d must be positive", k)
+	}
+	share := f.Size / float64(k)
+	out := make([]Flow, k)
+	for i := range out {
+		out[i] = Flow{
+			Src:      f.Src,
+			Dst:      f.Dst,
+			Release:  f.Release,
+			Deadline: f.Deadline,
+			Size:     share,
+		}
+	}
+	return out, nil
+}
+
+// SplitSet splits every flow of the set whose size exceeds maxSize into
+// ceil(size/maxSize) equal sub-flows and returns a new validated Set. Flow
+// IDs are reassigned positionally.
+func SplitSet(s *Set, maxSize float64) (*Set, error) {
+	if maxSize <= 0 || math.IsNaN(maxSize) {
+		return nil, fmt.Errorf("flow: max size %v must be positive", maxSize)
+	}
+	var out []Flow
+	for _, f := range s.Flows() {
+		k := int(math.Ceil(f.Size / maxSize))
+		if k <= 1 {
+			out = append(out, f)
+			continue
+		}
+		parts, err := Split(f, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parts...)
+	}
+	return NewSet(out)
+}

@@ -1,0 +1,89 @@
+package flow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitEqualShares(t *testing.T) {
+	f := Flow{Src: 0, Dst: 1, Release: 2, Deadline: 8, Size: 9}
+	parts, err := Split(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	for _, p := range parts {
+		if p.Size != 3 {
+			t.Fatalf("share = %v, want 3", p.Size)
+		}
+		if p.Release != f.Release || p.Deadline != f.Deadline || p.Src != f.Src || p.Dst != f.Dst {
+			t.Fatalf("sub-flow changed identity: %+v", p)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	good := Flow{Src: 0, Dst: 1, Release: 0, Deadline: 1, Size: 1}
+	if _, err := Split(good, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	bad := Flow{Src: 0, Dst: 0, Release: 0, Deadline: 1, Size: 1}
+	if _, err := Split(bad, 2); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+}
+
+func TestSplitSet(t *testing.T) {
+	s, err := NewSet([]Flow{
+		{Src: 0, Dst: 1, Release: 0, Deadline: 10, Size: 10}, // -> 4 parts of 2.5
+		{Src: 1, Dst: 0, Release: 0, Deadline: 10, Size: 2},  // untouched
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SplitSet(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", split.Len())
+	}
+	if math.Abs(split.TotalData()-s.TotalData()) > 1e-9 {
+		t.Fatalf("total data changed: %v -> %v", s.TotalData(), split.TotalData())
+	}
+	for _, f := range split.Flows() {
+		if f.Size > 3+1e-9 {
+			t.Fatalf("sub-flow size %v exceeds max", f.Size)
+		}
+	}
+	if _, err := SplitSet(s, 0); err == nil {
+		t.Fatal("non-positive max size accepted")
+	}
+}
+
+// Property: splitting conserves data and keeps every sub-flow valid.
+func TestPropertySplitConserves(t *testing.T) {
+	prop := func(rawSize, rawK uint8) bool {
+		size := 0.5 + float64(rawSize)
+		k := 1 + int(rawK%16)
+		f := Flow{Src: 0, Dst: 1, Release: 1, Deadline: 5, Size: size}
+		parts, err := Split(f, k)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range parts {
+			if p.Validate() != nil {
+				return false
+			}
+			sum += p.Size
+		}
+		return math.Abs(sum-size) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

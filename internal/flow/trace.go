@@ -1,0 +1,90 @@
+package flow
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dcnflow/internal/graph"
+)
+
+// traceHeader is the canonical column order of the CSV trace format.
+var traceHeader = []string{"id", "src", "dst", "release", "deadline", "size"}
+
+// WriteTrace serializes the set as CSV with a header row, one flow per
+// line: id,src,dst,release,deadline,size. The format round-trips through
+// ReadTrace and is the interchange format of `dcnflow workload`.
+func WriteTrace(w io.Writer, s *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("flow: write trace header: %w", err)
+	}
+	for _, f := range s.Flows() {
+		rec := []string{
+			strconv.Itoa(int(f.ID)),
+			strconv.Itoa(int(f.Src)),
+			strconv.Itoa(int(f.Dst)),
+			strconv.FormatFloat(f.Release, 'g', -1, 64),
+			strconv.FormatFloat(f.Deadline, 'g', -1, 64),
+			strconv.FormatFloat(f.Size, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("flow: write trace row %d: %w", f.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace produced by WriteTrace (or hand-written in
+// the same format). The id column is ignored — ids are reassigned
+// positionally — so traces can be concatenated or filtered freely.
+func ReadTrace(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flow: read trace header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("flow: trace header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var flows []Flow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flow: read trace line %d: %w", line, err)
+		}
+		src, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("flow: trace line %d src: %w", line, err)
+		}
+		dst, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("flow: trace line %d dst: %w", line, err)
+		}
+		release, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("flow: trace line %d release: %w", line, err)
+		}
+		deadline, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("flow: trace line %d deadline: %w", line, err)
+		}
+		size, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("flow: trace line %d size: %w", line, err)
+		}
+		flows = append(flows, Flow{
+			Src: graph.NodeID(src), Dst: graph.NodeID(dst),
+			Release: release, Deadline: deadline, Size: size,
+		})
+	}
+	return NewSet(flows)
+}

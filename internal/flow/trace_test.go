@@ -1,0 +1,136 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := NewSet([]Flow{
+		{Src: 3, Dst: 7, Release: 1.5, Deadline: 9.25, Size: 10.125},
+		{Src: 0, Dst: 1, Release: 0, Deadline: 100, Size: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), orig.Len())
+	}
+	fa, fb := orig.Flows(), back.Flows()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "a,b,c,d,e,f\n",
+		"bad src":       "id,src,dst,release,deadline,size\n0,x,1,0,1,1\n",
+		"bad dst":       "id,src,dst,release,deadline,size\n0,1,x,0,1,1\n",
+		"bad release":   "id,src,dst,release,deadline,size\n0,0,1,x,1,1\n",
+		"bad deadline":  "id,src,dst,release,deadline,size\n0,0,1,0,x,1\n",
+		"bad size":      "id,src,dst,release,deadline,size\n0,0,1,0,1,x\n",
+		"invalid flow":  "id,src,dst,release,deadline,size\n0,0,0,0,1,1\n",
+		"missing field": "id,src,dst,release,deadline,size\n0,0,1,0\n",
+		"empty":         "",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadTrace(strings.NewReader(data)); err == nil {
+				t.Fatalf("accepted %q", data)
+			}
+		})
+	}
+}
+
+func TestReadTraceIgnoresIDs(t *testing.T) {
+	data := "id,src,dst,release,deadline,size\n42,0,1,0,1,1\n7,1,0,0,1,1\n"
+	s, err := ReadTrace(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range s.Flows() {
+		if int(f.ID) != i {
+			t.Fatalf("id not reassigned positionally: %d", f.ID)
+		}
+	}
+}
+
+func TestIncast(t *testing.T) {
+	s, err := Incast(0, hostIDs(9)[1:], 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len = %d, want 8", s.Len())
+	}
+	for _, f := range s.Flows() {
+		if f.Dst != 0 {
+			t.Fatal("incast flow not targeting receiver")
+		}
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	s, err := Diurnal(DiurnalConfig{
+		N: 300, T0: 0, T1: 100, PeakFactor: 5,
+		SizeMean: 10, SizeStddev: 3, Hosts: hostIDs(10), Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 300 {
+		t.Fatalf("len = %d, want 300", s.Len())
+	}
+	// The edges of the horizon (peak) must hold clearly more releases than
+	// the middle (trough).
+	var edge, mid int
+	for _, f := range s.Flows() {
+		switch {
+		case f.Release < 20 || f.Release > 80:
+			edge++
+		case f.Release > 40 && f.Release < 60:
+			mid++
+		}
+	}
+	if edge <= mid {
+		t.Fatalf("diurnal profile flat: edge=%d mid=%d", edge, mid)
+	}
+	for _, f := range s.Flows() {
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if f.Release < 0 || f.Deadline > 100 {
+			t.Fatalf("flow outside horizon: %+v", f)
+		}
+	}
+}
+
+func TestDiurnalErrors(t *testing.T) {
+	base := DiurnalConfig{N: 10, T0: 0, T1: 100, SizeMean: 10, SizeStddev: 3, Hosts: hostIDs(4)}
+	for name, mod := range map[string]func(*DiurnalConfig){
+		"zero n":      func(c *DiurnalConfig) { c.N = 0 },
+		"bad horizon": func(c *DiurnalConfig) { c.T1 = c.T0 },
+		"one host":    func(c *DiurnalConfig) { c.Hosts = hostIDs(1) },
+		"bad size":    func(c *DiurnalConfig) { c.SizeMean = 0 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			mod(&cfg)
+			if _, err := Diurnal(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

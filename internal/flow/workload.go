@@ -1,0 +1,203 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dcnflow/internal/graph"
+)
+
+// GenConfig configures the random workload generator reproducing the
+// paper's Section V-C setup: spans drawn uniformly from the horizon and
+// sizes from a truncated normal distribution.
+type GenConfig struct {
+	// N is the number of flows to generate.
+	N int
+	// T0, T1 delimit the time period of interest (the paper uses [1, 100]).
+	T0, T1 float64
+	// SizeMean, SizeStddev parameterise the normal size distribution (the
+	// paper uses N(10, 3)). Draws are truncated to be strictly positive.
+	SizeMean, SizeStddev float64
+	// MinSpan is the minimum deadline-minus-release window; it guards
+	// against degenerate near-zero spans that explode densities. Zero
+	// selects a default of 1% of the horizon.
+	MinSpan float64
+	// TimeQuantum, when positive, snaps releases down and deadlines up to
+	// the grid T0 + k*TimeQuantum. Quantisation lower-bounds the spacing of
+	// the schedule's breakpoints and therefore caps lambda =
+	// horizon / min_k |I_k| at roughly horizon / TimeQuantum (the knob the
+	// A1 ablation sweeps).
+	TimeQuantum float64
+	// Hosts are the candidate endpoints; source and destination are drawn
+	// uniformly without replacement per flow.
+	Hosts []graph.NodeID
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Uniform generates cfg.N flows with spans uniform in [T0, T1] and sizes
+// from the truncated normal distribution, matching the paper's evaluation
+// workload ("we select release times and deadlines of flows randomly
+// following a uniform distribution in [1,100] ... the amount of data from
+// each flow is given by a random rational number following normal
+// distribution N(10,3)").
+func Uniform(cfg GenConfig) (*Set, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
+	}
+	if cfg.T1 <= cfg.T0 {
+		return nil, fmt.Errorf("workload: empty horizon [%v, %v]", cfg.T0, cfg.T1)
+	}
+	if len(cfg.Hosts) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 hosts, got %d", len(cfg.Hosts))
+	}
+	if cfg.SizeMean <= 0 {
+		return nil, fmt.Errorf("workload: size mean must be positive, got %v", cfg.SizeMean)
+	}
+	minSpan := cfg.MinSpan
+	if minSpan <= 0 {
+		minSpan = (cfg.T1 - cfg.T0) / 100
+	}
+	if minSpan >= cfg.T1-cfg.T0 {
+		return nil, fmt.Errorf("workload: min span %v exceeds horizon %v", minSpan, cfg.T1-cfg.T0)
+	}
+	if cfg.TimeQuantum < 0 || cfg.TimeQuantum >= cfg.T1-cfg.T0 {
+		if cfg.TimeQuantum != 0 {
+			return nil, fmt.Errorf("workload: time quantum %v outside (0, horizon)", cfg.TimeQuantum)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make([]Flow, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		r := cfg.T0 + rng.Float64()*(cfg.T1-cfg.T0-minSpan)
+		d := r + minSpan + rng.Float64()*(cfg.T1-r-minSpan)
+		if q := cfg.TimeQuantum; q > 0 {
+			r = cfg.T0 + math.Floor((r-cfg.T0)/q)*q
+			d = cfg.T0 + math.Ceil((d-cfg.T0)/q)*q
+			if d > cfg.T1 {
+				d = cfg.T1
+			}
+			if d-r <= 0 {
+				r = math.Max(cfg.T0, d-q)
+			}
+		}
+		src, dst := pickPair(rng, cfg.Hosts)
+		flows = append(flows, Flow{
+			Src:      src,
+			Dst:      dst,
+			Release:  r,
+			Deadline: d,
+			Size:     truncNormal(rng, cfg.SizeMean, cfg.SizeStddev),
+		})
+	}
+	return NewSet(flows)
+}
+
+// truncNormal draws from N(mean, stddev) truncated to be strictly positive
+// (re-sampling, with a floor fallback to remain total).
+func truncNormal(rng *rand.Rand, mean, stddev float64) float64 {
+	for i := 0; i < 64; i++ {
+		v := rng.NormFloat64()*stddev + mean
+		if v > 0 {
+			return v
+		}
+	}
+	return math.Max(mean/100, 1e-6)
+}
+
+func pickPair(rng *rand.Rand, hosts []graph.NodeID) (src, dst graph.NodeID) {
+	i := rng.Intn(len(hosts))
+	j := rng.Intn(len(hosts) - 1)
+	if j >= i {
+		j++
+	}
+	return hosts[i], hosts[j]
+}
+
+// PartitionAggregate generates the search-style partition/aggregate pattern
+// the paper's introduction motivates: a front-end host fans a request out
+// to `workers` hosts and every worker responds to the aggregator with a
+// response of the given size; all responses share one release time and one
+// hard deadline (the user-perceived latency budget).
+func PartitionAggregate(aggregator graph.NodeID, workers []graph.NodeID, release, deadline, respSize float64) (*Set, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("workload: partition-aggregate needs workers")
+	}
+	flows := make([]Flow, 0, len(workers))
+	for _, w := range workers {
+		if w == aggregator {
+			return nil, fmt.Errorf("workload: worker %d equals aggregator", w)
+		}
+		flows = append(flows, Flow{
+			Src:      w,
+			Dst:      aggregator,
+			Release:  release,
+			Deadline: deadline,
+			Size:     respSize,
+		})
+	}
+	return NewSet(flows)
+}
+
+// Shuffle generates an all-to-all shuffle among the given hosts: one flow
+// per ordered pair, each with the shared release/deadline window and the
+// given size. It models the MapReduce-style shuffle stage.
+func Shuffle(hosts []graph.NodeID, release, deadline, size float64) (*Set, error) {
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("workload: shuffle needs at least 2 hosts")
+	}
+	flows := make([]Flow, 0, len(hosts)*(len(hosts)-1))
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			flows = append(flows, Flow{Src: s, Dst: d, Release: release, Deadline: deadline, Size: size})
+		}
+	}
+	return NewSet(flows)
+}
+
+// HardnessInstance builds the flow set of the Theorem 2 reduction: 3m flows
+// between a fixed pair of nodes, sizes a_1..a_3m, all released at time 0
+// with deadline 1.
+func HardnessInstance(src, dst graph.NodeID, sizes []float64) (*Set, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("workload: hardness instance needs sizes")
+	}
+	flows := make([]Flow, 0, len(sizes))
+	for _, a := range sizes {
+		flows = append(flows, Flow{Src: src, Dst: dst, Release: 0, Deadline: 1, Size: a})
+	}
+	return NewSet(flows)
+}
+
+// Staggered generates n flows between random pairs whose spans are
+// consecutive, non-overlapping windows tiling [t0, t1]; useful for
+// exercising the interval decomposition with many breakpoints.
+func Staggered(n int, t0, t1, size float64, hosts []graph.NodeID, seed int64) (*Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", n)
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("workload: empty horizon [%v, %v]", t0, t1)
+	}
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 hosts")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	step := (t1 - t0) / float64(n)
+	flows := make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		src, dst := pickPair(rng, hosts)
+		flows = append(flows, Flow{
+			Src:      src,
+			Dst:      dst,
+			Release:  t0 + float64(i)*step,
+			Deadline: t0 + float64(i+1)*step,
+			Size:     size,
+		})
+	}
+	return NewSet(flows)
+}

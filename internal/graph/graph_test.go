@@ -1,0 +1,523 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func buildDiamond(t *testing.T) (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindSwitch)
+	c := g.AddNode("c", KindSwitch)
+	d := g.AddNode("d", KindHost)
+	mustBi := func(x, y NodeID) {
+		if _, _, err := g.AddBiEdge(x, y, 10); err != nil {
+			t.Fatalf("AddBiEdge(%d,%d): %v", x, y, err)
+		}
+	}
+	mustBi(a, b)
+	mustBi(a, c)
+	mustBi(b, d)
+	mustBi(c, d)
+	return g, a, b, c, d
+}
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindCoreSwitch)
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	e, err := g.AddEdge(a, b, 5)
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	got, err := g.Edge(e)
+	if err != nil {
+		t.Fatalf("Edge: %v", err)
+	}
+	if got.From != a || got.To != b || got.Capacity != 5 {
+		t.Fatalf("Edge = %+v, want from=%d to=%d cap=5", got, a, b)
+	}
+	if len(g.OutEdges(a)) != 1 || len(g.InEdges(b)) != 1 {
+		t.Fatalf("adjacency wrong: out(a)=%v in(b)=%v", g.OutEdges(a), g.InEdges(b))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", KindHost)
+	tests := []struct {
+		name     string
+		from, to NodeID
+		cap      float64
+	}{
+		{"missing from", 99, a, 1},
+		{"missing to", a, 99, 1},
+		{"zero capacity", a, a, 0},
+		{"negative capacity", a, a, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := g.AddEdge(tt.from, tt.to, tt.cap); err == nil {
+				t.Fatalf("AddEdge(%d,%d,%v) succeeded, want error", tt.from, tt.to, tt.cap)
+			}
+		})
+	}
+}
+
+func TestNodeEdgeLookupErrors(t *testing.T) {
+	g := New()
+	if _, err := g.Node(0); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("Node(0) err = %v, want ErrNodeNotFound", err)
+	}
+	if _, err := g.Edge(0); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("Edge(0) err = %v, want ErrEdgeNotFound", err)
+	}
+	if g.MustEdge(3) != (Edge{}) {
+		t.Fatal("MustEdge(invalid) should return zero Edge")
+	}
+}
+
+func TestShortestPathHopCount(t *testing.T) {
+	g, a, _, _, d := buildDiamond(t)
+	p, err := g.ShortestPath(a, d)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("path length = %d, want 2", p.Len())
+	}
+	if err := p.Validate(g, a, d); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestShortestPathDeterministic(t *testing.T) {
+	g, a, _, _, d := buildDiamond(t)
+	p1, err := g.ShortestPath(a, d)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		p2, err := g.ShortestPath(a, d)
+		if err != nil {
+			t.Fatalf("ShortestPath: %v", err)
+		}
+		if p1.Key() != p2.Key() {
+			t.Fatalf("nondeterministic shortest path: %s vs %s", p1, p2)
+		}
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g, a, _, _, _ := buildDiamond(t)
+	p, err := g.ShortestPath(a, a)
+	if err != nil {
+		t.Fatalf("ShortestPath(a,a): %v", err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("self path length = %d, want 0", p.Len())
+	}
+}
+
+func TestShortestPathNoPath(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	if _, err := g.ShortestPath(a, b); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathWeighted(t *testing.T) {
+	// a -> b (cost 1) -> d (cost 1); a -> c (cost 0.1) -> d (cost 0.1):
+	// weighted route must use c even though both are two hops.
+	g := New()
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindSwitch)
+	c := g.AddNode("c", KindSwitch)
+	d := g.AddNode("d", KindHost)
+	ab, _ := g.AddEdge(a, b, 1)
+	ac, _ := g.AddEdge(a, c, 1)
+	bd, _ := g.AddEdge(b, d, 1)
+	cd, _ := g.AddEdge(c, d, 1)
+	cost := map[EdgeID]float64{ab: 1, bd: 1, ac: 0.1, cd: 0.1}
+	p, err := g.ShortestPathWeighted(a, d, func(e Edge) float64 { return cost[e.ID] })
+	if err != nil {
+		t.Fatalf("ShortestPathWeighted: %v", err)
+	}
+	want := Path{Edges: []EdgeID{ac, cd}}
+	if p.Key() != want.Key() {
+		t.Fatalf("path = %s, want %s", p, want)
+	}
+}
+
+// TestShortestPathFloatAbsorptionNoCycle pins the predecessor-cycle bug:
+// a bidirectional pair of near-zero-weight edges reached via a huge-weight
+// edge makes the return relaxation land on an *equal* float distance
+// (absorption). The old equal-distance tie-break then rewrote the
+// finalised node's predecessor, creating a pred cycle and an unterminated
+// reconstruction.
+func TestShortestPathFloatAbsorptionNoCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", KindSwitch)
+	b := g.AddNode("b", KindSwitch)
+	x := g.AddNode("x", KindHost)
+	// Edge ids 0 (a->b) and 1 (b->a) are smaller than the entry edge 2.
+	if _, _, err := g.AddBiEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(x, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	weights := map[EdgeID]float64{0: 1e-12, 1: 1e-12, 2: 1e7}
+	done := make(chan struct{})
+	var p Path
+	var err error
+	go func() {
+		defer close(done)
+		p, err = g.ShortestPathWeighted(x, b, func(e Edge) float64 { return weights[e.ID] })
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ShortestPathWeighted did not terminate (pred cycle)")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g, x, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestPathNegativeWeight(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	if _, err := g.AddEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ShortestPathWeighted(a, b, func(Edge) float64 { return -1 }); err == nil {
+		t.Fatal("negative weight accepted, want error")
+	}
+}
+
+func TestPathValidateRejects(t *testing.T) {
+	g, a, b, c, d := buildDiamond(t)
+	good, err := g.ShortestPath(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		p    Path
+		src  NodeID
+		dst  NodeID
+	}{
+		{"wrong destination", good, a, b},
+		{"wrong source", good, c, d},
+		{"disconnected hops", Path{Edges: []EdgeID{good.Edges[0], good.Edges[0]}}, a, d},
+		{"empty but distinct endpoints", Path{}, a, d},
+		{"bogus edge id", Path{Edges: []EdgeID{999}}, a, d},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(g, tt.src, tt.dst); err == nil {
+				t.Fatal("Validate accepted an invalid path")
+			}
+		})
+	}
+}
+
+func TestPathNodesAndClone(t *testing.T) {
+	g, a, _, _, d := buildDiamond(t)
+	p, err := g.ShortestPath(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.Nodes(g)
+	if len(nodes) != p.Len()+1 {
+		t.Fatalf("Nodes len = %d, want %d", len(nodes), p.Len()+1)
+	}
+	if nodes[0] != a || nodes[len(nodes)-1] != d {
+		t.Fatalf("Nodes endpoints = %v, want %d..%d", nodes, a, d)
+	}
+	cl := p.Clone()
+	cl.Edges[0] = 999
+	if p.Edges[0] == 999 {
+		t.Fatal("Clone shares backing array with original")
+	}
+}
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	g, a, _, _, d := buildDiamond(t)
+	paths, err := g.KShortestPaths(a, d, 4, nil)
+	if err != nil {
+		t.Fatalf("KShortestPaths: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d simple paths, want 2 (diamond)", len(paths))
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if err := p.Validate(g, a, d); err != nil {
+			t.Fatalf("invalid path %s: %v", p, err)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate path %s", p)
+		}
+		seen[p.Key()] = true
+		if p.Len() != 2 {
+			t.Fatalf("diamond path length = %d, want 2", p.Len())
+		}
+	}
+}
+
+func TestKShortestPathsOrdering(t *testing.T) {
+	// Line with a long detour: the 2nd shortest path must be the detour.
+	g := New()
+	a := g.AddNode("a", KindHost)
+	m := g.AddNode("m", KindSwitch)
+	x := g.AddNode("x", KindSwitch)
+	y := g.AddNode("y", KindSwitch)
+	b := g.AddNode("b", KindHost)
+	must := func(from, to NodeID) EdgeID {
+		id, err := g.AddEdge(from, to, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	must(a, m)
+	must(m, b)
+	must(a, x)
+	must(x, y)
+	must(y, b)
+	paths, err := g.KShortestPaths(a, b, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	if paths[0].Len() != 2 || paths[1].Len() != 3 {
+		t.Fatalf("path lengths = %d,%d want 2,3", paths[0].Len(), paths[1].Len())
+	}
+}
+
+func TestKShortestZero(t *testing.T) {
+	g, a, _, _, d := buildDiamond(t)
+	paths, err := g.KShortestPaths(a, d, 0, nil)
+	if err != nil || paths != nil {
+		t.Fatalf("k=0: got %v, %v; want nil, nil", paths, err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g, a, b, _, d := buildDiamond(t)
+	iso := g.AddNode("iso", KindHost)
+	if !g.Connected(a, d) || !g.Connected(a, b) || !g.Connected(a, a) {
+		t.Fatal("expected connectivity within diamond")
+	}
+	if g.Connected(a, iso) {
+		t.Fatal("isolated node reported reachable")
+	}
+	if g.Connected(999, a) {
+		t.Fatal("invalid node reported reachable")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	e1, e2, err := g.AddBiEdge(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := g.Reverse(e1); !ok || r != e2 {
+		t.Fatalf("Reverse(e1) = %d,%v want %d,true", r, ok, e2)
+	}
+	if r, ok := g.Reverse(e2); !ok || r != e1 {
+		t.Fatalf("Reverse(e2) = %d,%v want %d,true", r, ok, e1)
+	}
+	if _, ok := g.Reverse(999); ok {
+		t.Fatal("Reverse(bogus) reported ok")
+	}
+}
+
+func TestNodesOfKind(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	hosts := g.NodesOfKind(KindHost)
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v, want 2 entries", hosts)
+	}
+	switches := g.NodesOfKind(KindSwitch)
+	if len(switches) != 2 {
+		t.Fatalf("switches = %v, want 2 entries", switches)
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	nodes := g.Nodes()
+	nodes[0].Name = "mutated"
+	n, err := g.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name == "mutated" {
+		t.Fatal("Nodes() exposes internal state")
+	}
+	edges := g.Edges()
+	edges[0].Capacity = -5
+	e, err := g.Edge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Capacity == -5 {
+		t.Fatal("Edges() exposes internal state")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph dcn", "n0", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	kinds := map[NodeKind]string{
+		KindHost:       "host",
+		KindEdgeSwitch: "edge",
+		KindAggSwitch:  "agg",
+		KindCoreSwitch: "core",
+		KindSwitch:     "switch",
+		KindUnknown:    "unknown",
+		NodeKind(42):   "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("NodeKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// randomConnectedGraph builds a connected random graph with n nodes for the
+// property tests: a spanning chain plus extra random bi-edges.
+func randomConnectedGraph(rng *rand.Rand, n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("n", KindSwitch)
+	}
+	for i := 1; i < n; i++ {
+		_, _, _ = g.AddBiEdge(NodeID(i-1), NodeID(i), 1)
+	}
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a != b {
+			_, _, _ = g.AddBiEdge(a, b, 1)
+		}
+	}
+	return g
+}
+
+func TestPropertyShortestPathsAreValidAndMinimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := randomConnectedGraph(rng, n)
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		p, err := g.ShortestPath(src, dst)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(g, src, dst); err != nil {
+			return false
+		}
+		// BFS distance agrees with path length.
+		return bfsDistance(g, src, dst) == p.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyKShortestSortedAndSimple(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := randomConnectedGraph(rng, n)
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		if src == dst {
+			return true
+		}
+		paths, err := g.KShortestPaths(src, dst, 5, nil)
+		if err != nil {
+			return false
+		}
+		prevLen := 0
+		seen := map[string]bool{}
+		for _, p := range paths {
+			if err := p.Validate(g, src, dst); err != nil {
+				return false
+			}
+			if p.Len() < prevLen {
+				return false // must be nondecreasing
+			}
+			prevLen = p.Len()
+			if seen[p.Key()] {
+				return false
+			}
+			seen[p.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bfsDistance(g *Graph, src, dst NodeID) int {
+	if src == dst {
+		return 0
+	}
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.OutEdges(u) {
+			v := g.MustEdge(eid).To
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				if v == dst {
+					return dist[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,54 @@
+package graph
+
+// heapItem is a (node, tentative distance) pair in the Dijkstra priority
+// queue.
+type heapItem struct {
+	node NodeID
+	dist float64
+}
+
+// edgeHeap is a minimal binary min-heap specialised for Dijkstra. A
+// hand-rolled heap avoids container/heap interface allocations on the hot
+// path (the Frank–Wolfe oracle calls Dijkstra thousands of times).
+type edgeHeap struct {
+	items []heapItem
+}
+
+func (h *edgeHeap) len() int { return len(h.items) }
+
+func (h *edgeHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *edgeHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].dist < h.items[smallest].dist {
+			smallest = l
+		}
+		if r < last && h.items[r].dist < h.items[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

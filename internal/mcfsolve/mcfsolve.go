@@ -1,0 +1,330 @@
+// Package mcfsolve solves the fractional multi-commodity flow problem
+// (F-MCF, Definition 4) with convex per-link costs — the "convex
+// programming" step of the Random-Schedule relaxation. The solver is a
+// Frank–Wolfe (flow deviation) method whose linear oracle is a
+// shortest-path computation under marginal-cost link weights; it therefore
+// needs no external LP/convex toolbox.
+//
+// Because every Frank–Wolfe iteration routes each commodity's full demand
+// onto a single path and then takes a convex combination, the iterates are
+// by construction convex combinations of path flows. The solver tracks
+// those combinations directly, yielding the weighted path decomposition of
+// Raghavan–Tompson that Random-Schedule needs, with exact flow
+// conservation.
+package mcfsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+)
+
+// Commodity is one demand to be routed fractionally.
+type Commodity struct {
+	// ID ties the commodity back to a flow.
+	ID flow.ID
+	// Src and Dst are the endpoints.
+	Src, Dst graph.NodeID
+	// Demand is the traffic load (the flow's density D_i in
+	// Random-Schedule).
+	Demand float64
+}
+
+// CostKind selects the per-link cost the solver minimises.
+type CostKind int
+
+const (
+	// CostDynamic uses g(x) = mu * x^alpha: the speed-scaling relaxation of
+	// Section V-A (idle power accounted separately after rounding).
+	CostDynamic CostKind = iota + 1
+	// CostEnvelope uses the convex lower envelope of the full power
+	// function f: linear at rate Ropt's power rate up to r* = min(Ropt, C),
+	// then f. Minimising it both drives consolidation onto few links and
+	// yields a valid lower bound on any integral schedule.
+	CostEnvelope
+)
+
+// Options tunes the solver.
+type Options struct {
+	// Cost selects the link cost; default CostEnvelope.
+	Cost CostKind
+	// MaxIters bounds Frank–Wolfe iterations; default 60.
+	MaxIters int
+	// Tol is the relative duality-gap stopping criterion; default 1e-3.
+	Tol float64
+	// CapacityPenalty adds penalty*(x-C)^2 above capacity, keeping the
+	// linear oracle a plain shortest path. Zero disables; it defaults to
+	// 10*mu*alpha*C^(alpha-2) when the model is capped.
+	CapacityPenalty float64
+	// MinPathWeight prunes decomposition paths lighter than this fraction
+	// of the demand; default 1e-6.
+	MinPathWeight float64
+}
+
+func (o Options) withDefaults(m power.Model) Options {
+	if o.Cost == 0 {
+		o.Cost = CostEnvelope
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 60
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-3
+	}
+	if o.CapacityPenalty == 0 && m.Capped() {
+		o.CapacityPenalty = 10 * m.Mu * m.Alpha * math.Pow(m.C, m.Alpha-2)
+	}
+	if o.MinPathWeight <= 0 {
+		o.MinPathWeight = 1e-6
+	}
+	return o
+}
+
+// WeightedPath is one path of a commodity's fractional decomposition.
+type WeightedPath struct {
+	Path graph.Path
+	// Weight is in absolute demand units; the weights of one commodity sum
+	// to its demand.
+	Weight float64
+}
+
+// Result is the fractional solution.
+type Result struct {
+	// EdgeFlow is the aggregate rate x_e per directed edge (len =
+	// g.NumEdges()).
+	EdgeFlow []float64
+	// PathsByCommodity holds, per input commodity (same order), its
+	// weighted path decomposition.
+	PathsByCommodity [][]WeightedPath
+	// Objective is the final cost value (per unit time).
+	Objective float64
+	// Gap is the final relative duality gap estimate.
+	Gap float64
+	// Iters is the number of Frank–Wolfe iterations performed.
+	Iters int
+}
+
+// Errors returned by Solve.
+var (
+	ErrNoRoute  = errors.New("mcfsolve: commodity endpoints not connected")
+	ErrBadInput = errors.New("mcfsolve: invalid input")
+)
+
+type costFuncs struct {
+	val   func(float64) float64
+	deriv func(float64) float64
+}
+
+func makeCost(m power.Model, opts Options) costFuncs {
+	base := costFuncs{val: m.G, deriv: m.GDeriv}
+	if opts.Cost == CostEnvelope {
+		base = costFuncs{val: m.Envelope, deriv: m.EnvelopeDeriv}
+	}
+	pen := opts.CapacityPenalty
+	if pen <= 0 || !m.Capped() {
+		return base
+	}
+	c := m.C
+	return costFuncs{
+		val: func(x float64) float64 {
+			v := base.val(x)
+			if x > c {
+				d := x - c
+				v += pen * d * d
+			}
+			return v
+		},
+		deriv: func(x float64) float64 {
+			d := base.deriv(x)
+			if x > c {
+				d += 2 * pen * (x - c)
+			}
+			return d
+		},
+	}
+}
+
+// Solve minimises sum_e cost(x_e) subject to routing every commodity's
+// demand from Src to Dst (fractionally, multi-path).
+func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	for i, c := range commodities {
+		if c.Demand <= 0 || math.IsNaN(c.Demand) {
+			return nil, fmt.Errorf("%w: commodity %d demand %v", ErrBadInput, i, c.Demand)
+		}
+		if c.Src == c.Dst {
+			return nil, fmt.Errorf("%w: commodity %d src == dst", ErrBadInput, i)
+		}
+		if !g.HasNode(c.Src) || !g.HasNode(c.Dst) {
+			return nil, fmt.Errorf("%w: commodity %d endpoints unknown", ErrBadInput, i)
+		}
+	}
+	opts = opts.withDefaults(m)
+	cost := makeCost(m, opts)
+	nE := g.NumEdges()
+
+	res := &Result{
+		EdgeFlow:         make([]float64, nE),
+		PathsByCommodity: make([][]WeightedPath, len(commodities)),
+	}
+	if len(commodities) == 0 {
+		return res, nil
+	}
+
+	// pathWeights[i] maps path key -> (path, weight in demand units).
+	type wp struct {
+		path   graph.Path
+		weight float64
+	}
+	pathWeights := make([]map[string]*wp, len(commodities))
+	for i := range pathWeights {
+		pathWeights[i] = make(map[string]*wp, 4)
+	}
+
+	oracle := newOracle(g)
+
+	// Initial point: hop-count shortest paths carrying full demands.
+	x := make([]float64, nE)
+	initPaths, err := oracle.shortestPaths(commodities, func(graph.Edge) float64 { return 1 })
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range initPaths {
+		for _, eid := range p.Edges {
+			x[eid] += commodities[i].Demand
+		}
+		pathWeights[i][p.Key()] = &wp{path: p, weight: commodities[i].Demand}
+	}
+
+	objective := func(v []float64) float64 {
+		var sum float64
+		for _, xv := range v {
+			sum += cost.val(xv)
+		}
+		return sum
+	}
+
+	xNew := make([]float64, nE)
+	var gap float64
+	iters := 0
+	for iters = 0; iters < opts.MaxIters; iters++ {
+		// Marginal-cost weights (tiny hop bias keeps zero-gradient regions
+		// deterministic and hop-minimal).
+		weights := make([]float64, nE)
+		for eid := range weights {
+			weights[eid] = cost.deriv(x[eid]) + 1e-12
+		}
+		paths, err := oracle.shortestPaths(commodities, func(e graph.Edge) float64 { return weights[e.ID] })
+		if err != nil {
+			return nil, err
+		}
+		// Direction point: all demand on the oracle paths.
+		for i := range xNew {
+			xNew[i] = 0
+		}
+		for i, p := range paths {
+			for _, eid := range p.Edges {
+				xNew[eid] += commodities[i].Demand
+			}
+		}
+		// Duality gap: grad(x) . (x - xHat).
+		gap = 0
+		for eid := range x {
+			gap += cost.deriv(x[eid]) * (x[eid] - xNew[eid])
+		}
+		obj := objective(x)
+		if obj > 0 && gap/obj < opts.Tol {
+			break
+		}
+		// Exact line search on the convex 1-D restriction.
+		gamma := lineSearch(x, xNew, cost)
+		if gamma <= 1e-12 {
+			break
+		}
+		for eid := range x {
+			x[eid] = (1-gamma)*x[eid] + gamma*xNew[eid]
+		}
+		// Fold the step into the path decomposition.
+		for i := range pathWeights {
+			for _, entry := range pathWeights[i] {
+				entry.weight *= 1 - gamma
+			}
+			key := paths[i].Key()
+			if entry, ok := pathWeights[i][key]; ok {
+				entry.weight += gamma * commodities[i].Demand
+			} else {
+				pathWeights[i][key] = &wp{path: paths[i], weight: gamma * commodities[i].Demand}
+			}
+		}
+	}
+
+	res.EdgeFlow = x
+	res.Objective = objective(x)
+	res.Gap = gap
+	res.Iters = iters
+	for i, pw := range pathWeights {
+		minW := opts.MinPathWeight * commodities[i].Demand
+		var kept []WeightedPath
+		var total float64
+		for _, entry := range pw {
+			if entry.weight >= minW {
+				kept = append(kept, WeightedPath{Path: entry.path, Weight: entry.weight})
+				total += entry.weight
+			}
+		}
+		// Renormalise pruned mass back onto the kept paths.
+		if total > 0 {
+			scale := commodities[i].Demand / total
+			for j := range kept {
+				kept[j].Weight *= scale
+			}
+		}
+		sort.Slice(kept, func(a, b int) bool {
+			if kept[a].Weight != kept[b].Weight {
+				return kept[a].Weight > kept[b].Weight
+			}
+			return kept[a].Path.Key() < kept[b].Path.Key()
+		})
+		res.PathsByCommodity[i] = kept
+	}
+	return res, nil
+}
+
+// lineSearch minimises phi(gamma) = sum_e cost((1-gamma) x + gamma xHat)
+// over [0, 1] by bisection on the (monotone) derivative.
+func lineSearch(x, xHat []float64, cost costFuncs) float64 {
+	phiDeriv := func(gamma float64) float64 {
+		var d float64
+		for eid := range x {
+			v := (1-gamma)*x[eid] + gamma*xHat[eid]
+			d += cost.deriv(v) * (xHat[eid] - x[eid])
+		}
+		return d
+	}
+	lo, hi := 0.0, 1.0
+	if phiDeriv(0) >= 0 {
+		return 0
+	}
+	if phiDeriv(1) <= 0 {
+		return 1
+	}
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if phiDeriv(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

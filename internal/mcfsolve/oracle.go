@@ -1,0 +1,178 @@
+package mcfsolve
+
+import (
+	"fmt"
+	"sort"
+
+	"dcnflow/internal/graph"
+)
+
+// oracle computes shortest paths for all commodities under changing edge
+// weights, deduplicating work by source node: one Dijkstra run serves every
+// commodity sharing a source.
+type oracle struct {
+	g *graph.Graph
+}
+
+func newOracle(g *graph.Graph) *oracle { return &oracle{g: g} }
+
+// shortestPaths returns one weighted shortest path per commodity (input
+// order preserved).
+func (o *oracle) shortestPaths(commodities []Commodity, weight func(graph.Edge) float64) ([]graph.Path, error) {
+	bySrc := make(map[graph.NodeID][]int)
+	for i, c := range commodities {
+		bySrc[c.Src] = append(bySrc[c.Src], i)
+	}
+	srcs := make([]graph.NodeID, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(a, b int) bool { return srcs[a] < srcs[b] })
+
+	out := make([]graph.Path, len(commodities))
+	for _, src := range srcs {
+		pred, err := o.dijkstraTree(src, weight)
+		if err != nil {
+			return nil, err
+		}
+		for _, ci := range bySrc[src] {
+			p, ok := extractPath(o.g, pred, src, commodities[ci].Dst)
+			if !ok {
+				return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, commodities[ci].Dst)
+			}
+			out[ci] = p
+		}
+	}
+	return out, nil
+}
+
+const unreachedPred = graph.EdgeID(-1)
+
+// dijkstraTree runs single-source Dijkstra and returns the predecessor-edge
+// array.
+func (o *oracle) dijkstraTree(src graph.NodeID, weight func(graph.Edge) float64) ([]graph.EdgeID, error) {
+	n := o.g.NumNodes()
+	dist := make([]float64, n)
+	pred := make([]graph.EdgeID, n)
+	done := make([]bool, n)
+	const inf = 1e308
+	for i := range dist {
+		dist[i] = inf
+		pred[i] = unreachedPred
+	}
+	dist[src] = 0
+
+	h := newNodeHeap(n)
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, d := h.pop()
+		if done[u] || d > dist[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range o.g.OutEdges(u) {
+			e := o.g.MustEdge(eid)
+			if done[e.To] {
+				// Never rewrite the predecessor of a finalised node: with
+				// float absorption (tiny weights added to huge distances)
+				// "equal" distances are common, and a late equal-distance
+				// overwrite can create predecessor cycles.
+				continue
+			}
+			w := weight(e)
+			if w < 0 {
+				return nil, fmt.Errorf("mcfsolve: negative weight %v on edge %d", w, eid)
+			}
+			nd := dist[u] + w
+			if nd < dist[e.To] || (nd == dist[e.To] && pred[e.To] != unreachedPred && eid < pred[e.To]) {
+				dist[e.To] = nd
+				pred[e.To] = eid
+				h.push(e.To, nd)
+			}
+		}
+	}
+	return pred, nil
+}
+
+// extractPath walks the predecessor array back from dst.
+func extractPath(g *graph.Graph, pred []graph.EdgeID, src, dst graph.NodeID) (graph.Path, bool) {
+	if src == dst {
+		return graph.Path{}, true
+	}
+	var rev []graph.EdgeID
+	for cur := dst; cur != src; {
+		eid := pred[cur]
+		if eid == unreachedPred {
+			return graph.Path{}, false
+		}
+		rev = append(rev, eid)
+		cur = g.MustEdge(eid).From
+		if len(rev) > g.NumEdges() {
+			return graph.Path{}, false
+		}
+	}
+	edges := make([]graph.EdgeID, len(rev))
+	for i := range rev {
+		edges[i] = rev[len(rev)-1-i]
+	}
+	return graph.Path{Edges: edges}, true
+}
+
+// nodeHeap is a minimal binary min-heap of (node, dist) entries.
+type nodeHeap struct {
+	nodes []graph.NodeID
+	dists []float64
+}
+
+func newNodeHeap(capHint int) *nodeHeap {
+	return &nodeHeap{
+		nodes: make([]graph.NodeID, 0, capHint),
+		dists: make([]float64, 0, capHint),
+	}
+}
+
+func (h *nodeHeap) len() int { return len(h.nodes) }
+
+func (h *nodeHeap) push(n graph.NodeID, d float64) {
+	h.nodes = append(h.nodes, n)
+	h.dists = append(h.dists, d)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dists[p] <= h.dists[i] {
+			break
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() (graph.NodeID, float64) {
+	n, d := h.nodes[0], h.dists[0]
+	last := len(h.nodes) - 1
+	h.swap(0, last)
+	h.nodes = h.nodes[:last]
+	h.dists = h.dists[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.dists[l] < h.dists[smallest] {
+			smallest = l
+		}
+		if r < last && h.dists[r] < h.dists[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return n, d
+}
+
+func (h *nodeHeap) swap(a, b int) {
+	h.nodes[a], h.nodes[b] = h.nodes[b], h.nodes[a]
+	h.dists[a], h.dists[b] = h.dists[b], h.dists[a]
+}

@@ -1,0 +1,241 @@
+// Package online implements an online variant of DCFSR — the extension the
+// paper defers to future work ("we leave more exhaustive evaluation and
+// further implementation as future work"; its related-work section surveys
+// online deadline scheduling). Flows are revealed only at their release
+// times; the scheduler must fix each flow's path and rate immediately and
+// irrevocably.
+//
+// The heuristic is marginal-cost greedy routing with density rates: when a
+// flow arrives, route it on the path minimising the *increase* of the
+// power-function cost given the rates currently reserved by admitted
+// flows, then reserve the flow's density D_i on every link of that path
+// for its whole span. Deadlines are met by construction (density rates),
+// and the marginal-cost objective makes the greedy a natural online
+// counterpart of the offline relaxation.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/timeline"
+)
+
+// Options tunes the online scheduler.
+type Options struct {
+	// CostFull uses the full power function f — including the idle charge
+	// sigma paid when a dark link powers on — as the marginal-cost metric.
+	// It makes the greedy consolidate onto already-active links; the
+	// default metric is the dynamic-only g (load balancing).
+	CostFull bool
+	// RejectOverCapacity makes Schedule return ErrOverCapacity when a
+	// flow's density cannot fit under C on any path; by default the flow
+	// is admitted anyway (capacity relaxed, like DCFS).
+	RejectOverCapacity bool
+}
+
+// Errors returned by Schedule.
+var (
+	ErrBadInput      = errors.New("online: invalid input")
+	ErrOverCapacity  = errors.New("online: flow cannot fit under link capacity")
+	ErrNoRouteOnline = errors.New("online: no route for flow")
+)
+
+// Result is the outcome of the online scheduler.
+type Result struct {
+	Schedule *schedule.Schedule
+	// Admitted counts flows placed under capacity; with
+	// RejectOverCapacity=false this equals the flow count.
+	Admitted int
+	// PeakRate is the maximum reserved aggregate rate on any link.
+	PeakRate float64
+}
+
+// reservation tracks, per link, the piecewise-constant aggregate rate
+// reserved by admitted flows.
+type reservation struct {
+	// segs are the reserved (interval, rate) pieces kept disjoint/sorted.
+	segs []schedule.RateSegment
+}
+
+// rateAt returns the reserved rate at instant t.
+func (r *reservation) rateAt(t float64) float64 {
+	for _, s := range r.segs {
+		if s.Interval.Contains(t) {
+			return s.Rate
+		}
+	}
+	return 0
+}
+
+// add reserves rate over [a, b], splitting existing pieces as needed.
+func (r *reservation) add(a, b, rate float64) {
+	// Collect boundary points.
+	bounds := []float64{a, b}
+	for _, s := range r.segs {
+		bounds = append(bounds, s.Interval.Start, s.Interval.End)
+	}
+	bounds = timeline.Breakpoints(bounds)
+	var out []schedule.RateSegment
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		mid := (lo + hi) / 2
+		cur := r.rateAt(mid)
+		if mid >= a && mid <= b {
+			cur += rate
+		}
+		if cur > timeline.Eps {
+			if len(out) > 0 && math.Abs(out[len(out)-1].Rate-cur) < 1e-12 &&
+				math.Abs(out[len(out)-1].Interval.End-lo) <= timeline.Eps {
+				out[len(out)-1].Interval.End = hi
+			} else {
+				out = append(out, schedule.RateSegment{
+					Interval: timeline.Interval{Start: lo, End: hi},
+					Rate:     cur,
+				})
+			}
+		}
+	}
+	r.segs = out
+}
+
+// maxDuring returns the maximum reserved rate within [a, b].
+func (r *reservation) maxDuring(a, b float64) float64 {
+	var max float64
+	win := timeline.Interval{Start: a, End: b}
+	for _, s := range r.segs {
+		if _, ok := s.Interval.Intersect(win); ok && s.Rate > max {
+			max = s.Rate
+		}
+	}
+	return max
+}
+
+// Scheduler admits flows one at a time. The zero value is not usable; use
+// New.
+type Scheduler struct {
+	g     *graph.Graph
+	model power.Model
+	opts  Options
+	res   map[graph.EdgeID]*reservation
+	sched *schedule.Schedule
+	peak  float64
+}
+
+// New creates an online scheduler over the given horizon.
+func New(g *graph.Graph, model power.Model, horizon timeline.Interval, opts Options) (*Scheduler, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return &Scheduler{
+		g:     g,
+		model: model,
+		opts:  opts,
+		res:   make(map[graph.EdgeID]*reservation),
+		sched: schedule.New(horizon),
+	}, nil
+}
+
+// cost evaluates the marginal-cost metric at rate x.
+func (s *Scheduler) cost(x float64) float64 {
+	if s.opts.CostFull {
+		return s.model.F(x)
+	}
+	return s.model.G(x)
+}
+
+// Admit routes and schedules one newly released flow. The decision is
+// irrevocable: the flow's density is reserved on the chosen path across
+// its span.
+func (s *Scheduler) Admit(f flow.Flow) error {
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	d := f.Density()
+	// Marginal cost of adding rate d to link e during the flow's span:
+	// approximate with the span-average reserved rate (exact for the
+	// common case of constant reservation over the span).
+	weight := func(e graph.Edge) float64 {
+		r := s.res[e.ID]
+		var cur float64
+		if r != nil {
+			cur = r.maxDuring(f.Release, f.Deadline)
+		}
+		return s.cost(cur+d) - s.cost(cur) + 1e-9
+	}
+	p, err := s.g.ShortestPathWeighted(f.Src, f.Dst, weight)
+	if err != nil {
+		return fmt.Errorf("%w: flow %d: %v", ErrNoRouteOnline, f.ID, err)
+	}
+	if s.opts.RejectOverCapacity && s.model.Capped() {
+		for _, eid := range p.Edges {
+			var cur float64
+			if r := s.res[eid]; r != nil {
+				cur = r.maxDuring(f.Release, f.Deadline)
+			}
+			if cur+d > s.model.C*(1+1e-9) {
+				return fmt.Errorf("%w: flow %d needs %v on link %d", ErrOverCapacity, f.ID, cur+d, eid)
+			}
+		}
+	}
+	for _, eid := range p.Edges {
+		r := s.res[eid]
+		if r == nil {
+			r = &reservation{}
+			s.res[eid] = r
+		}
+		r.add(f.Release, f.Deadline, d)
+		if m := r.maxDuring(f.Release, f.Deadline); m > s.peak {
+			s.peak = m
+		}
+	}
+	return s.sched.SetFlow(&schedule.FlowSchedule{
+		FlowID: f.ID,
+		Path:   p,
+		Segments: []schedule.RateSegment{{
+			Interval: timeline.Interval{Start: f.Release, End: f.Deadline},
+			Rate:     d,
+		}},
+	})
+}
+
+// Run replays a whole flow set in release order through the online
+// scheduler — the offline-comparable entry point.
+func Run(g *graph.Graph, flows *flow.Set, model power.Model, opts Options) (*Result, error) {
+	if flows == nil {
+		return nil, fmt.Errorf("%w: nil flows", ErrBadInput)
+	}
+	t0, t1 := flows.Horizon()
+	s, err := New(g, model, timeline.Interval{Start: t0, End: t1}, opts)
+	if err != nil {
+		return nil, err
+	}
+	ordered := flows.Flows()
+	sort.SliceStable(ordered, func(a, b int) bool {
+		if ordered[a].Release != ordered[b].Release {
+			return ordered[a].Release < ordered[b].Release
+		}
+		return ordered[a].ID < ordered[b].ID
+	})
+	admitted := 0
+	for _, f := range ordered {
+		if err := s.Admit(f); err != nil {
+			if errors.Is(err, ErrOverCapacity) {
+				continue
+			}
+			return nil, err
+		}
+		admitted++
+	}
+	s.sched.AssignPriorities()
+	return &Result{Schedule: s.sched, Admitted: admitted, PeakRate: s.peak}, nil
+}

@@ -1,0 +1,184 @@
+// Package power implements the paper's link power-consumption model
+// (Section II-A, Eq. 1): an integration of power-down and speed scaling,
+//
+//	f(x) = 0                       if x = 0
+//	f(x) = sigma + mu * x^alpha    if 0 < x <= C,
+//
+// together with the derived quantities used throughout the paper: the
+// dynamic-only cost g(x) = mu*x^alpha, the power rate f(x)/x (Definition 3),
+// the energy-optimal operating rate Ropt (Lemma 3), and the convex lower
+// envelope of f used for fractional lower bounds.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model holds the parameters of the uniform link power function.
+type Model struct {
+	// Sigma is the idle power for maintaining link state (paid whenever the
+	// link is active at any point in the horizon).
+	Sigma float64
+	// Mu scales the dynamic, rate-dependent power term.
+	Mu float64
+	// Alpha is the superadditivity exponent; the paper requires alpha > 1.
+	Alpha float64
+	// C is the maximum transmission rate of a link. Zero means "uncapped"
+	// (the DCFS analysis relaxes the capacity constraint).
+	C float64
+}
+
+// ErrInvalidModel is returned by Validate for malformed parameters.
+var ErrInvalidModel = errors.New("power: invalid model")
+
+// Validate checks the model parameters against the paper's assumptions.
+func (m Model) Validate() error {
+	switch {
+	case m.Sigma < 0:
+		return fmt.Errorf("%w: sigma %v < 0", ErrInvalidModel, m.Sigma)
+	case m.Mu <= 0:
+		return fmt.Errorf("%w: mu %v <= 0", ErrInvalidModel, m.Mu)
+	case m.Alpha <= 1:
+		return fmt.Errorf("%w: alpha %v <= 1 (paper requires superadditive f)", ErrInvalidModel, m.Alpha)
+	case m.C < 0:
+		return fmt.Errorf("%w: C %v < 0", ErrInvalidModel, m.C)
+	case math.IsNaN(m.Sigma) || math.IsNaN(m.Mu) || math.IsNaN(m.Alpha) || math.IsNaN(m.C):
+		return fmt.Errorf("%w: NaN parameter", ErrInvalidModel)
+	}
+	return nil
+}
+
+// Capped reports whether the model enforces a finite maximum rate.
+func (m Model) Capped() bool { return m.C > 0 }
+
+// F evaluates the full power function f(x) including idle power. Rates at
+// or below zero consume no power (the link is off).
+func (m Model) F(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return m.Sigma + m.Mu*math.Pow(x, m.Alpha)
+}
+
+// G evaluates the dynamic-only power g(x) = mu * x^alpha used once the set
+// of active links is fixed (Section III-A).
+func (m Model) G(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return m.Mu * math.Pow(x, m.Alpha)
+}
+
+// GDeriv evaluates g'(x) = alpha * mu * x^(alpha-1), the marginal dynamic
+// power. It is the gradient used by the Frank–Wolfe oracle.
+func (m Model) GDeriv(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return m.Alpha * m.Mu * math.Pow(x, m.Alpha-1)
+}
+
+// PowerRate returns the power consumed per unit of traffic, f(x)/x
+// (Definition 3). It returns +Inf for x <= 0.
+func (m Model) PowerRate(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return m.F(x) / x
+}
+
+// Ropt returns the ideal energy-optimal operating rate of Lemma 3,
+//
+//	Ropt = (sigma / (mu * (alpha-1)))^(1/alpha),
+//
+// the unconstrained minimiser of the power rate. It can exceed C; see
+// EffectiveOpt for the capacity-clamped value.
+func (m Model) Ropt() float64 {
+	if m.Sigma == 0 {
+		return 0
+	}
+	return math.Pow(m.Sigma/(m.Mu*(m.Alpha-1)), 1/m.Alpha)
+}
+
+// EffectiveOpt returns the achievable rate minimising the power rate:
+// min(Ropt, C) when the model is capped, Ropt otherwise.
+func (m Model) EffectiveOpt() float64 {
+	r := m.Ropt()
+	if m.Capped() && r > m.C {
+		return m.C
+	}
+	return r
+}
+
+// SigmaForRopt returns the idle power that places the energy-optimal rate
+// at the given target: sigma = mu * (alpha-1) * r^alpha. It is the inverse
+// of Lemma 3 and is used by the experiment harness to position Ropt
+// relative to the workload's mean flow density.
+func SigmaForRopt(mu, alpha, r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return mu * (alpha - 1) * math.Pow(r, alpha)
+}
+
+// Envelope evaluates the convex lower envelope of f on [0, C]:
+//
+//	env(x) = x * f(r*)/r*   for 0 <= x <= r*,   r* = min(Ropt, C)
+//	env(x) = f(x)           for x  > r*.
+//
+// The envelope is the tightest convex function below f (the discontinuity
+// of f at 0 makes f itself non-convex), so minimising the envelope yields a
+// genuine lower bound on the energy of any feasible schedule. It is what
+// the lower-bound series LB in Fig. 2 is computed from.
+func (m Model) Envelope(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	r := m.EffectiveOpt()
+	if r <= 0 {
+		// No idle power: f is already convex (f == g on x > 0).
+		return m.G(x)
+	}
+	if x <= r {
+		return x * m.PowerRate(r)
+	}
+	return m.F(x)
+}
+
+// EnvelopeDeriv returns a subgradient of the envelope at x (the right
+// derivative at the kink r*).
+func (m Model) EnvelopeDeriv(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	r := m.EffectiveOpt()
+	if r <= 0 {
+		return m.GDeriv(x)
+	}
+	if x <= r {
+		return m.PowerRate(r)
+	}
+	return m.GDeriv(x)
+}
+
+// SingleRateEnergy returns the dynamic energy consumed by transmitting w
+// units of data over a path of hops links at constant rate s:
+// hops * g(s) * w/s = hops * mu * w * s^(alpha-1) (Lemma 2).
+func (m Model) SingleRateEnergy(w float64, s float64, hops int) float64 {
+	if w <= 0 || s <= 0 || hops <= 0 {
+		return 0
+	}
+	return float64(hops) * m.Mu * w * math.Pow(s, m.Alpha-1)
+}
+
+// VirtualWeight returns the virtual weight w' = w * hops^(1/alpha) used by
+// the Most-Critical-First reduction to single-processor speed scaling
+// (Section III-C).
+func (m Model) VirtualWeight(w float64, hops int) float64 {
+	if hops <= 0 {
+		return w
+	}
+	return w * math.Pow(float64(hops), 1/m.Alpha)
+}

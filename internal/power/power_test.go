@@ -1,0 +1,272 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff/scale < tol
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Model
+		wantErr bool
+	}{
+		{"ok quadratic", Model{Sigma: 1, Mu: 1, Alpha: 2, C: 10}, false},
+		{"ok uncapped", Model{Sigma: 0, Mu: 2, Alpha: 4}, false},
+		{"negative sigma", Model{Sigma: -1, Mu: 1, Alpha: 2}, true},
+		{"zero mu", Model{Sigma: 1, Mu: 0, Alpha: 2}, true},
+		{"alpha one", Model{Sigma: 1, Mu: 1, Alpha: 1}, true},
+		{"alpha below one", Model{Sigma: 1, Mu: 1, Alpha: 0.5}, true},
+		{"negative capacity", Model{Sigma: 1, Mu: 1, Alpha: 2, C: -3}, true},
+		{"nan", Model{Sigma: math.NaN(), Mu: 1, Alpha: 2}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.m.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFAndG(t *testing.T) {
+	m := Model{Sigma: 3, Mu: 2, Alpha: 2, C: 100}
+	if got := m.F(0); got != 0 {
+		t.Fatalf("F(0) = %v, want 0 (power-down)", got)
+	}
+	if got := m.F(-1); got != 0 {
+		t.Fatalf("F(-1) = %v, want 0", got)
+	}
+	if got := m.F(4); got != 3+2*16 {
+		t.Fatalf("F(4) = %v, want 35", got)
+	}
+	if got := m.G(4); got != 32 {
+		t.Fatalf("G(4) = %v, want 32", got)
+	}
+	if got := m.G(0); got != 0 {
+		t.Fatalf("G(0) = %v, want 0", got)
+	}
+}
+
+func TestGDeriv(t *testing.T) {
+	m := Model{Mu: 3, Alpha: 3}
+	// g(x) = 3x^3, g'(x) = 9x^2.
+	if got := m.GDeriv(2); got != 36 {
+		t.Fatalf("GDeriv(2) = %v, want 36", got)
+	}
+	if got := m.GDeriv(0); got != 0 {
+		t.Fatalf("GDeriv(0) = %v, want 0", got)
+	}
+}
+
+func TestPowerRate(t *testing.T) {
+	m := Model{Sigma: 4, Mu: 1, Alpha: 2}
+	// f(x)/x = 4/x + x, minimised at x = 2 with value 4.
+	if got := m.PowerRate(2); got != 4 {
+		t.Fatalf("PowerRate(2) = %v, want 4", got)
+	}
+	if !math.IsInf(m.PowerRate(0), 1) {
+		t.Fatal("PowerRate(0) should be +Inf")
+	}
+}
+
+func TestRoptLemma3(t *testing.T) {
+	// Lemma 3: Ropt = (sigma/(mu*(alpha-1)))^(1/alpha).
+	m := Model{Sigma: 4, Mu: 1, Alpha: 2}
+	if got := m.Ropt(); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Ropt = %v, want 2", got)
+	}
+	m4 := Model{Sigma: 3, Mu: 1, Alpha: 4}
+	want := math.Pow(1, 0.25) // 3/(1*3) = 1
+	if got := m4.Ropt(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Ropt = %v, want %v", got, want)
+	}
+	if got := (Model{Sigma: 0, Mu: 1, Alpha: 2}).Ropt(); got != 0 {
+		t.Fatalf("Ropt with sigma=0 = %v, want 0", got)
+	}
+}
+
+func TestRoptMinimisesPowerRate(t *testing.T) {
+	prop := func(rawSigma, rawMu, rawAlpha uint8) bool {
+		m := Model{
+			Sigma: 0.1 + float64(rawSigma)/16,
+			Mu:    0.1 + float64(rawMu)/32,
+			Alpha: 1.5 + float64(rawAlpha%40)/10,
+		}
+		r := m.Ropt()
+		base := m.PowerRate(r)
+		for _, mult := range []float64{0.5, 0.9, 1.1, 2.0} {
+			if m.PowerRate(r*mult) < base-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveOpt(t *testing.T) {
+	m := Model{Sigma: 4, Mu: 1, Alpha: 2, C: 1} // Ropt = 2 > C = 1
+	if got := m.EffectiveOpt(); got != 1 {
+		t.Fatalf("EffectiveOpt = %v, want clamped to C = 1", got)
+	}
+	m.C = 10
+	if got := m.EffectiveOpt(); got != 2 {
+		t.Fatalf("EffectiveOpt = %v, want Ropt = 2", got)
+	}
+	m.C = 0 // uncapped
+	if got := m.EffectiveOpt(); got != 2 {
+		t.Fatalf("EffectiveOpt uncapped = %v, want 2", got)
+	}
+}
+
+func TestSigmaForRoptRoundTrip(t *testing.T) {
+	prop := func(rawR, rawMu, rawAlpha uint8) bool {
+		r := 0.5 + float64(rawR)/32
+		mu := 0.1 + float64(rawMu)/64
+		alpha := 1.2 + float64(rawAlpha%30)/10
+		sigma := SigmaForRopt(mu, alpha, r)
+		m := Model{Sigma: sigma, Mu: mu, Alpha: alpha}
+		return almostEqual(m.Ropt(), r, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if got := SigmaForRopt(1, 2, 0); got != 0 {
+		t.Fatalf("SigmaForRopt(.,.,0) = %v, want 0", got)
+	}
+}
+
+func TestEnvelopeProperties(t *testing.T) {
+	m := Model{Sigma: 4, Mu: 1, Alpha: 2, C: 100} // Ropt = 2
+	// Below r*: linear through origin with slope f(2)/2 = 8/2 = 4.
+	if got := m.Envelope(1); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Envelope(1) = %v, want 4", got)
+	}
+	// At r*: touches f.
+	if got := m.Envelope(2); !almostEqual(got, m.F(2), 1e-12) {
+		t.Fatalf("Envelope(2) = %v, want f(2) = %v", got, m.F(2))
+	}
+	// Above r*: equals f.
+	if got := m.Envelope(5); !almostEqual(got, m.F(5), 1e-12) {
+		t.Fatalf("Envelope(5) = %v, want f(5) = %v", got, m.F(5))
+	}
+	if got := m.Envelope(0); got != 0 {
+		t.Fatalf("Envelope(0) = %v, want 0", got)
+	}
+}
+
+func TestEnvelopeIsLowerBound(t *testing.T) {
+	prop := func(rawSigma, rawX uint8) bool {
+		m := Model{Sigma: float64(rawSigma) / 8, Mu: 1, Alpha: 2.5, C: 50}
+		x := float64(rawX) / 8
+		return m.Envelope(x) <= m.F(x)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeIsConvex(t *testing.T) {
+	m := Model{Sigma: 4, Mu: 1, Alpha: 3, C: 100}
+	// Midpoint convexity sampled over a grid.
+	for _, a := range []float64{0, 0.5, 1, 2, 3, 5, 8} {
+		for _, b := range []float64{0.2, 1.5, 2.5, 4, 10} {
+			mid := m.Envelope((a + b) / 2)
+			avg := (m.Envelope(a) + m.Envelope(b)) / 2
+			if mid > avg+1e-9 {
+				t.Fatalf("envelope not convex at (%v,%v): mid=%v avg=%v", a, b, mid, avg)
+			}
+		}
+	}
+}
+
+func TestEnvelopeNoIdlePower(t *testing.T) {
+	m := Model{Sigma: 0, Mu: 2, Alpha: 2, C: 10}
+	if got := m.Envelope(3); got != m.G(3) {
+		t.Fatalf("Envelope with sigma=0 = %v, want g(3) = %v", got, m.G(3))
+	}
+	if got := m.EnvelopeDeriv(3); got != m.GDeriv(3) {
+		t.Fatalf("EnvelopeDeriv with sigma=0 = %v, want g'(3) = %v", got, m.GDeriv(3))
+	}
+}
+
+func TestEnvelopeDeriv(t *testing.T) {
+	m := Model{Sigma: 4, Mu: 1, Alpha: 2, C: 100} // r* = 2, slope below = 4
+	if got := m.EnvelopeDeriv(1); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("EnvelopeDeriv(1) = %v, want 4", got)
+	}
+	if got := m.EnvelopeDeriv(5); !almostEqual(got, m.GDeriv(5), 1e-12) {
+		t.Fatalf("EnvelopeDeriv(5) = %v, want g'(5)", got)
+	}
+	if got := m.EnvelopeDeriv(-1); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("EnvelopeDeriv(-1) = %v, want slope at 0", got)
+	}
+}
+
+func TestSingleRateEnergyLemma2(t *testing.T) {
+	m := Model{Mu: 1, Alpha: 2}
+	// Energy = hops * mu * w * s^(alpha-1) = 2 * 6 * s for Example 1 flow 1.
+	if got := m.SingleRateEnergy(6, 3, 2); got != 36 {
+		t.Fatalf("SingleRateEnergy = %v, want 36", got)
+	}
+	if got := m.SingleRateEnergy(0, 3, 2); got != 0 {
+		t.Fatalf("zero data energy = %v, want 0", got)
+	}
+	if got := m.SingleRateEnergy(6, 0, 2); got != 0 {
+		t.Fatalf("zero rate energy = %v, want 0", got)
+	}
+}
+
+func TestSingleRateEnergyMonotoneInRate(t *testing.T) {
+	// Lemma 2: with alpha > 1 the energy increases with the rate, so the
+	// minimum feasible rate is optimal.
+	m := Model{Mu: 2, Alpha: 3}
+	prev := 0.0
+	for _, s := range []float64{0.5, 1, 2, 4, 8} {
+		e := m.SingleRateEnergy(10, s, 3)
+		if e <= prev {
+			t.Fatalf("energy not increasing: E(%v) = %v <= %v", s, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestVirtualWeight(t *testing.T) {
+	m := Model{Mu: 1, Alpha: 2}
+	// w' = w * |P|^(1/alpha); Example 1: flow 1 has w=6, |P|=2 => 6*sqrt(2).
+	if got := m.VirtualWeight(6, 2); !almostEqual(got, 6*math.Sqrt2, 1e-12) {
+		t.Fatalf("VirtualWeight(6,2) = %v, want %v", got, 6*math.Sqrt2)
+	}
+	if got := m.VirtualWeight(6, 1); got != 6 {
+		t.Fatalf("VirtualWeight(6,1) = %v, want 6", got)
+	}
+	if got := m.VirtualWeight(6, 0); got != 6 {
+		t.Fatalf("VirtualWeight(6,0) = %v, want 6 (degenerate)", got)
+	}
+}
+
+func TestCapped(t *testing.T) {
+	if (Model{C: 0}).Capped() {
+		t.Fatal("C=0 should be uncapped")
+	}
+	if !(Model{C: 5}).Capped() {
+		t.Fatal("C=5 should be capped")
+	}
+}

@@ -1,0 +1,109 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+)
+
+// TierEnergy is the energy attributed to one link tier.
+type TierEnergy struct {
+	// Tier labels the link by its endpoint kinds, e.g. "edge-host",
+	// "agg-core".
+	Tier string
+	// Idle and Dynamic split the tier's energy by component.
+	Idle, Dynamic float64
+	// Links is the number of active links in the tier.
+	Links int
+}
+
+// Total returns Idle + Dynamic.
+func (t TierEnergy) Total() float64 { return t.Idle + t.Dynamic }
+
+// EnergyBreakdown attributes the schedule's energy to topology tiers.
+type EnergyBreakdown struct {
+	// Tiers is sorted by descending total energy.
+	Tiers []TierEnergy
+	// Idle and Dynamic are the overall components (matching EnergyTotal).
+	Idle, Dynamic float64
+}
+
+// Total returns the overall energy.
+func (b *EnergyBreakdown) Total() float64 { return b.Idle + b.Dynamic }
+
+// Table renders the breakdown as an aligned table.
+func (b *EnergyBreakdown) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %12s %12s %12s\n", "tier", "links", "idle", "dynamic", "total")
+	for _, t := range b.Tiers {
+		fmt.Fprintf(&sb, "%-12s %8d %12.4g %12.4g %12.4g\n", t.Tier, t.Links, t.Idle, t.Dynamic, t.Total())
+	}
+	fmt.Fprintf(&sb, "%-12s %8s %12.4g %12.4g %12.4g\n", "total", "", b.Idle, b.Dynamic, b.Total())
+	return sb.String()
+}
+
+// Breakdown computes the per-tier energy attribution of the schedule on
+// the given network. A link's tier is the pair of its endpoint kinds
+// (order-insensitive), e.g. a fat-tree yields "edge-host", "agg-edge" and
+// "agg-core" tiers.
+func (s *Schedule) Breakdown(g *graph.Graph, m power.Model) (*EnergyBreakdown, error) {
+	if g == nil {
+		return nil, fmt.Errorf("schedule: breakdown: nil graph")
+	}
+	horizon := s.Horizon.Length()
+	byTier := make(map[string]*TierEnergy)
+	tierOf := func(eid graph.EdgeID) (string, error) {
+		e, err := g.Edge(eid)
+		if err != nil {
+			return "", err
+		}
+		from, err := g.Node(e.From)
+		if err != nil {
+			return "", err
+		}
+		to, err := g.Node(e.To)
+		if err != nil {
+			return "", err
+		}
+		a, b := from.Kind.String(), to.Kind.String()
+		if a > b {
+			a, b = b, a
+		}
+		return a + "-" + b, nil
+	}
+
+	rates := s.LinkRates()
+	for _, eid := range s.ActiveLinks() {
+		tier, err := tierOf(eid)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: breakdown: %w", err)
+		}
+		te := byTier[tier]
+		if te == nil {
+			te = &TierEnergy{Tier: tier}
+			byTier[tier] = te
+		}
+		te.Links++
+		te.Idle += m.Sigma * horizon
+		for _, seg := range rates[eid] {
+			te.Dynamic += m.G(seg.Rate) * seg.Interval.Length()
+		}
+	}
+	out := &EnergyBreakdown{}
+	for _, te := range byTier {
+		out.Tiers = append(out.Tiers, *te)
+		out.Idle += te.Idle
+		out.Dynamic += te.Dynamic
+	}
+	sort.Slice(out.Tiers, func(a, b int) bool {
+		ta, tb := out.Tiers[a].Total(), out.Tiers[b].Total()
+		if ta != tb {
+			return ta > tb
+		}
+		return out.Tiers[a].Tier < out.Tiers[b].Tier
+	})
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dcnflow/internal/power"
+	"dcnflow/internal/timeline"
+)
+
+func TestBreakdownMatchesTotals(t *testing.T) {
+	g, _, p1, p2 := lineFixture(t)
+	m := power.Model{Sigma: 0.5, Mu: 1, Alpha: 2, C: 100}
+	s := New(timeline.Interval{Start: 0, End: 10})
+	if err := s.SetFlow(&FlowSchedule{FlowID: 0, Path: p1, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 0, End: 4}, Rate: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFlow(&FlowSchedule{FlowID: 1, Path: p2, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 2, End: 6}, Rate: 3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Breakdown(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Total()-s.EnergyTotal(m)) > 1e-9 {
+		t.Fatalf("breakdown total %v != EnergyTotal %v", b.Total(), s.EnergyTotal(m))
+	}
+	if math.Abs(b.Dynamic-s.EnergyDynamic(m)) > 1e-9 {
+		t.Fatalf("breakdown dynamic %v != EnergyDynamic %v", b.Dynamic, s.EnergyDynamic(m))
+	}
+	// Line fixture nodes are all hosts: single tier "host-host".
+	if len(b.Tiers) != 1 || b.Tiers[0].Tier != "host-host" {
+		t.Fatalf("tiers = %+v", b.Tiers)
+	}
+	if b.Tiers[0].Links != 2 {
+		t.Fatalf("active links in tier = %d, want 2", b.Tiers[0].Links)
+	}
+	if !strings.Contains(b.Table(), "host-host") {
+		t.Fatal("table missing tier row")
+	}
+}
+
+func TestBreakdownNilGraph(t *testing.T) {
+	s := New(timeline.Interval{Start: 0, End: 1})
+	if _, err := s.Breakdown(nil, power.Model{Mu: 1, Alpha: 2}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestBreakdownEmptySchedule(t *testing.T) {
+	g, _, _, _ := lineFixture(t)
+	s := New(timeline.Interval{Start: 0, End: 1})
+	b, err := s.Breakdown(g, power.Model{Sigma: 1, Mu: 1, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 0 || len(b.Tiers) != 0 {
+		t.Fatalf("empty breakdown = %+v", b)
+	}
+}

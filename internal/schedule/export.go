@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/timeline"
+)
+
+// exportSegment is the serialized form of a RateSegment.
+type exportSegment struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Rate  float64 `json:"rate"`
+}
+
+// exportFlow is the serialized form of a FlowSchedule.
+type exportFlow struct {
+	FlowID   int             `json:"flowId"`
+	Edges    []int           `json:"edges"`
+	Priority int             `json:"priority"`
+	Segments []exportSegment `json:"segments"`
+}
+
+// exportSchedule is the serialized form of a Schedule.
+type exportSchedule struct {
+	HorizonStart float64      `json:"horizonStart"`
+	HorizonEnd   float64      `json:"horizonEnd"`
+	Flows        []exportFlow `json:"flows"`
+}
+
+// MarshalJSON serializes the schedule deterministically (flows in id
+// order), so exports are byte-stable across runs.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := exportSchedule{
+		HorizonStart: s.Horizon.Start,
+		HorizonEnd:   s.Horizon.End,
+		Flows:        make([]exportFlow, 0, len(s.flows)),
+	}
+	ids := s.FlowIDs()
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		fs := s.flows[id]
+		ef := exportFlow{
+			FlowID:   int(fs.FlowID),
+			Priority: fs.Priority,
+			Edges:    make([]int, 0, len(fs.Path.Edges)),
+			Segments: make([]exportSegment, 0, len(fs.Segments)),
+		}
+		for _, e := range fs.Path.Edges {
+			ef.Edges = append(ef.Edges, int(e))
+		}
+		for _, seg := range fs.Segments {
+			ef.Segments = append(ef.Segments, exportSegment{
+				Start: seg.Interval.Start,
+				End:   seg.Interval.End,
+				Rate:  seg.Rate,
+			})
+		}
+		out.Flows = append(out.Flows, ef)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a schedule serialized by MarshalJSON. Segments are
+// re-validated through SetFlow.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in exportSchedule
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("schedule: decode: %w", err)
+	}
+	s.Horizon = timeline.Interval{Start: in.HorizonStart, End: in.HorizonEnd}
+	s.flows = make(map[flow.ID]*FlowSchedule, len(in.Flows))
+	for _, ef := range in.Flows {
+		fs := &FlowSchedule{
+			FlowID:   flow.ID(ef.FlowID),
+			Priority: ef.Priority,
+			Path:     graph.Path{Edges: make([]graph.EdgeID, 0, len(ef.Edges))},
+			Segments: make([]RateSegment, 0, len(ef.Segments)),
+		}
+		for _, e := range ef.Edges {
+			fs.Path.Edges = append(fs.Path.Edges, graph.EdgeID(e))
+		}
+		for _, seg := range ef.Segments {
+			fs.Segments = append(fs.Segments, RateSegment{
+				Interval: timeline.Interval{Start: seg.Start, End: seg.End},
+				Rate:     seg.Rate,
+			})
+		}
+		if err := s.SetFlow(fs); err != nil {
+			return fmt.Errorf("schedule: decode flow %d: %w", ef.FlowID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package schedule
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/power"
+	"dcnflow/internal/timeline"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	_, _, p1, p2 := lineFixture(t)
+	s := New(timeline.Interval{Start: 0, End: 10})
+	if err := s.SetFlow(&FlowSchedule{FlowID: 0, Path: p1, Priority: 1, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 1, End: 3}, Rate: 2.5},
+		{Interval: timeline.Interval{Start: 5, End: 6}, Rate: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFlow(&FlowSchedule{FlowID: 1, Path: p2, Priority: 0, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 0, End: 4}, Rate: 3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Horizon != s.Horizon {
+		t.Fatalf("horizon = %v, want %v", back.Horizon, s.Horizon)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), s.Len())
+	}
+	m := power.Model{Sigma: 0.5, Mu: 1, Alpha: 2, C: 100}
+	if math.Abs(back.EnergyTotal(m)-s.EnergyTotal(m)) > 1e-12 {
+		t.Fatalf("energy changed across round trip: %v vs %v", back.EnergyTotal(m), s.EnergyTotal(m))
+	}
+	if back.FlowSchedule(0).Priority != 1 || back.FlowSchedule(1).Priority != 0 {
+		t.Fatal("priorities lost in round trip")
+	}
+}
+
+func TestScheduleJSONDeterministic(t *testing.T) {
+	_, _, p1, _ := lineFixture(t)
+	build := func() []byte {
+		s := New(timeline.Interval{Start: 0, End: 10})
+		for id := 4; id >= 0; id-- {
+			if err := s.SetFlow(&FlowSchedule{
+				FlowID: flow.ID(id), Path: p1,
+				Segments: []RateSegment{{Interval: timeline.Interval{Start: float64(id), End: float64(id) + 0.5}, Rate: 1}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("JSON export not byte-stable")
+	}
+}
+
+func TestScheduleJSONRejectsCorrupt(t *testing.T) {
+	var s Schedule
+	if err := json.Unmarshal([]byte(`{"flows": [{"flowId": 0, "segments": [{"start": 2, "end": 1, "rate": 1}]}]}`), &s); err == nil {
+		t.Fatal("inverted segment accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &s); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

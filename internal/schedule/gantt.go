@@ -1,0 +1,61 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the schedule as an ASCII chart: one row per flow, time on
+// the horizontal axis scaled to width columns across the horizon. Cells
+// show '#' while the flow transmits and '.' inside its idle horizon. It is
+// meant for CLI inspection of small schedules.
+func (s *Schedule) Gantt(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	span := s.Horizon.Length()
+	if span <= 0 || s.Len() == 0 {
+		return "(empty schedule)\n"
+	}
+	col := func(t float64) int {
+		c := int(float64(width) * (t - s.Horizon.Start) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s |%s|\n", "t", axisLabel(s.Horizon.Start, s.Horizon.End, width))
+	for _, id := range s.FlowIDs() {
+		fs := s.FlowSchedule(id)
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, seg := range fs.Segments {
+			lo, hi := col(seg.Interval.Start), col(seg.Interval.End)
+			if hi == lo && hi < width {
+				hi = lo + 1 // make zero-width segments visible
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "flow %3d |%s| rate<=%.3g\n", id, row, fs.MaxRate())
+	}
+	return b.String()
+}
+
+// axisLabel builds the header ruler with the horizon endpoints.
+func axisLabel(start, end float64, width int) string {
+	left := fmt.Sprintf("%g", start)
+	right := fmt.Sprintf("%g", end)
+	if len(left)+len(right)+1 >= width {
+		return strings.Repeat("-", width)
+	}
+	middle := strings.Repeat("-", width-len(left)-len(right))
+	return left + middle + right
+}

@@ -1,0 +1,60 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"dcnflow/internal/timeline"
+)
+
+func TestGanttRendersRows(t *testing.T) {
+	_, _, p1, p2 := lineFixture(t)
+	s := New(timeline.Interval{Start: 0, End: 10})
+	if err := s.SetFlow(&FlowSchedule{FlowID: 0, Path: p1, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 0, End: 5}, Rate: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFlow(&FlowSchedule{FlowID: 1, Path: p2, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 5, End: 10}, Rate: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Gantt(40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // ruler + 2 flows
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	// Flow 0 occupies the first half, flow 1 the second half.
+	if !strings.Contains(lines[1], "####") || strings.Contains(lines[1][len(lines[1])-12:], "#") {
+		t.Fatalf("flow 0 row wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "####") {
+		t.Fatalf("flow 1 row wrong: %s", lines[2])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	s := New(timeline.Interval{Start: 0, End: 10})
+	if got := s.Gantt(40); !strings.Contains(got, "empty") {
+		t.Fatalf("empty gantt = %q", got)
+	}
+	// Zero-width default.
+	s2 := New(timeline.Interval{Start: 0, End: 0})
+	if got := s2.Gantt(0); !strings.Contains(got, "empty") {
+		t.Fatalf("zero-horizon gantt = %q", got)
+	}
+}
+
+func TestGanttZeroWidthSegmentVisible(t *testing.T) {
+	_, _, p1, _ := lineFixture(t)
+	s := New(timeline.Interval{Start: 0, End: 1000})
+	if err := s.SetFlow(&FlowSchedule{FlowID: 0, Path: p1, Segments: []RateSegment{
+		{Interval: timeline.Interval{Start: 1, End: 1.1}, Rate: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if out := s.Gantt(20); !strings.Contains(out, "#") {
+		t.Fatalf("tiny segment invisible:\n%s", out)
+	}
+}

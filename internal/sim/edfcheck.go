@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/timeline"
+)
+
+// EDFReport summarises the per-link EDF time-sharing check of Theorem 4.
+type EDFReport struct {
+	// LinksChecked is the number of links carrying at least one flow.
+	LinksChecked int
+	// IntervalsChecked counts (link, interval) pairs examined.
+	IntervalsChecked int
+	// Violations lists human-readable descriptions of any interval whose
+	// per-link work could not be serialised by its end.
+	Violations []string
+}
+
+// OK reports whether the discipline met every interval boundary.
+func (r *EDFReport) OK() bool { return len(r.Violations) == 0 }
+
+// VerifyEDFTimeSharing validates the packet-level discipline behind
+// Random-Schedule (Theorem 4): within every decomposition interval I_k,
+// each link e serialises the data of its flows (D_i * |I_k| each) at rate
+// sum_j D_j in EDF order, and all of it must finish by the end of the
+// interval. The fluid schedule passed in must be a Random-Schedule output
+// (flows at constant density rate over their spans).
+func VerifyEDFTimeSharing(g *graph.Graph, flows *flow.Set, sched *schedule.Schedule) (*EDFReport, error) {
+	if g == nil || flows == nil || sched == nil {
+		return nil, fmt.Errorf("%w: nil argument", ErrBadInput)
+	}
+	var times []float64
+	for _, f := range flows.Flows() {
+		times = append(times, f.Release, f.Deadline)
+	}
+	intervals := timeline.Decompose(timeline.Breakpoints(times))
+
+	// Per link, the flows crossing it.
+	linkFlows := make(map[graph.EdgeID][]flow.Flow)
+	for _, f := range flows.Flows() {
+		fs := sched.FlowSchedule(f.ID)
+		if fs == nil {
+			return nil, fmt.Errorf("%w: flow %d unscheduled", ErrBadInput, f.ID)
+		}
+		for _, eid := range fs.Path.Edges {
+			linkFlows[eid] = append(linkFlows[eid], f)
+		}
+	}
+
+	report := &EDFReport{LinksChecked: len(linkFlows)}
+	for eid, lfs := range linkFlows {
+		for _, iv := range intervals {
+			// Flows active through the whole interval.
+			var active []flow.Flow
+			var totalRate float64
+			for _, f := range lfs {
+				if f.Release <= iv.Start+timeline.Eps && f.Deadline >= iv.End-timeline.Eps {
+					active = append(active, f)
+					totalRate += f.Density()
+				}
+			}
+			if len(active) == 0 {
+				continue
+			}
+			report.IntervalsChecked++
+			// Serialise in EDF order at rate totalRate: flow j transmits
+			// D_j * |I_k| units, taking D_j * |I_k| / totalRate time.
+			sort.Slice(active, func(a, b int) bool {
+				if active[a].Deadline != active[b].Deadline {
+					return active[a].Deadline < active[b].Deadline
+				}
+				return active[a].ID < active[b].ID
+			})
+			t := iv.Start
+			for _, f := range active {
+				t += f.Density() * iv.Length() / totalRate
+			}
+			// Theorem 4: total service time is exactly |I_k|.
+			if t > iv.End+math.Max(1e-9, 1e-9*iv.Length()) {
+				report.Violations = append(report.Violations,
+					fmt.Sprintf("link %d interval %v: EDF finishes at %g past %g", eid, iv, t, iv.End))
+			}
+		}
+	}
+	return report, nil
+}

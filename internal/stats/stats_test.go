@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	// Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Stddev(xs); math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("Stddev = %v, want ~2.138", got)
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("Stddev of singleton should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := 1.96 * Stddev(xs) / math.Sqrt(5)
+	if got := CI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if CI95(nil) != 0 {
+		t.Fatal("CI95(nil) should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "ratio")
+	tb.AddRow(40, 1.2345678)
+	tb.AddRow(200, 2.0)
+	out := tb.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "ratio") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not compacted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + sep + 2 rows
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, "x")
+	csv := tb.CSV()
+	want := "a,b\n1,x\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,234 @@
+// Package timeline provides the time-interval machinery shared by the
+// scheduling algorithms: breakpoint extraction (the set T of release times
+// and deadlines, Section V-A), interval decomposition into I_1..I_K, and
+// slot sets used to track per-link availability (the "a ~ b" available time
+// of Definition 1).
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the tolerance used when comparing time values. Two instants closer
+// than Eps are considered equal.
+const Eps = 1e-9
+
+// Interval is a closed time interval [Start, End].
+type Interval struct {
+	Start, End float64
+}
+
+// Length returns End - Start (never negative).
+func (iv Interval) Length() float64 {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Empty reports whether the interval has (numerically) zero length.
+func (iv Interval) Empty() bool { return iv.End-iv.Start <= Eps }
+
+// Contains reports whether t lies in [Start, End].
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start-Eps && t <= iv.End+Eps }
+
+// Covers reports whether iv fully contains other.
+func (iv Interval) Covers(other Interval) bool {
+	return other.Start >= iv.Start-Eps && other.End <= iv.End+Eps
+}
+
+// Intersect returns the overlap of two intervals and whether it is
+// non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	s := math.Max(iv.Start, other.Start)
+	e := math.Min(iv.End, other.End)
+	if e-s <= Eps {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string { return fmt.Sprintf("[%g, %g]", iv.Start, iv.End) }
+
+// Breakpoints returns the sorted, deduplicated (within Eps) list of time
+// values: the paper's T = {t_0, ..., t_K}.
+func Breakpoints(times []float64) []float64 {
+	if len(times) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(times))
+	copy(sorted, times)
+	sort.Float64s(sorted)
+	out := sorted[:1]
+	for _, t := range sorted[1:] {
+		if t-out[len(out)-1] > Eps {
+			out = append(out, t)
+		}
+	}
+	res := make([]float64, len(out))
+	copy(res, out)
+	return res
+}
+
+// Decompose turns a breakpoint list into the consecutive intervals
+// I_k = [t_{k-1}, t_k].
+func Decompose(breakpoints []float64) []Interval {
+	if len(breakpoints) < 2 {
+		return nil
+	}
+	out := make([]Interval, 0, len(breakpoints)-1)
+	for i := 1; i < len(breakpoints); i++ {
+		out = append(out, Interval{Start: breakpoints[i-1], End: breakpoints[i]})
+	}
+	return out
+}
+
+// Lambda returns the paper's lambda = (t_K - t_0) / min_k |I_k|, the
+// horizon-to-smallest-interval ratio that appears in the approximation
+// bound of Theorem 6. It returns 1 for fewer than two breakpoints.
+func Lambda(breakpoints []float64) float64 {
+	ivs := Decompose(breakpoints)
+	if len(ivs) == 0 {
+		return 1
+	}
+	minLen := math.Inf(1)
+	for _, iv := range ivs {
+		if l := iv.Length(); l < minLen {
+			minLen = l
+		}
+	}
+	total := breakpoints[len(breakpoints)-1] - breakpoints[0]
+	if minLen <= 0 {
+		return math.Inf(1)
+	}
+	return total / minLen
+}
+
+// SlotSet is a set of disjoint, sorted intervals. The zero value is an
+// empty set ready for use. It tracks, per link, the time already committed
+// to scheduled flows so that the remaining availability "a ~ b" can be
+// measured (Definition 1).
+type SlotSet struct {
+	slots []Interval
+}
+
+// Clone returns a deep copy.
+func (s *SlotSet) Clone() *SlotSet {
+	out := &SlotSet{slots: make([]Interval, len(s.slots))}
+	copy(out.slots, s.slots)
+	return out
+}
+
+// Slots returns a copy of the disjoint intervals in ascending order.
+func (s *SlotSet) Slots() []Interval {
+	out := make([]Interval, len(s.slots))
+	copy(out, s.slots)
+	return out
+}
+
+// Empty reports whether the set has zero measure.
+func (s *SlotSet) Empty() bool { return len(s.slots) == 0 }
+
+// Measure returns the total length of the set.
+func (s *SlotSet) Measure() float64 {
+	var sum float64
+	for _, iv := range s.slots {
+		sum += iv.Length()
+	}
+	return sum
+}
+
+// Add unions the interval into the set, merging overlaps.
+func (s *SlotSet) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Find insertion window: all existing slots overlapping or adjacent.
+	i := sort.Search(len(s.slots), func(k int) bool { return s.slots[k].End >= iv.Start-Eps })
+	j := i
+	start, end := iv.Start, iv.End
+	for j < len(s.slots) && s.slots[j].Start <= end+Eps {
+		start = math.Min(start, s.slots[j].Start)
+		end = math.Max(end, s.slots[j].End)
+		j++
+	}
+	merged := Interval{Start: start, End: end}
+	out := make([]Interval, 0, len(s.slots)-(j-i)+1)
+	out = append(out, s.slots[:i]...)
+	out = append(out, merged)
+	out = append(out, s.slots[j:]...)
+	s.slots = out
+}
+
+// AddAll unions every interval into the set.
+func (s *SlotSet) AddAll(ivs []Interval) {
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+}
+
+// MeasureWithin returns the measure of the set intersected with [a, b].
+func (s *SlotSet) MeasureWithin(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	var sum float64
+	win := Interval{Start: a, End: b}
+	for _, iv := range s.slots {
+		if iv.Start > b {
+			break
+		}
+		if ov, ok := iv.Intersect(win); ok {
+			sum += ov.Length()
+		}
+	}
+	return sum
+}
+
+// Complement returns the intervals of [a, b] NOT covered by the set, in
+// ascending order. For a per-link blocked set this yields the available
+// slots of the window.
+func (s *SlotSet) Complement(a, b float64) []Interval {
+	if b-a <= Eps {
+		return nil
+	}
+	var out []Interval
+	cur := a
+	for _, iv := range s.slots {
+		if iv.End <= a {
+			continue
+		}
+		if iv.Start >= b {
+			break
+		}
+		if iv.Start > cur+Eps {
+			out = append(out, Interval{Start: cur, End: math.Min(iv.Start, b)})
+		}
+		cur = math.Max(cur, iv.End)
+		if cur >= b-Eps {
+			return out
+		}
+	}
+	if b-cur > Eps {
+		out = append(out, Interval{Start: cur, End: b})
+	}
+	return out
+}
+
+// AvailableWithin returns (b-a) minus the blocked measure: the paper's
+// "a ~ b" when the receiver tracks blocked time.
+func (s *SlotSet) AvailableWithin(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	return (b - a) - s.MeasureWithin(a, b)
+}
+
+// Contains reports whether instant t is covered by the set.
+func (s *SlotSet) Contains(t float64) bool {
+	i := sort.Search(len(s.slots), func(k int) bool { return s.slots[k].End >= t-Eps })
+	return i < len(s.slots) && s.slots[i].Contains(t)
+}

@@ -1,0 +1,265 @@
+package timeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Start: 2, End: 5}
+	if iv.Length() != 3 {
+		t.Fatalf("Length = %v, want 3", iv.Length())
+	}
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if !iv.Contains(2) || !iv.Contains(5) || !iv.Contains(3.5) {
+		t.Fatal("Contains failed on closed endpoints/interior")
+	}
+	if iv.Contains(1.9) || iv.Contains(5.1) {
+		t.Fatal("Contains accepted outside points")
+	}
+	if (Interval{Start: 3, End: 3}).Length() != 0 {
+		t.Fatal("degenerate interval should have zero length")
+	}
+	if (Interval{Start: 5, End: 2}).Length() != 0 {
+		t.Fatal("inverted interval should have zero length")
+	}
+	if !(Interval{Start: 3, End: 3}).Empty() {
+		t.Fatal("degenerate interval should be empty")
+	}
+}
+
+func TestIntervalCoversIntersect(t *testing.T) {
+	a := Interval{Start: 0, End: 10}
+	b := Interval{Start: 2, End: 5}
+	if !a.Covers(b) || b.Covers(a) {
+		t.Fatal("Covers wrong")
+	}
+	ov, ok := a.Intersect(b)
+	if !ok || ov != b {
+		t.Fatalf("Intersect = %v, %v; want %v, true", ov, ok, b)
+	}
+	if _, ok := (Interval{0, 1}).Intersect(Interval{2, 3}); ok {
+		t.Fatal("disjoint intervals intersected")
+	}
+	if _, ok := (Interval{0, 1}).Intersect(Interval{1, 2}); ok {
+		t.Fatal("touching intervals should have empty intersection")
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	got := Breakpoints([]float64{3, 1, 2, 3, 1 + 1e-12, 5})
+	want := []float64{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Breakpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > Eps {
+			t.Fatalf("Breakpoints[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Breakpoints(nil) != nil {
+		t.Fatal("Breakpoints(nil) should be nil")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	ivs := Decompose([]float64{1, 2, 5})
+	if len(ivs) != 2 {
+		t.Fatalf("Decompose len = %d, want 2", len(ivs))
+	}
+	if ivs[0] != (Interval{1, 2}) || ivs[1] != (Interval{2, 5}) {
+		t.Fatalf("Decompose = %v", ivs)
+	}
+	if Decompose([]float64{1}) != nil {
+		t.Fatal("single breakpoint should yield no intervals")
+	}
+}
+
+func TestLambda(t *testing.T) {
+	if got := Lambda([]float64{0, 1, 2, 10}); got != 10 {
+		t.Fatalf("Lambda = %v, want 10", got)
+	}
+	if got := Lambda([]float64{5}); got != 1 {
+		t.Fatalf("Lambda single = %v, want 1", got)
+	}
+}
+
+func TestSlotSetAddMerge(t *testing.T) {
+	var s SlotSet
+	s.Add(Interval{1, 2})
+	s.Add(Interval{4, 5})
+	s.Add(Interval{1.5, 4.5}) // bridges both
+	slots := s.Slots()
+	if len(slots) != 1 || slots[0].Start != 1 || slots[0].End != 5 {
+		t.Fatalf("merged slots = %v, want [[1,5]]", slots)
+	}
+	if math.Abs(s.Measure()-4) > Eps {
+		t.Fatalf("Measure = %v, want 4", s.Measure())
+	}
+}
+
+func TestSlotSetAddAdjacent(t *testing.T) {
+	var s SlotSet
+	s.Add(Interval{1, 2})
+	s.Add(Interval{2, 3}) // touching intervals merge
+	if len(s.Slots()) != 1 {
+		t.Fatalf("adjacent intervals not merged: %v", s.Slots())
+	}
+}
+
+func TestSlotSetAddEmptyIgnored(t *testing.T) {
+	var s SlotSet
+	s.Add(Interval{3, 3})
+	if !s.Empty() {
+		t.Fatal("empty interval should not be added")
+	}
+}
+
+func TestSlotSetMeasureWithin(t *testing.T) {
+	var s SlotSet
+	s.AddAll([]Interval{{1, 2}, {4, 6}})
+	tests := []struct {
+		a, b float64
+		want float64
+	}{
+		{0, 10, 3},
+		{1.5, 5, 1.5},
+		{2, 4, 0},
+		{5, 5, 0},
+		{6, 3, 0}, // inverted window
+	}
+	for _, tt := range tests {
+		if got := s.MeasureWithin(tt.a, tt.b); math.Abs(got-tt.want) > Eps {
+			t.Errorf("MeasureWithin(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSlotSetComplement(t *testing.T) {
+	var s SlotSet
+	s.AddAll([]Interval{{1, 2}, {4, 6}})
+	got := s.Complement(0, 10)
+	want := []Interval{{0, 1}, {2, 4}, {6, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("Complement = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i].Start-want[i].Start) > Eps || math.Abs(got[i].End-want[i].End) > Eps {
+			t.Fatalf("Complement[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Fully-covered window.
+	if c := s.Complement(4.2, 5.8); len(c) != 0 {
+		t.Fatalf("Complement inside blocked = %v, want empty", c)
+	}
+	// Empty window.
+	if c := s.Complement(3, 3); c != nil {
+		t.Fatalf("Complement of empty window = %v, want nil", c)
+	}
+}
+
+func TestSlotSetAvailableWithin(t *testing.T) {
+	var s SlotSet
+	s.Add(Interval{2, 4})
+	if got := s.AvailableWithin(0, 10); math.Abs(got-8) > Eps {
+		t.Fatalf("AvailableWithin = %v, want 8", got)
+	}
+	if got := s.AvailableWithin(5, 1); got != 0 {
+		t.Fatalf("inverted window available = %v, want 0", got)
+	}
+}
+
+func TestSlotSetContains(t *testing.T) {
+	var s SlotSet
+	s.AddAll([]Interval{{1, 2}, {4, 6}})
+	for _, tt := range []struct {
+		t    float64
+		want bool
+	}{{1.5, true}, {1, true}, {2, true}, {3, false}, {5, true}, {7, false}, {0, false}} {
+		if got := s.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestSlotSetClone(t *testing.T) {
+	var s SlotSet
+	s.Add(Interval{1, 2})
+	c := s.Clone()
+	c.Add(Interval{5, 6})
+	if len(s.Slots()) != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+// Property: for random interval unions, Measure(complement) + Measure(set
+// within window) == window length.
+func TestPropertyComplementPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s SlotSet
+		for i := 0; i < rng.Intn(20); i++ {
+			a := rng.Float64() * 100
+			b := a + rng.Float64()*10
+			s.Add(Interval{a, b})
+		}
+		lo, hi := 10.0, 90.0
+		inside := s.MeasureWithin(lo, hi)
+		var compl float64
+		for _, iv := range s.Complement(lo, hi) {
+			compl += iv.Length()
+		}
+		return math.Abs(inside+compl-(hi-lo)) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slots stay disjoint and sorted after arbitrary unions.
+func TestPropertySlotsDisjointSorted(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s SlotSet
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			a := rng.Float64() * 50
+			s.Add(Interval{a, a + rng.Float64()*5})
+		}
+		slots := s.Slots()
+		for i := 1; i < len(slots); i++ {
+			if slots[i].Start <= slots[i-1].End+Eps/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: measure is monotone under union and bounded by the hull.
+func TestPropertyMeasureMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s SlotSet
+		prev := 0.0
+		for i := 0; i < 20; i++ {
+			a := rng.Float64() * 100
+			s.Add(Interval{a, a + rng.Float64()*8})
+			m := s.Measure()
+			if m < prev-Eps {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"testing"
+
+	"dcnflow/internal/graph"
+)
+
+func TestVL2Counts(t *testing.T) {
+	top, err := VL2(4, 8, 16, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Switches) != 4+8+16 {
+		t.Fatalf("switches = %d, want 28", len(top.Switches))
+	}
+	if len(top.Hosts) != 16*20 {
+		t.Fatalf("hosts = %d, want 320", len(top.Hosts))
+	}
+	// Links: 4*8 int-agg + 16*2 tor-agg + 320 host links.
+	if got := top.NumPhysicalLinks(); got != 32+32+320 {
+		t.Fatalf("links = %d, want 384", got)
+	}
+	if !top.Graph.Connected(top.Hosts[0], top.Hosts[len(top.Hosts)-1]) {
+		t.Fatal("VL2 hosts not connected")
+	}
+}
+
+func TestVL2Invalid(t *testing.T) {
+	cases := [][4]int{{0, 2, 1, 1}, {1, 1, 1, 1}, {1, 2, 0, 1}, {1, 2, 1, 0}}
+	for _, c := range cases {
+		if _, err := VL2(c[0], c[1], c[2], c[3], 1); err == nil {
+			t.Errorf("VL2(%v) accepted", c)
+		}
+	}
+	if _, err := VL2(2, 2, 2, 2, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestJellyfishConnectivityAndDegree(t *testing.T) {
+	top, err := Jellyfish(20, 4, 2, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Switches) != 20 || len(top.Hosts) != 40 {
+		t.Fatalf("sizes = %d switches, %d hosts", len(top.Switches), len(top.Hosts))
+	}
+	// All pairs connected (ring guarantees it).
+	if !top.Graph.Connected(top.Hosts[0], top.Hosts[39]) {
+		t.Fatal("jellyfish hosts not connected")
+	}
+	// Switch degree (excluding host links) never exceeds the target.
+	for i, sw := range top.Switches {
+		degree := 0
+		for _, eid := range top.Graph.OutEdges(sw) {
+			to := top.Graph.MustEdge(eid).To
+			node, err := top.Graph.Node(to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if node.Kind != graph.KindHost {
+				degree++
+			}
+		}
+		if degree > 4 {
+			t.Fatalf("switch %d degree %d exceeds 4", i, degree)
+		}
+	}
+}
+
+func TestJellyfishDeterministicPerSeed(t *testing.T) {
+	a, err := Jellyfish(12, 3, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Jellyfish(12, 3, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestJellyfishInvalid(t *testing.T) {
+	if _, err := Jellyfish(1, 1, 1, 10, 0); err == nil {
+		t.Error("too few switches accepted")
+	}
+	if _, err := Jellyfish(4, 4, 1, 10, 0); err == nil {
+		t.Error("degree >= switches accepted")
+	}
+	if _, err := Jellyfish(4, 2, 1, 0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Jellyfish(4, 2, -1, 1, 0); err == nil {
+		t.Error("negative hosts accepted")
+	}
+}

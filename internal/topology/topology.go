@@ -1,0 +1,292 @@
+// Package topology generates the data-center network topologies used by the
+// paper's evaluation and hardness constructions: fat-tree, BCube, leaf-spine
+// Clos, line networks, star, and the parallel-link gadget from the
+// NP-hardness reductions (Theorems 2 and 3).
+//
+// All generators produce bidirectional links (two directed edges per
+// physical link) with uniform capacity, matching the paper's assumption of
+// identical commodity switches and links.
+package topology
+
+import (
+	"fmt"
+
+	"dcnflow/internal/graph"
+)
+
+// Topology bundles a generated graph with the host nodes that can act as
+// flow sources and destinations.
+type Topology struct {
+	// Name describes the topology instance, e.g. "fat-tree(k=8)".
+	Name string
+	// Graph is the directed network graph.
+	Graph *graph.Graph
+	// Hosts lists the server nodes in deterministic order.
+	Hosts []graph.NodeID
+	// Switches lists all switch nodes in deterministic order.
+	Switches []graph.NodeID
+}
+
+// NumPhysicalLinks returns the number of physical (bidirectional) links.
+func (t *Topology) NumPhysicalLinks() int { return t.Graph.NumEdges() / 2 }
+
+// FatTree builds a k-ary fat-tree [Al-Fares et al., SIGCOMM'08] with
+// (k/2)^2 core switches, k pods of k/2 aggregation and k/2 edge switches
+// each, and k^3/4 hosts. k must be even and >= 2. Every link has the given
+// capacity.
+//
+// For k=8 this yields exactly 80 switches and 128 servers — the topology
+// used in the paper's Section V-C evaluation.
+func FatTree(k int, capacity float64) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("fat-tree: k must be even and >= 2, got %d", k)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("fat-tree: capacity must be positive, got %v", capacity)
+	}
+	g := graph.New()
+	half := k / 2
+
+	core := make([]graph.NodeID, half*half)
+	for i := range core {
+		core[i] = g.AddNode(fmt.Sprintf("core-%d", i), graph.KindCoreSwitch)
+	}
+
+	var (
+		hosts    []graph.NodeID
+		switches []graph.NodeID
+	)
+	switches = append(switches, core...)
+
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]graph.NodeID, half)
+		edges := make([]graph.NodeID, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = g.AddNode(fmt.Sprintf("agg-%d-%d", pod, i), graph.KindAggSwitch)
+		}
+		for i := 0; i < half; i++ {
+			edges[i] = g.AddNode(fmt.Sprintf("edge-%d-%d", pod, i), graph.KindEdgeSwitch)
+		}
+		switches = append(switches, aggs...)
+		switches = append(switches, edges...)
+
+		// Aggregation <-> edge full bipartite inside the pod.
+		for _, a := range aggs {
+			for _, e := range edges {
+				if _, _, err := g.AddBiEdge(a, e, capacity); err != nil {
+					return nil, fmt.Errorf("fat-tree agg-edge: %w", err)
+				}
+			}
+		}
+		// Aggregation i connects to core switches [i*half, (i+1)*half).
+		for i, a := range aggs {
+			for j := 0; j < half; j++ {
+				c := core[i*half+j]
+				if _, _, err := g.AddBiEdge(c, a, capacity); err != nil {
+					return nil, fmt.Errorf("fat-tree core-agg: %w", err)
+				}
+			}
+		}
+		// Each edge switch hosts k/2 servers.
+		for i, e := range edges {
+			for j := 0; j < half; j++ {
+				h := g.AddNode(fmt.Sprintf("host-%d-%d-%d", pod, i, j), graph.KindHost)
+				hosts = append(hosts, h)
+				if _, _, err := g.AddBiEdge(e, h, capacity); err != nil {
+					return nil, fmt.Errorf("fat-tree edge-host: %w", err)
+				}
+			}
+		}
+	}
+	return &Topology{
+		Name:     fmt.Sprintf("fat-tree(k=%d)", k),
+		Graph:    g,
+		Hosts:    hosts,
+		Switches: switches,
+	}, nil
+}
+
+// BCube builds a BCube(n, l) server-centric topology [Guo et al.,
+// SIGCOMM'09]: n^(l+1) servers, (l+1) levels of n^l switches each, where
+// every server has l+1 ports, one per level. Every link has the given
+// capacity. n >= 2 and l >= 0.
+func BCube(n, l int, capacity float64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("bcube: n must be >= 2, got %d", n)
+	}
+	if l < 0 {
+		return nil, fmt.Errorf("bcube: l must be >= 0, got %d", l)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("bcube: capacity must be positive, got %v", capacity)
+	}
+	numServers := pow(n, l+1)
+	numSwitchesPerLevel := pow(n, l)
+
+	g := graph.New()
+	hosts := make([]graph.NodeID, numServers)
+	for i := range hosts {
+		hosts[i] = g.AddNode(fmt.Sprintf("srv-%d", i), graph.KindHost)
+	}
+	var switches []graph.NodeID
+	for level := 0; level <= l; level++ {
+		for s := 0; s < numSwitchesPerLevel; s++ {
+			sw := g.AddNode(fmt.Sprintf("sw-%d-%d", level, s), graph.KindSwitch)
+			switches = append(switches, sw)
+			// Switch s at level `level` connects the n servers whose digit
+			// at position `level` (base n) varies while the other digits
+			// spell s.
+			for d := 0; d < n; d++ {
+				srv := insertDigit(s, d, level, n)
+				if _, _, err := g.AddBiEdge(sw, hosts[srv], capacity); err != nil {
+					return nil, fmt.Errorf("bcube link: %w", err)
+				}
+			}
+		}
+	}
+	return &Topology{
+		Name:     fmt.Sprintf("bcube(n=%d,l=%d)", n, l),
+		Graph:    g,
+		Hosts:    hosts,
+		Switches: switches,
+	}, nil
+}
+
+// insertDigit interprets s as an l-digit base-n number (digits indexed from
+// 0 = least significant), inserts digit d at position pos, and returns the
+// resulting number: the server id attached to switch s at level pos.
+func insertDigit(s, d, pos, n int) int {
+	low := s % pow(n, pos)
+	high := s / pow(n, pos)
+	return high*pow(n, pos+1) + d*pow(n, pos) + low
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// LeafSpine builds a two-tier Clos with the given number of spine and leaf
+// switches (full bipartite between tiers) and hostsPerLeaf servers per leaf.
+func LeafSpine(spines, leaves, hostsPerLeaf int, capacity float64) (*Topology, error) {
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 1 {
+		return nil, fmt.Errorf("leaf-spine: dimensions must be >= 1, got spines=%d leaves=%d hosts=%d", spines, leaves, hostsPerLeaf)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("leaf-spine: capacity must be positive, got %v", capacity)
+	}
+	g := graph.New()
+	spineIDs := make([]graph.NodeID, spines)
+	for i := range spineIDs {
+		spineIDs[i] = g.AddNode(fmt.Sprintf("spine-%d", i), graph.KindCoreSwitch)
+	}
+	leafIDs := make([]graph.NodeID, leaves)
+	for i := range leafIDs {
+		leafIDs[i] = g.AddNode(fmt.Sprintf("leaf-%d", i), graph.KindEdgeSwitch)
+	}
+	var hosts []graph.NodeID
+	for _, s := range spineIDs {
+		for _, l := range leafIDs {
+			if _, _, err := g.AddBiEdge(s, l, capacity); err != nil {
+				return nil, fmt.Errorf("leaf-spine link: %w", err)
+			}
+		}
+	}
+	for i, l := range leafIDs {
+		for j := 0; j < hostsPerLeaf; j++ {
+			h := g.AddNode(fmt.Sprintf("host-%d-%d", i, j), graph.KindHost)
+			hosts = append(hosts, h)
+			if _, _, err := g.AddBiEdge(l, h, capacity); err != nil {
+				return nil, fmt.Errorf("leaf-spine host link: %w", err)
+			}
+		}
+	}
+	switches := append(append([]graph.NodeID{}, spineIDs...), leafIDs...)
+	return &Topology{
+		Name:     fmt.Sprintf("leaf-spine(%dx%d,%d hosts/leaf)", spines, leaves, hostsPerLeaf),
+		Graph:    g,
+		Hosts:    hosts,
+		Switches: switches,
+	}, nil
+}
+
+// Line builds a line network of n nodes (n-1 physical links), the topology
+// of the paper's Fig. 1 / Example 1. All nodes are usable as flow endpoints
+// and are reported as hosts.
+func Line(n int, capacity float64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("line: need at least 2 nodes, got %d", n)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("line: capacity must be positive, got %v", capacity)
+	}
+	g := graph.New()
+	nodes := make([]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("n-%d", i), graph.KindHost)
+	}
+	for i := 1; i < n; i++ {
+		if _, _, err := g.AddBiEdge(nodes[i-1], nodes[i], capacity); err != nil {
+			return nil, fmt.Errorf("line link: %w", err)
+		}
+	}
+	return &Topology{
+		Name:  fmt.Sprintf("line(%d)", n),
+		Graph: g,
+		Hosts: nodes,
+	}, nil
+}
+
+// Star builds a star network: one center switch with n leaf hosts.
+func Star(n int, capacity float64) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("star: need at least 1 leaf, got %d", n)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("star: capacity must be positive, got %v", capacity)
+	}
+	g := graph.New()
+	center := g.AddNode("center", graph.KindSwitch)
+	hosts := make([]graph.NodeID, n)
+	for i := range hosts {
+		hosts[i] = g.AddNode(fmt.Sprintf("leaf-%d", i), graph.KindHost)
+		if _, _, err := g.AddBiEdge(center, hosts[i], capacity); err != nil {
+			return nil, fmt.Errorf("star link: %w", err)
+		}
+	}
+	return &Topology{
+		Name:     fmt.Sprintf("star(%d)", n),
+		Graph:    g,
+		Hosts:    hosts,
+		Switches: []graph.NodeID{center},
+	}, nil
+}
+
+// ParallelLinks builds the hardness gadget of Theorems 2 and 3: two nodes
+// src and dst connected by k parallel physical links. Flow endpoints are the
+// two nodes; the function also returns them explicitly for convenience.
+func ParallelLinks(k int, capacity float64) (*Topology, graph.NodeID, graph.NodeID, error) {
+	if k < 1 {
+		return nil, 0, 0, fmt.Errorf("parallel-links: need at least 1 link, got %d", k)
+	}
+	if capacity <= 0 {
+		return nil, 0, 0, fmt.Errorf("parallel-links: capacity must be positive, got %v", capacity)
+	}
+	g := graph.New()
+	src := g.AddNode("src", graph.KindHost)
+	dst := g.AddNode("dst", graph.KindHost)
+	for i := 0; i < k; i++ {
+		if _, _, err := g.AddBiEdge(src, dst, capacity); err != nil {
+			return nil, 0, 0, fmt.Errorf("parallel link %d: %w", i, err)
+		}
+	}
+	t := &Topology{
+		Name:  fmt.Sprintf("parallel(%d)", k),
+		Graph: g,
+		Hosts: []graph.NodeID{src, dst},
+	}
+	return t, src, dst, nil
+}

@@ -1,0 +1,269 @@
+package topology
+
+import (
+	"testing"
+
+	"dcnflow/internal/graph"
+)
+
+func TestFatTreeCounts(t *testing.T) {
+	tests := []struct {
+		k            int
+		wantSwitches int
+		wantHosts    int
+		wantLinks    int // physical links
+	}{
+		// k-ary fat-tree: (k/2)^2 core + k*k switches; k^3/4 hosts;
+		// links: core-agg k^2/2*k/2? Computed per construction:
+		// per pod: (k/2)^2 agg-edge + (k/2)^2 core-agg + (k/2)^2 host links
+		// => 3k(k/2)^2 total.
+		{2, 5, 2, 6},
+		{4, 20, 16, 48},
+		{8, 80, 128, 384}, // the paper's evaluation topology
+	}
+	for _, tt := range tests {
+		ft, err := FatTree(tt.k, 10)
+		if err != nil {
+			t.Fatalf("FatTree(%d): %v", tt.k, err)
+		}
+		if got := len(ft.Switches); got != tt.wantSwitches {
+			t.Errorf("k=%d switches = %d, want %d", tt.k, got, tt.wantSwitches)
+		}
+		if got := len(ft.Hosts); got != tt.wantHosts {
+			t.Errorf("k=%d hosts = %d, want %d", tt.k, got, tt.wantHosts)
+		}
+		if got := ft.NumPhysicalLinks(); got != tt.wantLinks {
+			t.Errorf("k=%d links = %d, want %d", tt.k, got, tt.wantLinks)
+		}
+	}
+}
+
+func TestFatTreeInvalid(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5, -2} {
+		if _, err := FatTree(k, 10); err == nil {
+			t.Errorf("FatTree(%d) succeeded, want error", k)
+		}
+	}
+	if _, err := FatTree(4, 0); err == nil {
+		t.Error("FatTree with zero capacity succeeded, want error")
+	}
+}
+
+func TestFatTreeAllPairsConnected(t *testing.T) {
+	ft, err := FatTree(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ft.Hosts
+	// Sample pairs across pods and within pod.
+	pairs := [][2]int{{0, 1}, {0, 5}, {0, len(h) - 1}, {3, 12}}
+	for _, p := range pairs {
+		if !ft.Graph.Connected(h[p[0]], h[p[1]]) {
+			t.Errorf("hosts %d and %d not connected", p[0], p[1])
+		}
+		sp, err := ft.Graph.ShortestPath(h[p[0]], h[p[1]])
+		if err != nil {
+			t.Fatalf("ShortestPath: %v", err)
+		}
+		if sp.Len() > 6 {
+			t.Errorf("fat-tree path %d->%d has %d hops, want <= 6", p[0], p[1], sp.Len())
+		}
+	}
+}
+
+func TestFatTreeDiameterIsSix(t *testing.T) {
+	ft, err := FatTree(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hosts in different pods are exactly 6 hops apart
+	// (host-edge-agg-core-agg-edge-host).
+	a, b := ft.Hosts[0], ft.Hosts[len(ft.Hosts)-1]
+	sp, err := ft.Graph.ShortestPath(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != 6 {
+		t.Fatalf("cross-pod path length = %d, want 6", sp.Len())
+	}
+}
+
+func TestBCubeCounts(t *testing.T) {
+	tests := []struct {
+		n, l         int
+		wantHosts    int
+		wantSwitches int
+		wantLinks    int
+	}{
+		{2, 0, 2, 1, 2},
+		{2, 1, 4, 4, 8},
+		{4, 1, 16, 8, 32},
+	}
+	for _, tt := range tests {
+		bc, err := BCube(tt.n, tt.l, 10)
+		if err != nil {
+			t.Fatalf("BCube(%d,%d): %v", tt.n, tt.l, err)
+		}
+		if got := len(bc.Hosts); got != tt.wantHosts {
+			t.Errorf("BCube(%d,%d) hosts = %d, want %d", tt.n, tt.l, got, tt.wantHosts)
+		}
+		if got := len(bc.Switches); got != tt.wantSwitches {
+			t.Errorf("BCube(%d,%d) switches = %d, want %d", tt.n, tt.l, got, tt.wantSwitches)
+		}
+		if got := bc.NumPhysicalLinks(); got != tt.wantLinks {
+			t.Errorf("BCube(%d,%d) links = %d, want %d", tt.n, tt.l, got, tt.wantLinks)
+		}
+	}
+}
+
+func TestBCubeConnectivityAndDegree(t *testing.T) {
+	bc, err := BCube(4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every server has l+1 = 2 ports.
+	for _, h := range bc.Hosts {
+		if got := len(bc.Graph.OutEdges(h)); got != 2 {
+			t.Fatalf("server %d degree = %d, want 2", h, got)
+		}
+	}
+	// Every switch has n = 4 ports.
+	for _, s := range bc.Switches {
+		if got := len(bc.Graph.OutEdges(s)); got != 4 {
+			t.Fatalf("switch %d degree = %d, want 4", s, got)
+		}
+	}
+	if !bc.Graph.Connected(bc.Hosts[0], bc.Hosts[len(bc.Hosts)-1]) {
+		t.Fatal("bcube endpoints not connected")
+	}
+}
+
+func TestBCubeInvalid(t *testing.T) {
+	if _, err := BCube(1, 1, 10); err == nil {
+		t.Error("BCube(1,1) succeeded, want error")
+	}
+	if _, err := BCube(2, -1, 10); err == nil {
+		t.Error("BCube(2,-1) succeeded, want error")
+	}
+	if _, err := BCube(2, 1, 0); err == nil {
+		t.Error("BCube with zero capacity succeeded, want error")
+	}
+}
+
+func TestLeafSpine(t *testing.T) {
+	ls, err := LeafSpine(4, 8, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Hosts) != 128 {
+		t.Fatalf("hosts = %d, want 128", len(ls.Hosts))
+	}
+	if len(ls.Switches) != 12 {
+		t.Fatalf("switches = %d, want 12", len(ls.Switches))
+	}
+	if ls.NumPhysicalLinks() != 4*8+128 {
+		t.Fatalf("links = %d, want %d", ls.NumPhysicalLinks(), 4*8+128)
+	}
+	if !ls.Graph.Connected(ls.Hosts[0], ls.Hosts[127]) {
+		t.Fatal("leaf-spine hosts not connected")
+	}
+	if _, err := LeafSpine(0, 1, 1, 10); err == nil {
+		t.Error("LeafSpine(0,...) succeeded, want error")
+	}
+	if _, err := LeafSpine(1, 1, 1, -1); err == nil {
+		t.Error("LeafSpine negative capacity succeeded, want error")
+	}
+}
+
+func TestLine(t *testing.T) {
+	ln, err := Line(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ln.Hosts) != 3 || ln.NumPhysicalLinks() != 2 {
+		t.Fatalf("line(3): hosts=%d links=%d, want 3, 2", len(ln.Hosts), ln.NumPhysicalLinks())
+	}
+	p, err := ln.Graph.ShortestPath(ln.Hosts[0], ln.Hosts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("line path = %d hops, want 2", p.Len())
+	}
+	if _, err := Line(1, 5); err == nil {
+		t.Error("Line(1) succeeded, want error")
+	}
+	if _, err := Line(3, 0); err == nil {
+		t.Error("Line zero capacity succeeded, want error")
+	}
+}
+
+func TestStar(t *testing.T) {
+	st, err := Star(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Hosts) != 5 || st.NumPhysicalLinks() != 5 {
+		t.Fatalf("star(5): hosts=%d links=%d, want 5, 5", len(st.Hosts), st.NumPhysicalLinks())
+	}
+	if _, err := Star(0, 2); err == nil {
+		t.Error("Star(0) succeeded, want error")
+	}
+	if _, err := Star(3, 0); err == nil {
+		t.Error("Star zero capacity succeeded, want error")
+	}
+}
+
+func TestParallelLinks(t *testing.T) {
+	pl, src, dst, err := ParallelLinks(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumPhysicalLinks() != 6 {
+		t.Fatalf("parallel links = %d, want 6", pl.NumPhysicalLinks())
+	}
+	if len(pl.Graph.OutEdges(src)) != 6 || len(pl.Graph.OutEdges(dst)) != 6 {
+		t.Fatal("parallel-link degrees wrong")
+	}
+	paths, err := pl.Graph.KShortestPaths(src, dst, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 6 {
+		t.Fatalf("distinct src->dst paths = %d, want 6", len(paths))
+	}
+	if _, _, _, err := ParallelLinks(0, 3); err == nil {
+		t.Error("ParallelLinks(0) succeeded, want error")
+	}
+	if _, _, _, err := ParallelLinks(2, 0); err == nil {
+		t.Error("ParallelLinks zero capacity succeeded, want error")
+	}
+}
+
+func TestInsertDigit(t *testing.T) {
+	// s=5 (base 4: digits [1,1]), insert d=2 at pos 1 => digits [1,2,1]
+	// = 1 + 2*4 + 1*16 = 25.
+	if got := insertDigit(5, 2, 1, 4); got != 25 {
+		t.Fatalf("insertDigit(5,2,1,4) = %d, want 25", got)
+	}
+	// pos 0 inserts the least significant digit.
+	if got := insertDigit(3, 1, 0, 2); got != 7 {
+		t.Fatalf("insertDigit(3,1,0,2) = %d, want 7", got)
+	}
+}
+
+func TestHostsAreKindHost(t *testing.T) {
+	ft, err := FatTree(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range ft.Hosts {
+		n, err := ft.Graph.Node(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Kind != graph.KindHost {
+			t.Fatalf("host %d has kind %v", h, n.Kind)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcnflow/internal/timeline"
+)
+
+// Task is a unit of work for the preemptive-EDF packer: it must receive
+// Duration units of time within [Release, Deadline], restricted to the
+// available slots handed to PackEDF.
+type Task struct {
+	ID                int
+	Release, Deadline float64
+	Duration          float64
+}
+
+// PackEDF schedules the tasks with preemptive Earliest-Deadline-First
+// inside the given available slots (disjoint, ascending). It returns the
+// execution slots per task id. An error is returned when EDF cannot meet a
+// deadline — which, per the YDS/Most-Critical-First theory, only happens on
+// genuinely infeasible input (or from numeric drift beyond tolerance).
+func PackEDF(tasks []Task, avail []timeline.Interval) (map[int][]timeline.Interval, error) {
+	for _, tk := range tasks {
+		if tk.Duration < 0 || math.IsNaN(tk.Duration) {
+			return nil, fmt.Errorf("yds: task %d has invalid duration %v", tk.ID, tk.Duration)
+		}
+		if tk.Deadline <= tk.Release {
+			return nil, fmt.Errorf("yds: task %d has empty window [%g, %g]", tk.ID, tk.Release, tk.Deadline)
+		}
+	}
+	byRelease := make([]Task, len(tasks))
+	copy(byRelease, tasks)
+	sort.Slice(byRelease, func(a, b int) bool {
+		if byRelease[a].Release != byRelease[b].Release {
+			return byRelease[a].Release < byRelease[b].Release
+		}
+		return byRelease[a].ID < byRelease[b].ID
+	})
+
+	remaining := make(map[int]float64, len(tasks))
+	lastEnd := make(map[int]float64, len(tasks))
+	out := make(map[int][]timeline.Interval, len(tasks))
+	for _, tk := range tasks {
+		remaining[tk.ID] = tk.Duration
+		out[tk.ID] = nil
+	}
+
+	// ready holds released unfinished tasks; small instances make a linear
+	// scan for the earliest deadline acceptable and simpler than a heap.
+	var ready []Task
+	next := 0 // index into byRelease of the next unreleased task
+	pickEDF := func() int {
+		best := -1
+		for i, tk := range ready {
+			if best == -1 ||
+				tk.Deadline < ready[best].Deadline-timeline.Eps ||
+				(math.Abs(tk.Deadline-ready[best].Deadline) <= timeline.Eps && tk.ID < ready[best].ID) {
+				best = i
+			}
+		}
+		return best
+	}
+
+	for _, slot := range avail {
+		t := slot.Start
+		for t < slot.End-timeline.Eps {
+			for next < len(byRelease) && byRelease[next].Release <= t+timeline.Eps {
+				if remaining[byRelease[next].ID] > timeline.Eps {
+					ready = append(ready, byRelease[next])
+				} else {
+					delete(remaining, byRelease[next].ID)
+				}
+				next++
+			}
+			if len(ready) == 0 {
+				// Idle until the next release or the end of the slot.
+				if next >= len(byRelease) {
+					t = slot.End
+					break
+				}
+				t = math.Max(t, byRelease[next].Release)
+				continue
+			}
+			bi := pickEDF()
+			cur := ready[bi]
+			// Run until: task finishes, a new release arrives (possible
+			// preemption), or the slot ends.
+			horizon := slot.End
+			if next < len(byRelease) && byRelease[next].Release < horizon {
+				horizon = byRelease[next].Release
+			}
+			run := math.Min(remaining[cur.ID], horizon-t)
+			if run > timeline.Eps {
+				appendSlot(out, lastEnd, cur.ID, timeline.Interval{Start: t, End: t + run})
+				remaining[cur.ID] -= run
+				t += run
+			} else {
+				t = horizon
+			}
+			if remaining[cur.ID] <= timeline.Eps {
+				if t > cur.Deadline+1e-6 {
+					return nil, fmt.Errorf("yds: task %d finishes at %g past deadline %g", cur.ID, t, cur.Deadline)
+				}
+				ready = append(ready[:bi], ready[bi+1:]...)
+			}
+		}
+	}
+	for id, rem := range remaining {
+		if rem > 1e-6 {
+			return nil, fmt.Errorf("yds: task %d has %v unscheduled work (insufficient available time)", id, rem)
+		}
+	}
+	return out, nil
+}
+
+// appendSlot appends an execution slot, merging with the previous slot when
+// contiguous.
+func appendSlot(out map[int][]timeline.Interval, lastEnd map[int]float64, id int, iv timeline.Interval) {
+	slots := out[id]
+	if len(slots) > 0 && iv.Start-lastEnd[id] <= timeline.Eps {
+		slots[len(slots)-1].End = iv.End
+	} else {
+		slots = append(slots, iv)
+	}
+	out[id] = slots
+	lastEnd[id] = iv.End
+}

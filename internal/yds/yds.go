@@ -1,0 +1,233 @@
+// Package yds implements the optimal single-processor speed-scaling
+// algorithm of Yao, Demers and Shenker (FOCS 1995) — the substrate the
+// paper's Most-Critical-First algorithm generalises (Section III-C,
+// Example 1). Jobs with release times, deadlines and work requirements are
+// scheduled preemptively; the processor's speed is chosen per critical
+// interval to minimise the energy integral of speed^alpha.
+//
+// The implementation uses the availability formulation that the paper
+// itself adopts (Definition 1): the intensity of a window [a, b] is the
+// contained work divided by the *available* (not yet committed) time in
+// [a, b], and scheduled slots are marked unavailable for later iterations.
+package yds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcnflow/internal/timeline"
+)
+
+// Job is a single-processor job.
+type Job struct {
+	// ID identifies the job in the result; caller-chosen.
+	ID int
+	// Release and Deadline delimit the feasible window.
+	Release, Deadline float64
+	// Work is the number of processing units required.
+	Work float64
+}
+
+// Validate checks job parameters.
+func (j Job) Validate() error {
+	switch {
+	case math.IsNaN(j.Release) || math.IsNaN(j.Deadline) || math.IsNaN(j.Work):
+		return fmt.Errorf("yds: job %d: NaN field", j.ID)
+	case j.Work <= 0:
+		return fmt.Errorf("yds: job %d: work %v <= 0", j.ID, j.Work)
+	case j.Deadline <= j.Release:
+		return fmt.Errorf("yds: job %d: deadline %v <= release %v", j.ID, j.Deadline, j.Release)
+	}
+	return nil
+}
+
+// Execution is the schedule of one job: a constant speed over a set of
+// disjoint slots.
+type Execution struct {
+	JobID int
+	Speed float64
+	Slots []timeline.Interval
+}
+
+// Duration returns the total scheduled time.
+func (e Execution) Duration() float64 {
+	var sum float64
+	for _, s := range e.Slots {
+		sum += s.Length()
+	}
+	return sum
+}
+
+// Result is the complete YDS schedule.
+type Result struct {
+	// Executions is indexed by position; use ByJob for id lookup.
+	Executions []Execution
+	byJob      map[int]int
+}
+
+// ByJob returns the execution of the given job id.
+func (r *Result) ByJob(id int) (Execution, bool) {
+	i, ok := r.byJob[id]
+	if !ok {
+		return Execution{}, false
+	}
+	return r.Executions[i], true
+}
+
+// Energy returns the speed-scaling energy of the schedule:
+// sum over jobs of speed^alpha * duration = work * speed^(alpha-1).
+func (r *Result) Energy(alpha float64) float64 {
+	var sum float64
+	for _, e := range r.Executions {
+		sum += math.Pow(e.Speed, alpha) * e.Duration()
+	}
+	return sum
+}
+
+// ErrInfeasible is returned when no feasible schedule exists (numerically:
+// work demanded inside a window with no available time).
+var ErrInfeasible = errors.New("yds: infeasible instance")
+
+// Solve computes the optimal speed-scaling schedule via iterated critical
+// intervals. Duplicate job IDs are rejected.
+func Solve(jobs []Job) (*Result, error) {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ids := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		if ids[j.ID] {
+			return nil, fmt.Errorf("yds: duplicate job id %d", j.ID)
+		}
+		ids[j.ID] = true
+	}
+
+	pending := make([]Job, len(jobs))
+	copy(pending, jobs)
+	var blocked timeline.SlotSet
+	res := &Result{byJob: make(map[int]int, len(jobs))}
+
+	for len(pending) > 0 {
+		a, b, critical, speed, err := criticalInterval(pending, &blocked)
+		if err != nil {
+			return nil, err
+		}
+		// Pack the critical jobs with preemptive EDF at the common speed.
+		tasks := make([]Task, 0, len(critical))
+		for _, j := range critical {
+			tasks = append(tasks, Task{
+				ID:       j.ID,
+				Release:  j.Release,
+				Deadline: j.Deadline,
+				Duration: j.Work / speed,
+			})
+		}
+		slots, err := PackEDF(tasks, blocked.Complement(a, b))
+		if err != nil {
+			return nil, fmt.Errorf("yds: packing critical interval [%g, %g]: %w", a, b, err)
+		}
+		for _, j := range critical {
+			exec := Execution{JobID: j.ID, Speed: speed, Slots: slots[j.ID]}
+			res.byJob[j.ID] = len(res.Executions)
+			res.Executions = append(res.Executions, exec)
+			blocked.AddAll(slots[j.ID])
+		}
+		pending = removeJobs(pending, critical)
+	}
+	sort.Slice(res.Executions, func(x, y int) bool {
+		return res.Executions[x].JobID < res.Executions[y].JobID
+	})
+	for i, e := range res.Executions {
+		res.byJob[e.JobID] = i
+	}
+	return res, nil
+}
+
+// MaxIntensity returns the maximum window intensity of the instance — the
+// minimum constant processor speed at which preemptive EDF meets all
+// deadlines. It is also the speed of the first YDS critical interval.
+func MaxIntensity(jobs []Job) float64 {
+	var blocked timeline.SlotSet
+	_, _, _, speed, err := criticalInterval(jobs, &blocked)
+	if err != nil {
+		return 0
+	}
+	return speed
+}
+
+// criticalInterval finds the window [a, b] (a from releases, b from
+// deadlines) maximising contained-work / available-time, with deterministic
+// tie-breaking (earlier a, then later b).
+func criticalInterval(pending []Job, blocked *timeline.SlotSet) (a, b float64, critical []Job, speed float64, err error) {
+	if len(pending) == 0 {
+		return 0, 0, nil, 0, errors.New("yds: no pending jobs")
+	}
+	releases := make([]float64, 0, len(pending))
+	deadlines := make([]float64, 0, len(pending))
+	for _, j := range pending {
+		releases = append(releases, j.Release)
+		deadlines = append(deadlines, j.Deadline)
+	}
+	releases = timeline.Breakpoints(releases)
+	deadlines = timeline.Breakpoints(deadlines)
+
+	bestDelta := -1.0
+	bestA, bestB := 0.0, 0.0
+	found := false
+	for _, ca := range releases {
+		for _, cb := range deadlines {
+			if cb <= ca {
+				continue
+			}
+			var work float64
+			contained := false
+			for _, j := range pending {
+				if j.Release >= ca-timeline.Eps && j.Deadline <= cb+timeline.Eps {
+					work += j.Work
+					contained = true
+				}
+			}
+			if !contained {
+				continue
+			}
+			avail := blocked.AvailableWithin(ca, cb)
+			if avail <= timeline.Eps {
+				return 0, 0, nil, 0, fmt.Errorf("%w: work %v in window [%g, %g] with no available time", ErrInfeasible, work, ca, cb)
+			}
+			delta := work / avail
+			if delta > bestDelta+timeline.Eps ||
+				(math.Abs(delta-bestDelta) <= timeline.Eps && (ca < bestA-timeline.Eps ||
+					(math.Abs(ca-bestA) <= timeline.Eps && cb > bestB+timeline.Eps))) {
+				bestDelta, bestA, bestB = delta, ca, cb
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0, 0, nil, 0, errors.New("yds: no candidate interval")
+	}
+	for _, j := range pending {
+		if j.Release >= bestA-timeline.Eps && j.Deadline <= bestB+timeline.Eps {
+			critical = append(critical, j)
+		}
+	}
+	return bestA, bestB, critical, bestDelta, nil
+}
+
+func removeJobs(pending, toRemove []Job) []Job {
+	rm := make(map[int]bool, len(toRemove))
+	for _, j := range toRemove {
+		rm[j.ID] = true
+	}
+	out := pending[:0]
+	for _, j := range pending {
+		if !rm[j.ID] {
+			out = append(out, j)
+		}
+	}
+	return out
+}

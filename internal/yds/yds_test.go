@@ -1,0 +1,424 @@
+package yds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcnflow/internal/timeline"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestJobValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		j    Job
+		ok   bool
+	}{
+		{"valid", Job{ID: 1, Release: 0, Deadline: 1, Work: 1}, true},
+		{"zero work", Job{ID: 1, Release: 0, Deadline: 1, Work: 0}, false},
+		{"inverted window", Job{ID: 1, Release: 2, Deadline: 1, Work: 1}, false},
+		{"nan", Job{ID: 1, Release: math.NaN(), Deadline: 1, Work: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.j.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestSolveSingleJob(t *testing.T) {
+	res, err := Solve([]Job{{ID: 7, Release: 2, Deadline: 6, Work: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := res.ByJob(7)
+	if !ok {
+		t.Fatal("job 7 missing from result")
+	}
+	if !almostEqual(e.Speed, 2, 1e-9) {
+		t.Fatalf("speed = %v, want 2 (= 8/4)", e.Speed)
+	}
+	if !almostEqual(e.Duration(), 4, 1e-9) {
+		t.Fatalf("duration = %v, want 4", e.Duration())
+	}
+	// Energy for alpha=2: s^2 * dur = 4*4 = 16 = w * s^(alpha-1).
+	if got := res.Energy(2); !almostEqual(got, 16, 1e-9) {
+		t.Fatalf("Energy = %v, want 16", got)
+	}
+}
+
+func TestSolvePaperExampleOne(t *testing.T) {
+	// Example 1 mapped to SS-SP: jobs with works 6*sqrt(2) and 8, windows
+	// [2,4] and [1,3]. The optimal schedule runs both at speed
+	// (8+6*sqrt2)/3 across [1,4].
+	wantSpeed := (8 + 6*math.Sqrt2) / 3
+	res, err := Solve([]Job{
+		{ID: 1, Release: 2, Deadline: 4, Work: 6 * math.Sqrt2},
+		{ID: 2, Release: 1, Deadline: 3, Work: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 2} {
+		e, ok := res.ByJob(id)
+		if !ok {
+			t.Fatalf("job %d missing", id)
+		}
+		if !almostEqual(e.Speed, wantSpeed, 1e-9) {
+			t.Fatalf("job %d speed = %v, want %v", id, e.Speed, wantSpeed)
+		}
+	}
+	// The two executions tile [1,4] exactly.
+	var total float64
+	for _, e := range res.Executions {
+		total += e.Duration()
+	}
+	if !almostEqual(total, 3, 1e-9) {
+		t.Fatalf("total busy time = %v, want 3", total)
+	}
+}
+
+func TestSolveTwoDisjointJobs(t *testing.T) {
+	res, err := Solve([]Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 2}, // density 1
+		{ID: 2, Release: 5, Deadline: 6, Work: 3}, // density 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := res.ByJob(1)
+	e2, _ := res.ByJob(2)
+	if !almostEqual(e1.Speed, 1, 1e-9) || !almostEqual(e2.Speed, 3, 1e-9) {
+		t.Fatalf("speeds = %v, %v; want 1, 3", e1.Speed, e2.Speed)
+	}
+}
+
+func TestSolveNestedCriticalInterval(t *testing.T) {
+	// A tight inner job forces a high-speed critical interval; the outer
+	// job must be scheduled around it at a lower speed.
+	res, err := Solve([]Job{
+		{ID: 1, Release: 4, Deadline: 5, Work: 10}, // density 10 — critical
+		{ID: 2, Release: 0, Deadline: 10, Work: 9}, // fits around at speed 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := res.ByJob(1)
+	e2, _ := res.ByJob(2)
+	if !almostEqual(e1.Speed, 10, 1e-9) {
+		t.Fatalf("inner speed = %v, want 10", e1.Speed)
+	}
+	// Outer: 9 work over the remaining 9 available units.
+	if !almostEqual(e2.Speed, 1, 1e-9) {
+		t.Fatalf("outer speed = %v, want 1", e2.Speed)
+	}
+	// The outer job must not execute inside [4,5].
+	for _, s := range e2.Slots {
+		if s.Start < 5-timeline.Eps && s.End > 4+timeline.Eps {
+			t.Fatalf("outer job slot %v overlaps the blocked critical interval", s)
+		}
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	if _, err := Solve([]Job{{ID: 1, Release: 0, Deadline: 1, Work: -1}}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	if _, err := Solve([]Job{
+		{ID: 1, Release: 0, Deadline: 1, Work: 1},
+		{ID: 1, Release: 0, Deadline: 2, Work: 1},
+	}); err == nil {
+		t.Fatal("duplicate job ids accepted")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	res, err := Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Executions) != 0 {
+		t.Fatal("empty instance should give empty result")
+	}
+	if res.Energy(2) != 0 {
+		t.Fatal("empty instance energy should be 0")
+	}
+}
+
+func TestMaxIntensity(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 2},
+		{ID: 2, Release: 0, Deadline: 1, Work: 3},
+	}
+	// Window [0,1] has work 3 => intensity 3. Window [0,2] has work 5 =>
+	// 2.5. Max = 3.
+	if got := MaxIntensity(jobs); !almostEqual(got, 3, 1e-9) {
+		t.Fatalf("MaxIntensity = %v, want 3", got)
+	}
+	if got := MaxIntensity(nil); got != 0 {
+		t.Fatalf("MaxIntensity(nil) = %v, want 0", got)
+	}
+}
+
+// --- EDF packer -----------------------------------------------------------
+
+func TestPackEDFSimple(t *testing.T) {
+	slots, err := PackEDF(
+		[]Task{
+			{ID: 1, Release: 0, Deadline: 4, Duration: 1},
+			{ID: 2, Release: 0, Deadline: 2, Duration: 1},
+		},
+		[]timeline.Interval{{Start: 0, End: 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EDF runs task 2 first (earlier deadline).
+	if slots[2][0].Start != 0 {
+		t.Fatalf("task 2 should start first, got %v", slots[2])
+	}
+	if !almostEqual(slots[1][0].Start, 1, 1e-9) {
+		t.Fatalf("task 1 should start at 1, got %v", slots[1])
+	}
+}
+
+func TestPackEDFPreemption(t *testing.T) {
+	// Task 1 starts, then task 2 (tighter deadline) arrives and preempts.
+	slots, err := PackEDF(
+		[]Task{
+			{ID: 1, Release: 0, Deadline: 10, Duration: 5},
+			{ID: 2, Release: 2, Deadline: 4, Duration: 2},
+		},
+		[]timeline.Interval{{Start: 0, End: 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots[1]) != 2 {
+		t.Fatalf("task 1 should be split by preemption, got %v", slots[1])
+	}
+	if !almostEqual(slots[2][0].Start, 2, 1e-9) || !almostEqual(slots[2][0].End, 4, 1e-9) {
+		t.Fatalf("task 2 slots = %v, want [2,4]", slots[2])
+	}
+}
+
+func TestPackEDFAcrossHoles(t *testing.T) {
+	slots, err := PackEDF(
+		[]Task{{ID: 1, Release: 0, Deadline: 10, Duration: 4}},
+		[]timeline.Interval{{Start: 0, End: 2}, {Start: 6, End: 9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range slots[1] {
+		total += s.Length()
+		if s.End > 2+timeline.Eps && s.Start < 6-timeline.Eps {
+			t.Fatalf("slot %v inside the hole", s)
+		}
+	}
+	if !almostEqual(total, 4, 1e-9) {
+		t.Fatalf("scheduled %v, want 4", total)
+	}
+}
+
+func TestPackEDFDetectsDeadlineMiss(t *testing.T) {
+	_, err := PackEDF(
+		[]Task{{ID: 1, Release: 0, Deadline: 1, Duration: 3}},
+		[]timeline.Interval{{Start: 0, End: 10}},
+	)
+	if err == nil {
+		t.Fatal("deadline miss not detected")
+	}
+}
+
+func TestPackEDFDetectsInsufficientTime(t *testing.T) {
+	_, err := PackEDF(
+		[]Task{{ID: 1, Release: 0, Deadline: 10, Duration: 5}},
+		[]timeline.Interval{{Start: 0, End: 2}},
+	)
+	if err == nil {
+		t.Fatal("unschedulable work not detected")
+	}
+}
+
+func TestPackEDFInvalidTask(t *testing.T) {
+	if _, err := PackEDF([]Task{{ID: 1, Release: 0, Deadline: 1, Duration: -1}}, nil); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := PackEDF([]Task{{ID: 1, Release: 1, Deadline: 1, Duration: 1}}, nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestPackEDFIdleGapsBetweenReleases(t *testing.T) {
+	slots, err := PackEDF(
+		[]Task{
+			{ID: 1, Release: 0, Deadline: 1, Duration: 0.5},
+			{ID: 2, Release: 5, Deadline: 6, Duration: 0.5},
+		},
+		[]timeline.Interval{{Start: 0, End: 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slots[2][0].Start, 5, 1e-9) {
+		t.Fatalf("task 2 should wait for its release, got %v", slots[2])
+	}
+}
+
+// --- Properties ------------------------------------------------------------
+
+// randomFeasibleJobs generates jobs with generous windows.
+func randomFeasibleJobs(rng *rand.Rand, n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		r := rng.Float64() * 50
+		d := r + 1 + rng.Float64()*30
+		jobs[i] = Job{ID: i, Release: r, Deadline: d, Work: 0.5 + rng.Float64()*10}
+	}
+	return jobs
+}
+
+// TestPropertyYDSFeasibleAndComplete: the schedule respects windows and
+// completes all work.
+func TestPropertyYDSFeasibleAndComplete(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomFeasibleJobs(rng, 2+rng.Intn(10))
+		res, err := Solve(jobs)
+		if err != nil {
+			return false
+		}
+		for _, j := range jobs {
+			e, ok := res.ByJob(j.ID)
+			if !ok {
+				return false
+			}
+			var done float64
+			for _, s := range e.Slots {
+				if s.Start < j.Release-1e-6 || s.End > j.Deadline+1e-6 {
+					return false
+				}
+				done += s.Length() * e.Speed
+			}
+			if math.Abs(done-j.Work) > 1e-5*math.Max(1, j.Work) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyYDSProcessorNeverSharesTime: at most one job runs at a time.
+func TestPropertyYDSProcessorNeverSharesTime(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomFeasibleJobs(rng, 2+rng.Intn(8))
+		res, err := Solve(jobs)
+		if err != nil {
+			return false
+		}
+		type occ struct{ s, e float64 }
+		var occs []occ
+		for _, ex := range res.Executions {
+			for _, s := range ex.Slots {
+				occs = append(occs, occ{s.Start, s.End})
+			}
+		}
+		for i := range occs {
+			for j := i + 1; j < len(occs); j++ {
+				lo := math.Max(occs[i].s, occs[j].s)
+				hi := math.Min(occs[i].e, occs[j].e)
+				if hi-lo > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyYDSEnergyBounds: optimal energy lies between the Jensen lower
+// bound and the constant-max-intensity upper bound.
+func TestPropertyYDSEnergyBounds(t *testing.T) {
+	const alpha = 2.5
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomFeasibleJobs(rng, 2+rng.Intn(8))
+		res, err := Solve(jobs)
+		if err != nil {
+			return false
+		}
+		energy := res.Energy(alpha)
+
+		var totalWork float64
+		for _, j := range jobs {
+			totalWork += j.Work
+		}
+		smax := MaxIntensity(jobs)
+		upper := totalWork * math.Pow(smax, alpha-1)
+		if energy > upper*(1+1e-6) {
+			return false
+		}
+		// Jensen: energy over any window >= |I| * delta(I)^alpha. Check
+		// the window of each job pair.
+		for _, a := range jobs {
+			for _, b := range jobs {
+				lo, hi := a.Release, b.Deadline
+				if hi <= lo {
+					continue
+				}
+				var work float64
+				for _, j := range jobs {
+					if j.Release >= lo-1e-12 && j.Deadline <= hi+1e-12 {
+						work += j.Work
+					}
+				}
+				lower := (hi - lo) * math.Pow(work/(hi-lo), alpha)
+				if work > 0 && energy < lower*(1-1e-6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyYDSDominatesConstantSpeed: YDS energy is no worse than EDF at
+// the minimal constant feasible speed.
+func TestPropertyYDSDominatesConstantSpeed(t *testing.T) {
+	const alpha = 3
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := randomFeasibleJobs(rng, 2+rng.Intn(6))
+		res, err := Solve(jobs)
+		if err != nil {
+			return false
+		}
+		smax := MaxIntensity(jobs)
+		var totalWork float64
+		for _, j := range jobs {
+			totalWork += j.Work
+		}
+		constEnergy := totalWork * math.Pow(smax, alpha-1)
+		return res.Energy(alpha) <= constEnergy*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
