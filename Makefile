@@ -1,0 +1,26 @@
+# Convenience targets for the dcnflow repository. The CI workflow runs the
+# same commands; see .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test vet fmt bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench refreshes BENCH_solver.json from the component micro-benchmarks.
+bench:
+	$(GO) run ./cmd/benchjson
+
+# bench-smoke runs every benchmark once — a compile-and-run sanity pass.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,168 @@
+// Command benchjson runs the repository's component micro-benchmarks and
+// records their results in BENCH_solver.json so the performance trajectory
+// of the solver hot paths is tracked from PR to PR.
+//
+//	go run ./cmd/benchjson                  # run defaults, update BENCH_solver.json
+//	go run ./cmd/benchjson -bench Frank     # restrict the benchmark regexp
+//	go run ./cmd/benchjson -benchtime 10x   # more samples per benchmark
+//	go run ./cmd/benchjson -o out.json      # write elsewhere
+//
+// The output file holds two sections: "current" (overwritten on every run)
+// and "baseline" (written only when absent — the first snapshot, normally
+// the seed implementation's numbers, is preserved so later runs can always
+// be compared against it). Use -rebaseline to promote the current run to
+// the new baseline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// defaultBench selects the component micro-benchmarks (not the full-figure
+// regenerations, which take minutes at paper scale).
+const defaultBench = "BenchmarkFrankWolfe|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkSimulator|BenchmarkExactSmall"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// Snapshot is the BENCH_solver.json document.
+type Snapshot struct {
+	// Baseline holds the first recorded numbers (normally the seed
+	// implementation); it is never overwritten unless -rebaseline is given.
+	Baseline map[string]Result `json:"baseline,omitempty"`
+	// Current holds the latest run.
+	Current map[string]Result `json:"current"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	out := flag.String("o", "BENCH_solver.json", "output file")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	rebaseline := flag.Bool("rebaseline", false, "promote this run to the stored baseline")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench,
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		"-benchmem", *pkg)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+
+	results, err := parseBench(stdout.Bytes())
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *bench)
+	}
+
+	snap := Snapshot{Current: results}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old Snapshot
+		if err := json.Unmarshal(prev, &old); err == nil {
+			snap.Baseline = old.Baseline
+		}
+	}
+	if snap.Baseline == nil || *rebaseline {
+		snap.Baseline = results
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	report(snap)
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	return nil
+}
+
+// parseBench extracts per-benchmark results, averaging repeated runs of the
+// same benchmark (-count > 1).
+func parseBench(out []byte) (map[string]Result, error) {
+	sums := map[string]Result{}
+	counts := map[string]float64{}
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		m := benchLine.FindSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := string(m[1])
+		ns, err := strconv.ParseFloat(string(m[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		var b, a int64
+		if len(m[3]) > 0 {
+			b, _ = strconv.ParseInt(string(m[3]), 10, 64)
+		}
+		if len(m[4]) > 0 {
+			a, _ = strconv.ParseInt(string(m[4]), 10, 64)
+		}
+		s := sums[name]
+		s.NsPerOp += ns
+		s.BytesPerOp += b
+		s.AllocsPerOp += a
+		sums[name] = s
+		counts[name]++
+	}
+	for name, s := range sums {
+		n := counts[name]
+		s.NsPerOp /= n
+		s.BytesPerOp = int64(float64(s.BytesPerOp) / n)
+		s.AllocsPerOp = int64(float64(s.AllocsPerOp) / n)
+		sums[name] = s
+	}
+	return sums, nil
+}
+
+// report prints a current-vs-baseline table.
+func report(snap Snapshot) {
+	names := make([]string, 0, len(snap.Current))
+	for name := range snap.Current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %14s %14s %8s %12s\n", "benchmark", "ns/op", "baseline", "speedup", "allocs/op")
+	for _, name := range names {
+		cur := snap.Current[name]
+		base, ok := snap.Baseline[name]
+		speed := "-"
+		baseNs := "-"
+		if ok && cur.NsPerOp > 0 {
+			speed = fmt.Sprintf("%.2fx", base.NsPerOp/cur.NsPerOp)
+			baseNs = fmt.Sprintf("%.0f", base.NsPerOp)
+		}
+		fmt.Printf("%-28s %14.0f %14s %8s %12d\n", name, cur.NsPerOp, baseNs, speed, cur.AllocsPerOp)
+	}
+}

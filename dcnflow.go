@@ -29,6 +29,30 @@
 // F-MCF solver, simulator, baselines, experiment harness) live under
 // internal/ and are surfaced here through aliases, so external users never
 // import internal paths directly.
+//
+// # Performance knobs
+//
+// The Random-Schedule pipeline is engineered around a zero-allocation
+// Frank–Wolfe hot path (flat CSR adjacency, reusable shortest-path
+// scratch, interned path handles, sparse line search); see DESIGN.md for
+// the architecture. The levers exposed here:
+//
+//   - DCFSROptions.Parallelism bounds concurrent per-interval relaxation
+//     solves (default NumCPU). Intervals are fanned out in fixed-size
+//     blocks, so results never depend on the worker count — parallelism is
+//     purely a wall-clock lever.
+//   - SolverOptions.MaxIters and SolverOptions.Tol bound the Frank–Wolfe
+//     iterations (default 60) and the relative duality-gap stop (default
+//     1e-3): Tol trades lower-bound tightness for time, with the residual
+//     gap reported per solve.
+//   - SolverOptions.ClosedFormStep swaps the bisection line search for an
+//     analytic step on exactly-quadratic costs (alpha == 2); faster, but
+//     trajectories are no longer bit-identical to the default.
+//   - DCFSROptions.WarmStart seeds each interval's solve from the
+//     neighbouring interval's path decomposition. Off by default: on the
+//     paper's evaluation workloads the hop-count cold start converges in
+//     fewer iterations and keeps runs bit-reproducible across releases;
+//     enable it for long chains of near-identical intervals.
 package dcnflow
 
 import (

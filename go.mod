@@ -1,0 +1,3 @@
+module dcnflow
+
+go 1.24

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSamplePathZeroAllocs pins the randomized-rounding inner loop: drawing
+// a path handle from a candidate distribution must never allocate.
+func TestSamplePathZeroAllocs(t *testing.T) {
+	list := []candidate{
+		{handle: 0, weight: 0.45},
+		{handle: 1, weight: 0.35},
+		{handle: 2, weight: 0.20},
+	}
+	rng := rand.New(rand.NewSource(5))
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = samplePath(rng, list)
+	})
+	if allocs != 0 {
+		t.Fatalf("samplePath allocates %.1f times per run, want 0", allocs)
+	}
+}

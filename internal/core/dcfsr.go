@@ -28,7 +28,19 @@ type DCFSROptions struct {
 	// Solver configures the per-interval F-MCF relaxation.
 	Solver mcfsolve.Options
 	// Parallelism bounds concurrent per-interval solves; default NumCPU.
+	// It never affects results: intervals are partitioned into fixed-size
+	// blocks, so the warm-start chaining below is machine-independent.
 	Parallelism int
+	// WarmStart seeds each interval's Frank–Wolfe solve from the
+	// neighbouring interval's path decomposition instead of hop-count
+	// shortest paths. Off by default: measurements on the paper's
+	// evaluation workloads show the hop-count cold start converges in
+	// fewer iterations (Frank–Wolfe has no away-steps, so carried-over
+	// mass on stale paths drains only geometrically), and the cold start
+	// keeps solver trajectories bit-identical across releases. The knob
+	// exists for workloads with long chains of near-identical intervals,
+	// where reusing the neighbour's routing does pay.
+	WarmStart bool
 }
 
 func (o DCFSROptions) withDefaults() DCFSROptions {
@@ -75,11 +87,18 @@ type DCFSRResult struct {
 	Lambda float64
 }
 
-// candidate is one entry of a flow's rounded path distribution.
+// candidate is one entry of a flow's rounded path distribution; the path
+// lives in the aggregation's shared intern table.
 type candidate struct {
-	path   graph.Path
+	handle graph.PathHandle
 	weight float64
 }
+
+// warmBlockSize is the number of consecutive intervals one worker solves
+// with a shared, warm-start-chained Solver. A fixed constant (rather than a
+// Parallelism-derived split) keeps the warm-start structure — and therefore
+// the solver output — identical on any machine.
+const warmBlockSize = 8
 
 // relaxation holds the solved multi-step F-MCF.
 type relaxation struct {
@@ -116,32 +135,71 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 		}
 	}
 
+	// Fan the intervals out in contiguous blocks. Each worker owns one
+	// reusable Solver per block, so shortest-path scratch, intern table and
+	// edge buffers amortise across the block's solves. With opts.WarmStart
+	// set, every interval additionally seeds from its left neighbour within
+	// the block (adjacent intervals share most commodities); blocks are
+	// then a fixed constant — never derived from Parallelism — so results
+	// do not depend on the worker count or scheduling. Without warm starts
+	// the intervals are fully independent and blocking is purely a
+	// scheduling choice, so blocks shrink as needed to keep every worker
+	// busy on short horizons.
+	blockSize := warmBlockSize
+	if !opts.WarmStart {
+		if per := (len(intervals) + opts.Parallelism - 1) / opts.Parallelism; per < blockSize {
+			blockSize = per
+		}
+		if blockSize < 1 {
+			blockSize = 1
+		}
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
 	sem := make(chan struct{}, opts.Parallelism)
-	for k := range intervals {
-		if len(rel.comms[k]) == 0 {
-			continue
+	for lo := 0; lo < len(intervals); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(intervals) {
+			hi = len(intervals)
 		}
 		wg.Add(1)
-		go func(k int) {
+		go func(lo, hi int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := mcfsolve.Solve(g, rel.comms[k], m, opts.Solver)
+			solver, err := mcfsolve.NewSolver(g, m, opts.Solver)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
-					firstErr = fmt.Errorf("interval %d: %w", k, err)
+					firstErr = err
 				}
 				mu.Unlock()
 				return
 			}
-			rel.results[k] = res
-		}(k)
+			var warm mcfsolve.WarmStart
+			for k := lo; k < hi; k++ {
+				if len(rel.comms[k]) == 0 {
+					warm = mcfsolve.WarmStart{}
+					continue
+				}
+				res, err := solver.SolveWarm(rel.comms[k], warm)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("interval %d: %w", k, err)
+					}
+					mu.Unlock()
+					return
+				}
+				rel.results[k] = res
+				if opts.WarmStart {
+					warm = mcfsolve.WarmStart{Commodities: rel.comms[k], Result: res}
+				}
+			}
+		}(lo, hi)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -205,7 +263,11 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 	}
 
 	// Aggregate candidate paths and time-weighted probabilities per flow.
-	cands := make(map[flow.ID]map[string]*candidate, in.Flows.Len())
+	// Paths from every interval result are interned once into a shared
+	// table, so per-flow candidate identity is an integer handle compare
+	// instead of a string key build.
+	interner := graph.NewPathInterner()
+	cands := make(map[flow.ID][]candidate, in.Flows.Len())
 	for k, res := range rel.results {
 		if res == nil {
 			continue
@@ -217,39 +279,38 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 				return nil, ferr
 			}
 			span := f.Span()
-			byKey := cands[c.ID]
-			if byKey == nil {
-				byKey = make(map[string]*candidate, 4)
-				cands[c.ID] = byKey
-			}
+			list := cands[c.ID]
 			for _, wp := range res.PathsByCommodity[ci] {
 				frac := wp.Weight / c.Demand
 				add := frac * ivLen / span
-				if entry, ok := byKey[wp.Path.Key()]; ok {
-					entry.weight += add
-				} else {
-					byKey[wp.Path.Key()] = &candidate{path: wp.Path, weight: add}
+				h := interner.Intern(wp.Path.Edges)
+				found := false
+				for i := range list {
+					if list[i].handle == h {
+						list[i].weight += add
+						found = true
+						break
+					}
+				}
+				if !found {
+					list = append(list, candidate{handle: h, weight: add})
 				}
 			}
+			cands[c.ID] = list
 		}
 	}
 	// Deterministic candidate ordering per flow.
-	ordered := make(map[flow.ID][]*candidate, len(cands))
-	for fid, byKey := range cands {
-		list := make([]*candidate, 0, len(byKey))
-		for _, c := range byKey {
-			list = append(list, c)
-		}
+	for fid, list := range cands {
 		sort.Slice(list, func(a, b int) bool {
 			if list[a].weight != list[b].weight {
 				return list[a].weight > list[b].weight
 			}
-			return list[a].path.Key() < list[b].path.Key()
+			return graph.ComparePathKeys(interner.Edges(list[a].handle), interner.Edges(list[b].handle)) < 0
 		})
-		ordered[fid] = list
+		cands[fid] = list
 	}
 	for _, f := range in.Flows.Flows() {
-		if len(ordered[f.ID]) == 0 {
+		if len(cands[f.ID]) == 0 {
 			return nil, fmt.Errorf("%w: flow %d received no candidate paths", ErrInfeasible, f.ID)
 		}
 	}
@@ -271,11 +332,11 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 	for attempts = 1; attempts <= opts.MaxRoundingAttempts; attempts++ {
 		sched := schedule.New(horizon)
 		for _, f := range in.Flows.Flows() {
-			list := ordered[f.ID]
+			list := cands[f.ID]
 			chosen := samplePath(rng, list)
 			if err := sched.SetFlow(&schedule.FlowSchedule{
 				FlowID: f.ID,
-				Path:   chosen.Clone(),
+				Path:   interner.Path(chosen),
 				Segments: []schedule.RateSegment{{
 					Interval: timeline.Interval{Start: f.Release, End: f.Deadline},
 					Rate:     f.Density(),
@@ -317,9 +378,9 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 	}, nil
 }
 
-// samplePath draws a path according to the aggregated weights (which sum to
-// ~1; any drift is normalised).
-func samplePath(rng *rand.Rand, list []*candidate) graph.Path {
+// samplePath draws a path handle according to the aggregated weights (which
+// sum to ~1; any drift is normalised). It performs no allocations.
+func samplePath(rng *rand.Rand, list []candidate) graph.PathHandle {
 	var total float64
 	for _, c := range list {
 		total += c.weight
@@ -329,8 +390,8 @@ func samplePath(rng *rand.Rand, list []*candidate) graph.Path {
 	for _, c := range list {
 		acc += c.weight
 		if u <= acc {
-			return c.path
+			return c.handle
 		}
 	}
-	return list[len(list)-1].path
+	return list[len(list)-1].handle
 }

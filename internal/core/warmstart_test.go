@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/power"
+	"dcnflow/internal/topology"
+)
+
+// warmInstance builds the canonical 40-flow fat-tree relaxation workload.
+func warmInstance(t *testing.T) (*topology.Topology, *flow.Set, power.Model) {
+	t.Helper()
+	ft, err := topology.FatTree(4, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := flow.Uniform(flow.GenConfig{
+		N: 40, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
+		Hosts: ft.Hosts, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, fs, power.Model{Mu: 1, Alpha: 2, C: 1e12}
+}
+
+// TestWarmStartMatchesColdWithinTolerance: warm-started interval chains
+// must land on the same relaxation value as cold starts up to the solver's
+// duality-gap tolerance — the two differ only in Frank–Wolfe trajectory.
+func TestWarmStartMatchesColdWithinTolerance(t *testing.T) {
+	ft, fs, m := warmInstance(t)
+	solve := func(warm bool) float64 {
+		opts := DCFSROptions{
+			Seed:      1,
+			Solver:    mcfsolve.Options{MaxIters: 25},
+			WarmStart: warm,
+		}.withDefaults()
+		rel, err := solveRelaxation(ft.Graph, fs, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel.lowerBound
+	}
+	cold := solve(false)
+	warm := solve(true)
+	if math.Abs(cold-warm)/cold > 1e-2 {
+		t.Fatalf("warm-start LB drifted beyond solver tolerance: cold %v warm %v", cold, warm)
+	}
+}
+
+// TestWarmStartDeterministicAcrossParallelism: the fixed-size block fan-out
+// must make relaxation results independent of the worker count, with and
+// without warm starts.
+func TestWarmStartDeterministicAcrossParallelism(t *testing.T) {
+	ft, fs, m := warmInstance(t)
+	for _, warm := range []bool{false, true} {
+		var ref float64
+		for i, par := range []int{1, 2, 7} {
+			opts := DCFSROptions{
+				Seed:        1,
+				Solver:      mcfsolve.Options{MaxIters: 25},
+				Parallelism: par,
+				WarmStart:   warm,
+			}.withDefaults()
+			rel, err := solveRelaxation(ft.Graph, fs, m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = rel.lowerBound
+			} else if rel.lowerBound != ref {
+				t.Fatalf("warm=%v: LB depends on Parallelism: %v (par=1) vs %v (par=%d)",
+					warm, ref, rel.lowerBound, par)
+			}
+		}
+	}
+}
+
+// TestWarmStartSolverAPI: SolveWarm seeded with a previous result must
+// reproduce a feasible decomposition for matching commodities.
+func TestWarmStartSolverAPI(t *testing.T) {
+	ft, _, m := warmInstance(t)
+	comms := []mcfsolve.Commodity{
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[9], Demand: 2},
+		{ID: 2, Src: ft.Hosts[3], Dst: ft.Hosts[12], Demand: 1.5},
+	}
+	s, err := mcfsolve.NewSolver(ft.Graph, m, mcfsolve.Options{MaxIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Solve(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second instance: shared flow 1 (warm-startable), new flow 3 (cold).
+	comms2 := []mcfsolve.Commodity{
+		{ID: 1, Src: ft.Hosts[0], Dst: ft.Hosts[9], Demand: 2},
+		{ID: 3, Src: ft.Hosts[5], Dst: ft.Hosts[14], Demand: 1},
+	}
+	second, err := s.SolveWarm(comms2, mcfsolve.WarmStart{Commodities: comms, Result: first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range comms2 {
+		var total float64
+		for _, wp := range second.PathsByCommodity[i] {
+			if err := wp.Path.Validate(ft.Graph, c.Src, c.Dst); err != nil {
+				t.Fatalf("commodity %d: invalid path: %v", i, err)
+			}
+			total += wp.Weight
+		}
+		if math.Abs(total-c.Demand) > 1e-6*c.Demand {
+			t.Fatalf("commodity %d: decomposition weight %v != demand %v", i, total, c.Demand)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CSR is an immutable flat (compressed-sparse-row) adjacency view of a
+// Graph, built once and shared by hot-path shortest-path code. Relative to
+// walking Graph.OutEdges + MustEdge, a CSR traversal touches three
+// contiguous arrays and copies no Edge structs, which is what lets the
+// Frank–Wolfe oracle relax edges allocation- and indirection-free.
+//
+// The slot arrays (AdjEdge, AdjTo) are grouped by source node: the out-edges
+// of node u occupy slots Start[u]..Start[u+1], in ascending edge-id order —
+// the same order Graph.OutEdges reports, so tie-breaking behaviour of
+// algorithms ported to the CSR is unchanged. The edge-indexed arrays
+// (EdgeFrom, EdgeTo, Cap) are addressed by EdgeID.
+type CSR struct {
+	// Start has length NumNodes()+1; node u's out-slots are
+	// AdjEdge[Start[u]:Start[u+1]].
+	Start []int32
+	// AdjEdge holds the edge id of each slot.
+	AdjEdge []EdgeID
+	// AdjTo holds the head node of each slot (AdjTo[i] is the To of edge
+	// AdjEdge[i]).
+	AdjTo []NodeID
+	// EdgeFrom, EdgeTo and Cap are indexed by EdgeID.
+	EdgeFrom []NodeID
+	EdgeTo   []NodeID
+	Cap      []float64
+
+	// slots packs (edge id, head node) per adjacency slot into one cache
+	// line friendly array for the Dijkstra inner loop.
+	slots []adjSlot
+}
+
+// adjSlot is the packed per-slot adjacency record used by SSSPScratch.
+type adjSlot struct {
+	eid int32
+	to  int32
+}
+
+// NumNodes returns the number of nodes of the underlying graph.
+func (c *CSR) NumNodes() int { return len(c.Start) - 1 }
+
+// NumEdges returns the number of directed edges.
+func (c *CSR) NumEdges() int { return len(c.AdjEdge) }
+
+// csrCache holds the lazily-built CSR; Graph mutations reset it.
+type csrCache struct {
+	ptr atomic.Pointer[CSR]
+}
+
+// CSR returns the flat adjacency view of g, building and caching it on
+// first use. The cache is invalidated by AddNode/AddEdge; concurrent
+// readers of an unchanging graph share one CSR. The returned CSR and its
+// arrays must not be modified.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.ptr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.csr.ptr.Store(c)
+	return c
+}
+
+func buildCSR(g *Graph) *CSR {
+	n, e := len(g.nodes), len(g.edges)
+	c := &CSR{
+		Start:    make([]int32, n+1),
+		AdjEdge:  make([]EdgeID, 0, e),
+		AdjTo:    make([]NodeID, 0, e),
+		EdgeFrom: make([]NodeID, e),
+		EdgeTo:   make([]NodeID, e),
+		Cap:      make([]float64, e),
+	}
+	for i := range g.edges {
+		ed := &g.edges[i]
+		c.EdgeFrom[i] = ed.From
+		c.EdgeTo[i] = ed.To
+		c.Cap[i] = ed.Capacity
+	}
+	c.slots = make([]adjSlot, 0, e)
+	for u := 0; u < n; u++ {
+		c.Start[u] = int32(len(c.AdjEdge))
+		for _, eid := range g.out[u] {
+			c.AdjEdge = append(c.AdjEdge, eid)
+			c.AdjTo = append(c.AdjTo, g.edges[eid].To)
+			c.slots = append(c.slots, adjSlot{eid: int32(eid), to: int32(g.edges[eid].To)})
+		}
+	}
+	c.Start[n] = int32(len(c.AdjEdge))
+	return c
+}
+
+// unreachedPred marks a node with no predecessor edge in an SSSP tree.
+const unreachedPred = EdgeID(-1)
+
+// SSSPScratch is reusable single-source shortest-path state over one CSR:
+// distance, predecessor, weight and heap buffers that are reset by bumping
+// an epoch counter instead of clearing, so a Dijkstra tree build performs
+// zero allocations after warm-up. A scratch is not safe for concurrent use;
+// hot paths keep one per worker.
+//
+// Usage: call SetWeights whenever the edge weights change, then Tree once
+// per source; many Tree calls may share one SetWeights (the Frank–Wolfe
+// oracle runs one sweep of sources per gradient).
+type SSSPScratch struct {
+	csr *CSR
+
+	wSlot []float64 // weights reordered to adjacency-slot order
+
+	node      []nodeState // per-node label: one bounds check, one cache line
+	epoch     uint32
+	remaining int // wanted destinations not yet finalised
+
+	heap []ssspItem
+
+	pathBuf []EdgeID // reversal scratch for AppendPathTo
+}
+
+// ssspItem is one (distance, node) heap entry; a single packed array keeps
+// sift operations to one swap per level.
+type ssspItem struct {
+	dist float64
+	node int32
+}
+
+// nodeState packs one node's entire Dijkstra label — tentative distance,
+// predecessor edge, and the epoch stamps that replace per-run clearing
+// (dist/pred are valid when seen == epoch, the node is finalised when done
+// == epoch, and it is a wanted destination when need == epoch). Keeping the
+// label in one 24-byte struct means the relaxation step performs a single
+// bounds check and touches at most two cache lines per neighbour.
+type nodeState struct {
+	dist             float64
+	pred             int32
+	seen, done, need uint32
+}
+
+// NewSSSPScratch allocates scratch state sized for c.
+func NewSSSPScratch(c *CSR) *SSSPScratch {
+	n := c.NumNodes()
+	return &SSSPScratch{
+		csr:   c,
+		wSlot: make([]float64, len(c.slots)),
+		node:  make([]nodeState, n),
+		heap:  make([]ssspItem, 0, n),
+	}
+}
+
+// SetWeights loads the edge-indexed weights w (len NumEdges) into the
+// scratch's slot-ordered buffer so the Dijkstra inner loop reads weights
+// sequentially, and validates them: weights must be nonnegative.
+// Validating here keeps the per-relaxation step branch-free.
+func (s *SSSPScratch) SetWeights(w []float64) error {
+	slots := s.csr.slots
+	for i := range slots {
+		wt := w[slots[i].eid]
+		if wt < 0 {
+			return fmt.Errorf("graph: negative weight %v on edge %d", wt, slots[i].eid)
+		}
+		s.wSlot[i] = wt
+	}
+	return nil
+}
+
+// SlotWeights exposes the scratch's slot-ordered weight buffer for callers
+// that can compute weights directly in slot order (slot i corresponds to
+// edge CSR.AdjEdge[i]), skipping SetWeights' gather pass. The caller must
+// fill every entry with a nonnegative value before the next Tree call.
+func (s *SSSPScratch) SlotWeights() []float64 { return s.wSlot }
+
+// Tree computes the Dijkstra shortest-path tree from src under the weights
+// last loaded by SetWeights. When dsts is non-empty, the search stops as
+// soon as every listed destination is finalised — predecessors of other
+// nodes are then unspecified. Ties are broken exactly like the historical
+// oracle: a node finalised once is never relabelled, and among
+// equal-distance labels the smaller predecessor edge id wins.
+//
+// The heap is inlined and all scratch state is hoisted into locals: the
+// compiler cannot prove the scratch's slice fields do not alias, so method
+// calls and field loads inside the loop would otherwise defeat register
+// allocation. The sift code preserves the exact comparison sequence of the
+// historical swap-based heap, keeping pop order among equal keys — and
+// with it every deterministic tie-break downstream — unchanged.
+func (s *SSSPScratch) Tree(src NodeID, dsts []NodeID) {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stamps are stale, clear them
+		for i := range s.node {
+			s.node[i] = nodeState{}
+		}
+		s.epoch = 1
+	}
+	ep := s.epoch
+	remaining := 0
+	for _, d := range dsts {
+		if s.node[d].need != ep {
+			s.node[d].need = ep
+			remaining++
+		}
+	}
+	nodes := s.node
+	wSlot := s.wSlot
+	slots, starts := s.csr.slots, s.csr.Start
+
+	nodes[src] = nodeState{dist: 0, pred: int32(unreachedPred), seen: ep, need: nodes[src].need}
+
+	h := append(s.heap[:0], ssspItem{node: int32(src), dist: 0})
+	for len(h) > 0 {
+		// Inline heapPop (hole sift-down of the former last entry). Indices
+		// are uint so the prover can drop the bounds checks.
+		top := h[0]
+		last := uint(len(h)) - 1
+		siftv := h[last]
+		h = h[:last]
+		i := uint(0)
+		sd := siftv.dist
+		for {
+			l, r := 2*i+1, 2*i+2
+			// Pick the smaller child first (left wins ties), then compare it
+			// against the sifted value: decision-equivalent to checking each
+			// child against the running minimum in turn, but the two child
+			// loads are independent, which shortens the serial load chain.
+			var m uint
+			if r < last {
+				if h[l].dist <= h[r].dist {
+					m = l
+				} else {
+					m = r
+				}
+			} else if l < last {
+				m = l
+			} else {
+				break
+			}
+			if h[m].dist >= sd {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		if last > 0 {
+			h[i] = siftv
+		}
+
+		u, d := top.node, top.dist
+		su := &nodes[u]
+		if su.done == ep || d > su.dist {
+			continue
+		}
+		su.done = ep
+		if su.need == ep {
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		// Sub-slice ranging bounds-checks the adjacency row once; ws is cut
+		// to the same bounds so its accesses are provably in range too.
+		row := slots[starts[u]:starts[u+1]]
+		ws := wSlot[starts[u]:starts[u+1]]
+		for k := range row {
+			v := row[k].to
+			st := &nodes[v]
+			if st.done == ep {
+				// Never rewrite a finalised node's predecessor: an
+				// equal-distance overwrite after finalisation (common under
+				// float absorption of tiny weights) can create predecessor
+				// cycles and break path reconstruction.
+				continue
+			}
+			nd := d + ws[k]
+			if st.seen != ep {
+				st.seen = ep
+				st.dist = nd
+				st.pred = row[k].eid
+			} else if nd < st.dist || (nd == st.dist && st.pred != int32(unreachedPred) && row[k].eid < st.pred) {
+				st.dist = nd
+				st.pred = row[k].eid
+			} else {
+				continue
+			}
+			// Inline heapPush (hole sift-up).
+			it := ssspItem{node: v, dist: nd}
+			h = append(h, it)
+			j := uint(len(h)) - 1
+			for j > 0 {
+				p := (j - 1) / 2
+				if h[p].dist <= nd {
+					break
+				}
+				h[j] = h[p]
+				j = p
+			}
+			h[j] = it
+		}
+	}
+	s.heap = h
+	s.remaining = remaining
+}
+
+// Reached reports whether dst was finalised by the last Tree call.
+func (s *SSSPScratch) Reached(dst NodeID) bool { return s.node[dst].done == s.epoch }
+
+// Dist returns the shortest distance to dst from the last Tree call; it is
+// meaningful only when Reached(dst).
+func (s *SSSPScratch) Dist(dst NodeID) float64 { return s.node[dst].dist }
+
+// AppendPathTo appends the edge ids of the tree path src->dst to buf and
+// returns the extended slice. It reports ok=false when dst was not
+// finalised by the last Tree call (unreachable, or pruned by the dsts
+// early exit). An src==dst query yields an empty path. The appended edges
+// reuse no internal storage, but callers that retain the path across Tree
+// calls on shared buffers should copy it.
+func (s *SSSPScratch) AppendPathTo(dst NodeID, buf []EdgeID) (out []EdgeID, ok bool) {
+	ep := s.epoch
+	if s.node[dst].done != ep {
+		return buf, false
+	}
+	s.pathBuf = s.pathBuf[:0]
+	c := s.csr
+	for cur := dst; ; {
+		if s.node[cur].seen != ep {
+			return buf, false
+		}
+		eid := s.node[cur].pred
+		if eid == int32(unreachedPred) {
+			break
+		}
+		s.pathBuf = append(s.pathBuf, EdgeID(eid))
+		cur = c.EdgeFrom[eid]
+		if len(s.pathBuf) > c.NumEdges() {
+			return buf, false // defensive: corrupted predecessor chain
+		}
+	}
+	for i := len(s.pathBuf) - 1; i >= 0; i-- {
+		buf = append(buf, s.pathBuf[i])
+	}
+	return buf, true
+}

@@ -74,6 +74,7 @@ type Graph struct {
 	edges []Edge
 	out   [][]EdgeID // adjacency: outgoing edge ids per node
 	in    [][]EdgeID // reverse adjacency
+	csr   csrCache   // lazily-built flat adjacency (see CSR)
 }
 
 // Errors returned by graph operations.
@@ -94,6 +95,7 @@ func (g *Graph) AddNode(name string, kind NodeKind) NodeID {
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.csr.ptr.Store(nil)
 	return id
 }
 
@@ -110,6 +112,7 @@ func (g *Graph) AddEdge(from, to NodeID, capacity float64) (EdgeID, error) {
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.csr.ptr.Store(nil)
 	return id, nil
 }
 

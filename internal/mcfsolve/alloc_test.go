@@ -1,0 +1,51 @@
+package mcfsolve
+
+import (
+	"testing"
+
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+	"dcnflow/internal/topology"
+)
+
+// TestOracleSweepZeroAllocsAfterWarmup is the allocation-regression ceiling
+// for the solver's linear oracle: once every optimal path has been interned
+// (first sweep), a full sweep — Dijkstra tree per distinct source plus path
+// extraction and interning for every commodity — must not allocate.
+func TestOracleSweepZeroAllocsAfterWarmup(t *testing.T) {
+	ft, err := topology.FatTree(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]Commodity, 12)
+	for i := range comms {
+		comms[i] = Commodity{
+			ID:     0,
+			Src:    ft.Hosts[(i*3)%len(ft.Hosts)],
+			Dst:    ft.Hosts[(i*5+2)%len(ft.Hosts)],
+			Demand: 1,
+		}
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 100}
+	s, err := NewSolver(ft.Graph, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.orc.bind(comms)
+	out := make([]graph.PathHandle, len(comms))
+	w := s.orc.slotWeights()
+	for i := range w {
+		w[i] = float64(i%5) + 1
+	}
+	if err := s.orc.shortestPaths(comms, out); err != nil {
+		t.Fatal(err) // warm-up: interns every path, sizes buffers
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.orc.shortestPaths(comms, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("oracle sweep allocates %.1f times per run after warm-up, want 0", allocs)
+	}
+}

@@ -11,6 +11,16 @@
 // those combinations directly, yielding the weighted path decomposition of
 // Raghavan–Tompson that Random-Schedule needs, with exact flow
 // conservation.
+//
+// The hot path is engineered for the per-interval fan-out of
+// Random-Schedule: the oracle runs over a flat CSR adjacency with
+// indexed []float64 edge weights and epoch-reset scratch (zero allocations
+// per Dijkstra tree after warm-up), paths are deduplicated by integer
+// interning instead of string keys, the exact line search probes only the
+// edges whose flow actually changes (with a closed-form step when the cost
+// restricted to the segment is quadratic), and a Solver can be reused
+// across related instances, optionally warm-starting each solve from a
+// neighbouring instance's path decomposition.
 package mcfsolve
 
 import (
@@ -64,6 +74,14 @@ type Options struct {
 	// MinPathWeight prunes decomposition paths lighter than this fraction
 	// of the demand; default 1e-6.
 	MinPathWeight float64
+	// ClosedFormStep replaces the 50-probe bisection line search with the
+	// closed-form optimal step whenever the cost restricted to the search
+	// segment is an exact quadratic (alpha == 2, no envelope kink, capacity
+	// penalty inactive). The step agrees with the bisection result to its
+	// 2^-50 grid but is not bit-identical, so trajectories of
+	// iteration-capped solves can drift relative to the default; leave
+	// false for bit-reproducible results across releases.
+	ClosedFormStep bool
 }
 
 func (o Options) withDefaults(m power.Model) Options {
@@ -115,49 +133,223 @@ var (
 	ErrBadInput = errors.New("mcfsolve: invalid input")
 )
 
-type costFuncs struct {
-	val   func(float64) float64
-	deriv func(float64) float64
+// costModel is the devirtualised per-link cost: the envelope kink and
+// capacity penalty are folded into precomputed constants so the inner loops
+// evaluate the cost with branches and multiplications only (no closure
+// indirection, no math.Pow for the integer alphas the evaluation uses).
+type costModel struct {
+	m      power.Model
+	useEnv bool
+	// Envelope linearisation: for 0 <= x <= rStar the envelope is x*rate.
+	// rStar <= 0 means the envelope degenerates to the dynamic cost g.
+	rStar, rate float64
+	// pen > 0 adds pen*(x-c)^2 above c (capacity penalty).
+	pen, c float64
+	// lin marks the alpha == 2, no-envelope-kink case: val and deriv then
+	// reduce to gMu*x^2 and dK*x (plus the penalty term), evaluated inline
+	// with the exact same rounding as the generic path but without any
+	// function calls. dK = alpha*mu, gMu = mu.
+	lin     bool
+	dK, gMu float64
+	// quad additionally enables the closed-form line-search step
+	// (Options.ClosedFormStep).
+	quad bool
 }
 
-func makeCost(m power.Model, opts Options) costFuncs {
-	base := costFuncs{val: m.G, deriv: m.GDeriv}
-	if opts.Cost == CostEnvelope {
-		base = costFuncs{val: m.Envelope, deriv: m.EnvelopeDeriv}
+func makeCost(m power.Model, opts Options) costModel {
+	cm := costModel{m: m, useEnv: opts.Cost == CostEnvelope}
+	if cm.useEnv {
+		cm.rStar = m.EffectiveOpt()
+		if cm.rStar > 0 {
+			cm.rate = m.PowerRate(cm.rStar)
+		}
 	}
-	pen := opts.CapacityPenalty
-	if pen <= 0 || !m.Capped() {
-		return base
+	if opts.CapacityPenalty > 0 && m.Capped() {
+		cm.pen = opts.CapacityPenalty
+		cm.c = m.C
 	}
-	c := m.C
-	return costFuncs{
-		val: func(x float64) float64 {
-			v := base.val(x)
-			if x > c {
-				d := x - c
-				v += pen * d * d
-			}
-			return v
-		},
-		deriv: func(x float64) float64 {
-			d := base.deriv(x)
-			if x > c {
-				d += 2 * pen * (x - c)
-			}
-			return d
-		},
-	}
+	cm.lin = m.Alpha == 2 && !(cm.useEnv && cm.rStar > 0)
+	cm.dK = m.Alpha * m.Mu
+	cm.gMu = m.Mu
+	cm.quad = cm.lin && opts.ClosedFormStep
+	return cm
 }
 
-// Solve minimises sum_e cost(x_e) subject to routing every commodity's
-// demand from Src to Dst (fractionally, multi-path).
-func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options) (*Result, error) {
+func (cm *costModel) val(x float64) float64 {
+	if cm.lin {
+		var v float64
+		if x > 0 {
+			v = cm.gMu * (x * x)
+		}
+		if cm.pen > 0 && x > cm.c {
+			d := x - cm.c
+			v += cm.pen * d * d
+		}
+		return v
+	}
+	return cm.valSlow(x)
+}
+
+func (cm *costModel) valSlow(x float64) float64 {
+	var v float64
+	switch {
+	case x <= 0:
+		v = 0
+	case cm.useEnv && cm.rStar > 0:
+		if x <= cm.rStar {
+			v = x * cm.rate
+		} else {
+			v = cm.m.F(x)
+		}
+	default:
+		v = cm.m.G(x)
+	}
+	if cm.pen > 0 && x > cm.c {
+		d := x - cm.c
+		v += cm.pen * d * d
+	}
+	return v
+}
+
+func (cm *costModel) deriv(x float64) float64 {
+	if cm.lin {
+		var d float64
+		if x > 0 {
+			d = cm.dK * x
+		}
+		if cm.pen > 0 && x > cm.c {
+			d += 2 * cm.pen * (x - cm.c)
+		}
+		return d
+	}
+	return cm.derivSlow(x)
+}
+
+func (cm *costModel) derivSlow(x float64) float64 {
+	var d float64
+	if cm.useEnv && cm.rStar > 0 {
+		xx := x
+		if xx < 0 {
+			xx = 0
+		}
+		if xx <= cm.rStar {
+			d = cm.rate
+		} else {
+			d = cm.m.GDeriv(xx)
+		}
+	} else {
+		d = cm.m.GDeriv(x)
+	}
+	if cm.pen > 0 && x > cm.c {
+		d += 2 * cm.pen * (x - cm.c)
+	}
+	return d
+}
+
+// decomp is one commodity's running path decomposition, tracked by interned
+// path handle.
+type decomp struct {
+	handles []graph.PathHandle
+	weights []float64
+}
+
+func (d *decomp) reset() {
+	d.handles = d.handles[:0]
+	d.weights = d.weights[:0]
+}
+
+// add folds weight w onto path h.
+func (d *decomp) add(h graph.PathHandle, w float64) {
+	for i, have := range d.handles {
+		if have == h {
+			d.weights[i] += w
+			return
+		}
+	}
+	d.handles = append(d.handles, h)
+	d.weights = append(d.weights, w)
+}
+
+// Solver is a reusable F-MCF solver bound to one graph and power model. It
+// owns the shortest-path scratch, the edge-flow buffers and the path intern
+// table, so consecutive Solve calls (for example Random-Schedule's
+// per-interval relaxations) allocate only their results. A Solver is not
+// safe for concurrent use; run one per worker.
+type Solver struct {
+	g    *graph.Graph
+	csr  *graph.CSR
+	m    power.Model
+	opts Options
+	cost costModel
+
+	intern *graph.PathInterner
+	orc    *oracle
+
+	x       []float64 // current edge flow
+	xNew    []float64 // oracle direction point
+	support []int32   // line-search delta support (edge ids)
+	handles []graph.PathHandle
+	decomps []decomp
+}
+
+// NewSolver validates the model and prepares reusable state for solving
+// F-MCF instances on g.
+func NewSolver(g *graph.Graph, m power.Model, opts Options) (*Solver, error) {
 	if g == nil {
 		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
+	opts = opts.withDefaults(m)
+	csr := g.CSR()
+	intern := graph.NewPathInterner()
+	nE := csr.NumEdges()
+	return &Solver{
+		g:      g,
+		csr:    csr,
+		m:      m,
+		opts:   opts,
+		cost:   makeCost(m, opts),
+		intern: intern,
+		orc:    newOracle(csr, intern),
+		x:      make([]float64, nE),
+		xNew:   make([]float64, nE),
+	}, nil
+}
+
+// WarmStart seeds a solve from a previously solved, related instance: each
+// commodity whose ID and endpoints match one of Commodities starts from
+// that commodity's path decomposition in Result (weights rescaled to the
+// new demand) instead of its hop-count shortest path. Commodities without a
+// match fall back to the cold start. Both fields must come from the same
+// graph as the Solver.
+type WarmStart struct {
+	Commodities []Commodity
+	Result      *Result
+}
+
+// Solve minimises sum_e cost(x_e) subject to routing every commodity's
+// demand from Src to Dst (fractionally, multi-path), starting from
+// hop-count shortest paths.
+func (s *Solver) Solve(commodities []Commodity) (*Result, error) {
+	return s.SolveWarm(commodities, WarmStart{})
+}
+
+// Solve is the one-shot entry point: it builds a throwaway Solver and runs
+// a cold-started solve. Callers solving many related instances should keep
+// a Solver and use its Solve/SolveWarm methods instead.
+func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options) (*Result, error) {
+	s, err := NewSolver(g, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(commodities)
+}
+
+// SolveWarm is Solve with a warm start (see WarmStart). A zero WarmStart
+// degenerates to the cold start.
+func (s *Solver) SolveWarm(commodities []Commodity, warm WarmStart) (*Result, error) {
 	for i, c := range commodities {
 		if c.Demand <= 0 || math.IsNaN(c.Demand) {
 			return nil, fmt.Errorf("%w: commodity %d demand %v", ErrBadInput, i, c.Demand)
@@ -165,14 +357,11 @@ func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options)
 		if c.Src == c.Dst {
 			return nil, fmt.Errorf("%w: commodity %d src == dst", ErrBadInput, i)
 		}
-		if !g.HasNode(c.Src) || !g.HasNode(c.Dst) {
+		if !s.g.HasNode(c.Src) || !s.g.HasNode(c.Dst) {
 			return nil, fmt.Errorf("%w: commodity %d endpoints unknown", ErrBadInput, i)
 		}
 	}
-	opts = opts.withDefaults(m)
-	cost := makeCost(m, opts)
-	nE := g.NumEdges()
-
+	nE := s.csr.NumEdges()
 	res := &Result{
 		EdgeFlow:         make([]float64, nE),
 		PathsByCommodity: make([][]WeightedPath, len(commodities)),
@@ -181,73 +370,139 @@ func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options)
 		return res, nil
 	}
 
-	// pathWeights[i] maps path key -> (path, weight in demand units).
-	type wp struct {
-		path   graph.Path
-		weight float64
+	s.orc.bind(commodities)
+	if cap(s.handles) < len(commodities) {
+		s.handles = make([]graph.PathHandle, len(commodities))
 	}
-	pathWeights := make([]map[string]*wp, len(commodities))
-	for i := range pathWeights {
-		pathWeights[i] = make(map[string]*wp, 4)
+	s.handles = s.handles[:len(commodities)]
+	for len(s.decomps) < len(commodities) {
+		s.decomps = append(s.decomps, decomp{})
+	}
+	for i := range commodities {
+		s.decomps[i].reset()
 	}
 
-	oracle := newOracle(g)
-
-	// Initial point: hop-count shortest paths carrying full demands.
-	x := make([]float64, nE)
-	initPaths, err := oracle.shortestPaths(commodities, func(graph.Edge) float64 { return 1 })
-	if err != nil {
-		return nil, err
+	x := s.x[:nE]
+	for i := range x {
+		x[i] = 0
 	}
-	for i, p := range initPaths {
-		for _, eid := range p.Edges {
-			x[eid] += commodities[i].Demand
+
+	// Initial point: warm-started commodities reuse the neighbouring
+	// decomposition; the rest take hop-count shortest paths carrying full
+	// demand.
+	cold := s.seedWarm(commodities, warm)
+	if cold {
+		slotW := s.orc.slotWeights()
+		for i := range slotW {
+			slotW[i] = 1
 		}
-		pathWeights[i][p.Key()] = &wp{path: p, weight: commodities[i].Demand}
+		if err := s.orc.shortestPaths(commodities, s.handles); err != nil {
+			return nil, err
+		}
+		for i := range commodities {
+			if s.decomps[i].handles != nil && len(s.decomps[i].handles) > 0 {
+				continue // warm-started
+			}
+			h := s.handles[i]
+			for _, eid := range s.intern.Edges(h) {
+				x[eid] += commodities[i].Demand
+			}
+			s.decomps[i].add(h, commodities[i].Demand)
+		}
 	}
 
+	// The full-sweep loops below (objective, weights, gap) specialise the
+	// common linear-derivative case (alpha == 2, no envelope kink) so the
+	// cost evaluates inline; arithmetic and term order match the generic
+	// cost.val/cost.deriv calls exactly, keeping the sums bit-identical.
+	cost := &s.cost
+	lin, dK, gMu, pen, capC := cost.lin, cost.dK, cost.gMu, cost.pen, cost.c
 	objective := func(v []float64) float64 {
 		var sum float64
+		if lin {
+			for _, xv := range v {
+				var cv float64
+				if xv > 0 {
+					cv = gMu * (xv * xv)
+				}
+				if pen > 0 && xv > capC {
+					d := xv - capC
+					cv += pen * d * d
+				}
+				sum += cv
+			}
+			return sum
+		}
 		for _, xv := range v {
 			sum += cost.val(xv)
 		}
 		return sum
 	}
 
-	xNew := make([]float64, nE)
+	xNew := s.xNew[:nE]
 	var gap float64
 	iters := 0
-	for iters = 0; iters < opts.MaxIters; iters++ {
+	for iters = 0; iters < s.opts.MaxIters; iters++ {
 		// Marginal-cost weights (tiny hop bias keeps zero-gradient regions
-		// deterministic and hop-minimal).
-		weights := make([]float64, nE)
-		for eid := range weights {
-			weights[eid] = cost.deriv(x[eid]) + 1e-12
+		// deterministic and hop-minimal), computed straight into the
+		// oracle's slot-ordered buffer: each edge owns exactly one
+		// adjacency slot, so the values match an edge-indexed fill
+		// bit-for-bit.
+		slotW := s.orc.slotWeights()
+		slotEdges := s.csr.AdjEdge
+		if lin {
+			for i, eid := range slotEdges {
+				xv := x[eid]
+				var d float64
+				if xv > 0 {
+					d = dK * xv
+				}
+				if pen > 0 && xv > capC {
+					d += 2 * pen * (xv - capC)
+				}
+				slotW[i] = d + 1e-12
+			}
+		} else {
+			for i, eid := range slotEdges {
+				slotW[i] = cost.deriv(x[eid]) + 1e-12
+			}
 		}
-		paths, err := oracle.shortestPaths(commodities, func(e graph.Edge) float64 { return weights[e.ID] })
-		if err != nil {
+		if err := s.orc.shortestPaths(commodities, s.handles); err != nil {
 			return nil, err
 		}
 		// Direction point: all demand on the oracle paths.
 		for i := range xNew {
 			xNew[i] = 0
 		}
-		for i, p := range paths {
-			for _, eid := range p.Edges {
+		for i := range commodities {
+			for _, eid := range s.intern.Edges(s.handles[i]) {
 				xNew[eid] += commodities[i].Demand
 			}
 		}
 		// Duality gap: grad(x) . (x - xHat).
 		gap = 0
-		for eid := range x {
-			gap += cost.deriv(x[eid]) * (x[eid] - xNew[eid])
+		if lin {
+			for eid, xv := range x {
+				var d float64
+				if xv > 0 {
+					d = dK * xv
+				}
+				if pen > 0 && xv > capC {
+					d += 2 * pen * (xv - capC)
+				}
+				gap += d * (xv - xNew[eid])
+			}
+		} else {
+			for eid := range x {
+				gap += cost.deriv(x[eid]) * (x[eid] - xNew[eid])
+			}
 		}
 		obj := objective(x)
-		if obj > 0 && gap/obj < opts.Tol {
+		if obj > 0 && gap/obj < s.opts.Tol {
 			break
 		}
 		// Exact line search on the convex 1-D restriction.
-		gamma := lineSearch(x, xNew, cost)
+		gamma := s.lineSearch(x, xNew)
 		if gamma <= 1e-12 {
 			break
 		}
@@ -255,69 +510,181 @@ func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options)
 			x[eid] = (1-gamma)*x[eid] + gamma*xNew[eid]
 		}
 		// Fold the step into the path decomposition.
-		for i := range pathWeights {
-			for _, entry := range pathWeights[i] {
-				entry.weight *= 1 - gamma
+		for i := range commodities {
+			d := &s.decomps[i]
+			for j := range d.weights {
+				d.weights[j] *= 1 - gamma
 			}
-			key := paths[i].Key()
-			if entry, ok := pathWeights[i][key]; ok {
-				entry.weight += gamma * commodities[i].Demand
-			} else {
-				pathWeights[i][key] = &wp{path: paths[i], weight: gamma * commodities[i].Demand}
-			}
+			d.add(s.handles[i], gamma*commodities[i].Demand)
 		}
 	}
 
-	res.EdgeFlow = x
+	copy(res.EdgeFlow, x)
 	res.Objective = objective(x)
 	res.Gap = gap
 	res.Iters = iters
-	for i, pw := range pathWeights {
-		minW := opts.MinPathWeight * commodities[i].Demand
-		var kept []WeightedPath
-		var total float64
-		for _, entry := range pw {
-			if entry.weight >= minW {
-				kept = append(kept, WeightedPath{Path: entry.path, Weight: entry.weight})
-				total += entry.weight
-			}
-		}
-		// Renormalise pruned mass back onto the kept paths.
-		if total > 0 {
-			scale := commodities[i].Demand / total
-			for j := range kept {
-				kept[j].Weight *= scale
-			}
-		}
-		sort.Slice(kept, func(a, b int) bool {
-			if kept[a].Weight != kept[b].Weight {
-				return kept[a].Weight > kept[b].Weight
-			}
-			return kept[a].Path.Key() < kept[b].Path.Key()
-		})
-		res.PathsByCommodity[i] = kept
+	for i := range commodities {
+		res.PathsByCommodity[i] = s.emit(&s.decomps[i], commodities[i].Demand)
 	}
 	return res, nil
 }
 
+// seedWarm installs warm-start decompositions for every matchable commodity
+// and reports whether any commodity still needs the cold start.
+func (s *Solver) seedWarm(commodities []Commodity, warm WarmStart) (cold bool) {
+	if warm.Result == nil || len(warm.Commodities) != len(warm.Result.PathsByCommodity) {
+		return true
+	}
+	prevByID := make(map[flow.ID]int, len(warm.Commodities))
+	for i, c := range warm.Commodities {
+		if _, dup := prevByID[c.ID]; !dup {
+			prevByID[c.ID] = i
+		}
+	}
+	x := s.x[:s.csr.NumEdges()]
+	for i, c := range commodities {
+		pi, ok := prevByID[c.ID]
+		if !ok {
+			cold = true
+			continue
+		}
+		prev := warm.Commodities[pi]
+		wps := warm.Result.PathsByCommodity[pi]
+		if prev.Src != c.Src || prev.Dst != c.Dst || prev.Demand <= 0 || len(wps) == 0 {
+			cold = true
+			continue
+		}
+		scale := c.Demand / prev.Demand
+		ok = true
+		for _, wp := range wps {
+			if !s.validPath(wp.Path.Edges, c.Src, c.Dst) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			cold = true
+			continue
+		}
+		d := &s.decomps[i]
+		for _, wp := range wps {
+			w := wp.Weight * scale
+			d.add(s.intern.Intern(wp.Path.Edges), w)
+			for _, eid := range wp.Path.Edges {
+				x[eid] += w
+			}
+		}
+	}
+	return cold
+}
+
+// validPath cheaply checks that edges is a connected src->dst walk in the
+// Solver's graph (warm starts from a foreign or stale graph are rejected).
+func (s *Solver) validPath(edges []graph.EdgeID, src, dst graph.NodeID) bool {
+	if len(edges) == 0 {
+		return false
+	}
+	cur := src
+	for _, eid := range edges {
+		if eid < 0 || int(eid) >= s.csr.NumEdges() || s.csr.EdgeFrom[eid] != cur {
+			return false
+		}
+		cur = s.csr.EdgeTo[eid]
+	}
+	return cur == dst
+}
+
+// emit prunes, renormalises and deterministically orders one commodity's
+// decomposition into the exported WeightedPath form.
+func (s *Solver) emit(d *decomp, demand float64) []WeightedPath {
+	minW := s.opts.MinPathWeight * demand
+	var kept []WeightedPath
+	var total float64
+	for j, w := range d.weights {
+		if w >= minW {
+			kept = append(kept, WeightedPath{Path: s.intern.Path(d.handles[j]), Weight: w})
+			total += w
+		}
+	}
+	// Renormalise pruned mass back onto the kept paths.
+	if total > 0 {
+		scale := demand / total
+		for j := range kept {
+			kept[j].Weight *= scale
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a].Weight != kept[b].Weight {
+			return kept[a].Weight > kept[b].Weight
+		}
+		return graph.ComparePathKeys(kept[a].Path.Edges, kept[b].Path.Edges) < 0
+	})
+	return kept
+}
+
 // lineSearch minimises phi(gamma) = sum_e cost((1-gamma) x + gamma xHat)
-// over [0, 1] by bisection on the (monotone) derivative.
-func lineSearch(x, xHat []float64, cost costFuncs) float64 {
+// over [0, 1]. Only edges with x != xHat contribute to phi', so the search
+// first collects that delta support and then either applies the closed-form
+// step (quadratic costs: the derivative is linear in gamma) or bisects the
+// monotone derivative over the support.
+func (s *Solver) lineSearch(x, xHat []float64) float64 {
+	cost := &s.cost
+	support := s.support[:0]
+	// penActive: the capacity penalty kicks in somewhere on the segment
+	// for some support edge, so the restriction picks up extra kinks.
+	penActive := false
+	for eid := range x {
+		if x[eid] != xHat[eid] {
+			support = append(support, int32(eid))
+			if cost.pen > 0 && (x[eid] > cost.c || xHat[eid] > cost.c) {
+				penActive = true
+			}
+		}
+	}
+	s.support = support
+	if len(support) == 0 {
+		return 0
+	}
+	quadOK := cost.quad && !penActive
+	// The probe loop is the line search's hot spot; specialise the common
+	// linear-derivative case (alpha == 2, penalty inactive on the whole
+	// segment: every probe point v lies between x and xHat, hence below c)
+	// so the derivative evaluates inline. Term order and arithmetic match
+	// the generic loop exactly, so both produce bit-identical sums.
+	linProbe := cost.lin && !penActive
 	phiDeriv := func(gamma float64) float64 {
 		var d float64
-		for eid := range x {
-			v := (1-gamma)*x[eid] + gamma*xHat[eid]
-			d += cost.deriv(v) * (xHat[eid] - x[eid])
+		if linProbe {
+			dK := cost.dK
+			for _, ei := range support {
+				v := (1-gamma)*x[ei] + gamma*xHat[ei]
+				var dv float64
+				if v > 0 {
+					dv = dK * v
+				}
+				d += dv * (xHat[ei] - x[ei])
+			}
+			return d
+		}
+		for _, ei := range support {
+			v := (1-gamma)*x[ei] + gamma*xHat[ei]
+			d += cost.deriv(v) * (xHat[ei] - x[ei])
 		}
 		return d
 	}
-	lo, hi := 0.0, 1.0
-	if phiDeriv(0) >= 0 {
+	phi0 := phiDeriv(0)
+	if phi0 >= 0 {
 		return 0
 	}
-	if phiDeriv(1) <= 0 {
+	phi1 := phiDeriv(1)
+	if phi1 <= 0 {
 		return 1
 	}
+	if quadOK {
+		// phi' is linear in gamma: its root is where the chord crosses zero.
+		return phi0 / (phi0 - phi1)
+	}
+	lo, hi := 0.0, 1.0
 	for i := 0; i < 50; i++ {
 		mid := (lo + hi) / 2
 		if phiDeriv(mid) < 0 {

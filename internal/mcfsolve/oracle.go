@@ -9,170 +9,98 @@ import (
 
 // oracle computes shortest paths for all commodities under changing edge
 // weights, deduplicating work by source node: one Dijkstra run serves every
-// commodity sharing a source.
+// commodity sharing a source, and the run stops early once all of that
+// source's destinations are finalised. All shortest-path state lives in a
+// reusable graph.SSSPScratch and all produced paths are interned, so a full
+// oracle sweep performs no allocations once every optimal path has been
+// seen.
 type oracle struct {
-	g *graph.Graph
+	csr    *graph.CSR
+	sssp   *graph.SSSPScratch
+	intern *graph.PathInterner
+
+	// Commodity grouping, rebuilt by bind() when the commodity set changes.
+	srcs    []graph.NodeID   // distinct sources, ascending
+	members [][]int32        // commodity indices per source (same order)
+	dsts    [][]graph.NodeID // destinations per source (deduplicated)
+
+	pathBuf []graph.EdgeID // extraction scratch
 }
 
-func newOracle(g *graph.Graph) *oracle { return &oracle{g: g} }
+func newOracle(csr *graph.CSR, intern *graph.PathInterner) *oracle {
+	return &oracle{
+		csr:    csr,
+		sssp:   graph.NewSSSPScratch(csr),
+		intern: intern,
+	}
+}
 
-// shortestPaths returns one weighted shortest path per commodity (input
-// order preserved).
-func (o *oracle) shortestPaths(commodities []Commodity, weight func(graph.Edge) float64) ([]graph.Path, error) {
-	bySrc := make(map[graph.NodeID][]int)
+// bind (re)builds the source grouping for one commodity set. It is called
+// once per Solve; the grouping is then reused by every Frank–Wolfe
+// iteration.
+func (o *oracle) bind(commodities []Commodity) {
+	o.srcs = o.srcs[:0]
+	o.members = o.members[:0]
+	o.dsts = o.dsts[:0]
+	bySrc := make(map[graph.NodeID]int, len(commodities))
 	for i, c := range commodities {
-		bySrc[c.Src] = append(bySrc[c.Src], i)
-	}
-	srcs := make([]graph.NodeID, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Slice(srcs, func(a, b int) bool { return srcs[a] < srcs[b] })
-
-	out := make([]graph.Path, len(commodities))
-	for _, src := range srcs {
-		pred, err := o.dijkstraTree(src, weight)
-		if err != nil {
-			return nil, err
+		gi, ok := bySrc[c.Src]
+		if !ok {
+			gi = len(o.srcs)
+			bySrc[c.Src] = gi
+			o.srcs = append(o.srcs, c.Src)
+			o.members = append(o.members, nil)
+			o.dsts = append(o.dsts, nil)
 		}
-		for _, ci := range bySrc[src] {
-			p, ok := extractPath(o.g, pred, src, commodities[ci].Dst)
+		o.members[gi] = append(o.members[gi], int32(i))
+		found := false
+		for _, d := range o.dsts[gi] {
+			if d == c.Dst {
+				found = true
+				break
+			}
+		}
+		if !found {
+			o.dsts[gi] = append(o.dsts[gi], c.Dst)
+		}
+	}
+	// Ascending source order keeps the sweep deterministic and matches the
+	// historical map-then-sort implementation.
+	order := make([]int, len(o.srcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return o.srcs[order[a]] < o.srcs[order[b]] })
+	srcs := make([]graph.NodeID, len(order))
+	members := make([][]int32, len(order))
+	dsts := make([][]graph.NodeID, len(order))
+	for i, gi := range order {
+		srcs[i], members[i], dsts[i] = o.srcs[gi], o.members[gi], o.dsts[gi]
+	}
+	o.srcs, o.members, o.dsts = srcs, members, dsts
+}
+
+// slotWeights exposes the slot-ordered weight buffer (slot i carries edge
+// csr.AdjEdge[i]); callers fill it before shortestPaths.
+func (o *oracle) slotWeights() []float64 { return o.sssp.SlotWeights() }
+
+// shortestPaths computes one weighted shortest path per bound commodity
+// under the weights previously written into slotWeights and stores its
+// interned handle in out (input order preserved). out must have
+// len(commodities).
+func (o *oracle) shortestPaths(commodities []Commodity, out []graph.PathHandle) error {
+	for gi, src := range o.srcs {
+		o.sssp.Tree(src, o.dsts[gi])
+		for _, ci := range o.members[gi] {
+			dst := commodities[ci].Dst
+			o.pathBuf = o.pathBuf[:0]
+			buf, ok := o.sssp.AppendPathTo(dst, o.pathBuf)
 			if !ok {
-				return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, commodities[ci].Dst)
+				return fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
 			}
-			out[ci] = p
+			o.pathBuf = buf
+			out[ci] = o.intern.Intern(buf)
 		}
 	}
-	return out, nil
-}
-
-const unreachedPred = graph.EdgeID(-1)
-
-// dijkstraTree runs single-source Dijkstra and returns the predecessor-edge
-// array.
-func (o *oracle) dijkstraTree(src graph.NodeID, weight func(graph.Edge) float64) ([]graph.EdgeID, error) {
-	n := o.g.NumNodes()
-	dist := make([]float64, n)
-	pred := make([]graph.EdgeID, n)
-	done := make([]bool, n)
-	const inf = 1e308
-	for i := range dist {
-		dist[i] = inf
-		pred[i] = unreachedPred
-	}
-	dist[src] = 0
-
-	h := newNodeHeap(n)
-	h.push(src, 0)
-	for h.len() > 0 {
-		u, d := h.pop()
-		if done[u] || d > dist[u] {
-			continue
-		}
-		done[u] = true
-		for _, eid := range o.g.OutEdges(u) {
-			e := o.g.MustEdge(eid)
-			if done[e.To] {
-				// Never rewrite the predecessor of a finalised node: with
-				// float absorption (tiny weights added to huge distances)
-				// "equal" distances are common, and a late equal-distance
-				// overwrite can create predecessor cycles.
-				continue
-			}
-			w := weight(e)
-			if w < 0 {
-				return nil, fmt.Errorf("mcfsolve: negative weight %v on edge %d", w, eid)
-			}
-			nd := dist[u] + w
-			if nd < dist[e.To] || (nd == dist[e.To] && pred[e.To] != unreachedPred && eid < pred[e.To]) {
-				dist[e.To] = nd
-				pred[e.To] = eid
-				h.push(e.To, nd)
-			}
-		}
-	}
-	return pred, nil
-}
-
-// extractPath walks the predecessor array back from dst.
-func extractPath(g *graph.Graph, pred []graph.EdgeID, src, dst graph.NodeID) (graph.Path, bool) {
-	if src == dst {
-		return graph.Path{}, true
-	}
-	var rev []graph.EdgeID
-	for cur := dst; cur != src; {
-		eid := pred[cur]
-		if eid == unreachedPred {
-			return graph.Path{}, false
-		}
-		rev = append(rev, eid)
-		cur = g.MustEdge(eid).From
-		if len(rev) > g.NumEdges() {
-			return graph.Path{}, false
-		}
-	}
-	edges := make([]graph.EdgeID, len(rev))
-	for i := range rev {
-		edges[i] = rev[len(rev)-1-i]
-	}
-	return graph.Path{Edges: edges}, true
-}
-
-// nodeHeap is a minimal binary min-heap of (node, dist) entries.
-type nodeHeap struct {
-	nodes []graph.NodeID
-	dists []float64
-}
-
-func newNodeHeap(capHint int) *nodeHeap {
-	return &nodeHeap{
-		nodes: make([]graph.NodeID, 0, capHint),
-		dists: make([]float64, 0, capHint),
-	}
-}
-
-func (h *nodeHeap) len() int { return len(h.nodes) }
-
-func (h *nodeHeap) push(n graph.NodeID, d float64) {
-	h.nodes = append(h.nodes, n)
-	h.dists = append(h.dists, d)
-	i := len(h.nodes) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.dists[p] <= h.dists[i] {
-			break
-		}
-		h.swap(p, i)
-		i = p
-	}
-}
-
-func (h *nodeHeap) pop() (graph.NodeID, float64) {
-	n, d := h.nodes[0], h.dists[0]
-	last := len(h.nodes) - 1
-	h.swap(0, last)
-	h.nodes = h.nodes[:last]
-	h.dists = h.dists[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && h.dists[l] < h.dists[smallest] {
-			smallest = l
-		}
-		if r < last && h.dists[r] < h.dists[smallest] {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.swap(i, smallest)
-		i = smallest
-	}
-	return n, d
-}
-
-func (h *nodeHeap) swap(a, b int) {
-	h.nodes[a], h.nodes[b] = h.nodes[b], h.nodes[a]
-	h.dists[a], h.dists[b] = h.dists[b], h.dists[a]
+	return nil
 }
