@@ -3,10 +3,20 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt bench bench-smoke
+.PHONY: build test vet fmt bench bench-smoke examples doccheck
 
 build:
 	$(GO) build ./...
+
+# examples builds every example program; the root test suite additionally
+# runs them (TestExamplesBuildAndRun).
+examples:
+	$(GO) build ./examples/...
+
+# doccheck fails when an exported symbol of the public facade (root
+# package) is missing a doc comment.
+doccheck:
+	$(GO) run ./cmd/doccheck
 
 test:
 	$(GO) test ./...

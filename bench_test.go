@@ -294,6 +294,51 @@ func BenchmarkOnlineGreedy(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineRolling measures the rolling-horizon online scheduler on
+// the slowly-varying diurnal chain — the workload DESIGN.md predicts warm
+// starts pay on. The timed loop runs the warm-started configuration; the
+// fw-iters-warm / fw-iters-cold metrics record the total Frank–Wolfe
+// iterations of warm-started vs cold-started epoch re-solves, tracked in
+// BENCH_solver.json by `make bench`.
+func BenchmarkOnlineRolling(b *testing.B) {
+	ft, err := dcnflow.FatTree(4, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := dcnflow.DiurnalWorkload(dcnflow.DiurnalConfig{
+		N: 40, T0: 0, T1: 100, PeakFactor: 5,
+		SizeMean: 8, SizeStddev: 2, Hosts: ft.Hosts, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	runOnce := func(warm bool) dcnflow.RollingStats {
+		res, _, err := dcnflow.SolveOnlineRolling(ft.Graph, flows, model, dcnflow.RollingOptions{
+			Policy: dcnflow.FixedPeriod{Period: 2},
+			DCFSR: dcnflow.DCFSROptions{
+				Seed:      1,
+				Solver:    dcnflow.SolverOptions{MaxIters: 30},
+				WarmStart: warm,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Stats
+	}
+	var warm dcnflow.RollingStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm = runOnce(true)
+	}
+	b.StopTimer()
+	cold := runOnce(false)
+	b.ReportMetric(float64(warm.FWIters), "fw-iters-warm")
+	b.ReportMetric(float64(cold.FWIters), "fw-iters-cold")
+	b.ReportMetric(float64(warm.Epochs), "epochs")
+}
+
 // BenchmarkSimulator measures the discrete-event simulator on a 100-flow
 // SP+MCF schedule.
 func BenchmarkSimulator(b *testing.B) {

@@ -24,17 +24,21 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // defaultBench selects the component micro-benchmarks (not the full-figure
 // regenerations, which take minutes at paper scale).
-const defaultBench = "BenchmarkFrankWolfe|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkSimulator|BenchmarkExactSmall"
+const defaultBench = "BenchmarkFrankWolfe|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkSimulator|BenchmarkExactSmall"
 
 // Result is one benchmark's measurement.
 type Result struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  int64   `json:"b_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
+	// Metrics holds the benchmark's custom b.ReportMetric series (e.g.
+	// BenchmarkOnlineRolling's fw-iters-warm / fw-iters-cold counters).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the BENCH_solver.json document.
@@ -46,7 +50,10 @@ type Snapshot struct {
 	Current map[string]Result `json:"current"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+// benchLine matches the name and iteration count; the metric pairs that
+// follow (value unit, e.g. "123 ns/op", "8 B/op", "942 fw-iters-warm") are
+// tokenised separately so custom b.ReportMetric series survive.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
 	if err := run(); err != nil {
@@ -108,7 +115,10 @@ func run() error {
 }
 
 // parseBench extracts per-benchmark results, averaging repeated runs of the
-// same benchmark (-count > 1).
+// same benchmark (-count > 1). Each line after the name and iteration count
+// is a sequence of "value unit" pairs; ns/op, B/op and allocs/op land in
+// the fixed fields and everything else (custom b.ReportMetric units) in
+// Metrics.
 func parseBench(out []byte) (map[string]Result, error) {
 	sums := map[string]Result{}
 	counts := map[string]float64{}
@@ -118,21 +128,37 @@ func parseBench(out []byte) (map[string]Result, error) {
 			continue
 		}
 		name := string(m[1])
-		ns, err := strconv.ParseFloat(string(m[2]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("parse %q: %w", line, err)
-		}
-		var b, a int64
-		if len(m[3]) > 0 {
-			b, _ = strconv.ParseInt(string(m[3]), 10, 64)
-		}
-		if len(m[4]) > 0 {
-			a, _ = strconv.ParseInt(string(m[4]), 10, 64)
+		fields := strings.Fields(string(m[2]))
+		if len(fields)%2 != 0 || len(fields) == 0 {
+			continue
 		}
 		s := sums[name]
-		s.NsPerOp += ns
-		s.BytesPerOp += b
-		s.AllocsPerOp += a
+		seen := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.NsPerOp += v
+				seen = true
+			case "B/op":
+				s.BytesPerOp += int64(v)
+			case "allocs/op":
+				s.AllocsPerOp += int64(v)
+			case "MB/s":
+				// throughput is derivable from ns/op; skip
+			default:
+				if s.Metrics == nil {
+					s.Metrics = map[string]float64{}
+				}
+				s.Metrics[unit] += v
+			}
+		}
+		if !seen {
+			continue
+		}
 		sums[name] = s
 		counts[name]++
 	}
@@ -141,6 +167,9 @@ func parseBench(out []byte) (map[string]Result, error) {
 		s.NsPerOp /= n
 		s.BytesPerOp = int64(float64(s.BytesPerOp) / n)
 		s.AllocsPerOp = int64(float64(s.AllocsPerOp) / n)
+		for k := range s.Metrics {
+			s.Metrics[k] /= n
+		}
 		sums[name] = s
 	}
 	return sums, nil

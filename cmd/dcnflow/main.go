@@ -1,15 +1,21 @@
 // Command dcnflow regenerates every artifact of the paper's evaluation
 // (DESIGN.md per-experiment index) from the command line:
 //
-//	dcnflow example1                 # Fig. 1 / Example 1 closed-form check
-//	dcnflow fig2 -alpha 2            # Fig. 2, x^2 panel
-//	dcnflow fig2 -alpha 4 -runs 10   # Fig. 2, x^4 panel, paper-scale runs
-//	dcnflow hardness                 # Theorem 2 gadget + Theorem 3 constant
+//	dcnflow example1                 # E1: Fig. 1 / Example 1 closed-form check
+//	dcnflow fig2 -alpha 2            # F2: Fig. 2, x^2 panel
+//	dcnflow fig2 -alpha 4 -runs 10   # F2: Fig. 2, x^4 panel, paper-scale runs
+//	dcnflow hardness                 # T2/T3: Theorem 2 gadget + Theorem 3 constant
 //	dcnflow ablate lambda            # A1: interval granularity
 //	dcnflow ablate rounding          # A2: re-rounding budget
 //	dcnflow ablate surrogate         # A3: relaxation cost
+//	dcnflow online -mode compare     # O1: greedy vs rolling vs offline RS
+//	dcnflow online -mode rolling     # one rolling-horizon run with stats
 //	dcnflow workload -n 100          # dump a generated workload as CSV
 //	dcnflow topo -kind fattree -k 4  # emit a topology in Graphviz DOT
+//
+// Run `dcnflow <command> -h` for any command's flags. The experiment IDs
+// (E1, F2, T2/T3, A1-A3, O1) are defined in DESIGN.md's per-experiment
+// index, which maps each one to its runner, benchmark and CLI entry.
 package main
 
 import (
@@ -41,54 +47,96 @@ func main() {
 	}
 }
 
-const usage = `usage: dcnflow <command> [flags]
+// command is one registered dcnflow subcommand. The usage text is
+// generated from this table, so a command cannot be added without
+// appearing in `dcnflow -h` (enforced by a test).
+type command struct {
+	name    string
+	summary string // one line for the usage listing
+	ids     string // DESIGN.md experiment IDs covered, "" for utilities
+	run     func(args []string) error
+}
 
-commands:
-  example1    reproduce Fig. 1 / Example 1 (closed-form optimum check)
-  fig2        reproduce Fig. 2 (approximation performance of Random-Schedule)
-  hardness    run the Theorem 2 gadget and report the Theorem 3 constant
-  ablate      run an ablation: lambda | rounding | surrogate | online | exact
-  workload    generate and print a random workload as CSV
-  compare     run every scheme (LB, RS, SP+MCF, ECMP+MCF, online, always-on)
-              on one workload and print the energy table
-  trace       schedule a CSV flow trace (id,src,dst,release,deadline,size)
-              on a chosen topology with a chosen scheme
-  topo        emit a topology in Graphviz DOT
-`
-
-func run(args []string) error {
-	if len(args) == 0 {
-		fmt.Print(usage)
-		return errors.New("missing command")
-	}
-	switch args[0] {
-	case "example1":
-		return runExample1(args[1:])
-	case "fig2":
-		return runFig2(args[1:])
-	case "hardness":
-		return runHardness(args[1:])
-	case "ablate":
-		return runAblate(args[1:])
-	case "workload":
-		return runWorkload(args[1:])
-	case "compare":
-		return runCompare(args[1:])
-	case "trace":
-		return runTrace(args[1:])
-	case "topo":
-		return runTopo(args[1:])
-	case "help", "-h", "--help":
-		fmt.Print(usage)
-		return nil
-	default:
-		fmt.Print(usage)
-		return fmt.Errorf("unknown command %q", args[0])
+// commands returns the registry backing the dispatch and the usage text.
+// (A function rather than a package variable: the run functions reference
+// newFlagSet, which reads the registry, and Go rejects that cycle in
+// variable initialization.)
+func commands() []command {
+	return []command{
+		{"example1", "reproduce Fig. 1 / Example 1 (closed-form optimum check)", "E1", runExample1},
+		{"fig2", "reproduce Fig. 2 (approximation performance of Random-Schedule)", "F2", runFig2},
+		{"hardness", "run the Theorem 2 gadget and report the Theorem 3 constant", "T2/T3", runHardness},
+		{"ablate", "run an ablation study: lambda | rounding | surrogate | online | exact", "A1 A2 A3", runAblate},
+		{"online", "run the online extension: greedy, rolling-horizon, or the O1 comparison", "O1", runOnline},
+		{"workload", "generate and print a random workload as CSV", "", runWorkload},
+		{"compare", "run every scheme (LB, RS, SP+MCF, ECMP+MCF, online, always-on) on one workload", "", runCompare},
+		{"trace", "schedule a CSV flow trace (id,src,dst,release,deadline,size) on a chosen topology", "", runTrace},
+		{"topo", "emit a topology in Graphviz DOT", "", runTopo},
 	}
 }
 
+// usage renders the self-documenting top-level help from the registry.
+func usage() string {
+	var b strings.Builder
+	b.WriteString("usage: dcnflow <command> [flags]\n\ncommands:\n")
+	for _, c := range commands() {
+		id := ""
+		if c.ids != "" {
+			id = " [" + c.ids + "]"
+		}
+		fmt.Fprintf(&b, "  %-9s %s%s\n", c.name, c.summary, id)
+	}
+	b.WriteString(`
+Bracketed IDs refer to DESIGN.md's per-experiment index, which maps every
+artifact of the paper's evaluation to its runner, benchmark and CLI entry.
+Run "dcnflow <command> -h" for a command's flags.
+`)
+	return b.String()
+}
+
+// newFlagSet builds a flag set whose -h output names the command and its
+// registry summary before the flag listing.
+func newFlagSet(name string) *flag.FlagSet {
+	summary := ""
+	for _, c := range commands() {
+		if c.name == strings.Fields(name)[0] {
+			summary = c.summary
+			break
+		}
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dcnflow %s [flags]\n  %s\n\nflags:\n", name, summary)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		fmt.Print(usage())
+		return errors.New("missing command")
+	}
+	switch args[0] {
+	case "help", "-h", "--help":
+		fmt.Print(usage())
+		return nil
+	}
+	for _, c := range commands() {
+		if c.name == args[0] {
+			err := c.run(args[1:])
+			if errors.Is(err, flag.ErrHelp) {
+				return nil
+			}
+			return err
+		}
+	}
+	fmt.Print(usage())
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
 func runExample1(args []string) error {
-	fs := flag.NewFlagSet("example1", flag.ContinueOnError)
+	fs := newFlagSet("example1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +150,7 @@ func runExample1(args []string) error {
 }
 
 func runFig2(args []string) error {
-	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	fs := newFlagSet("fig2")
 	alpha := fs.Float64("alpha", 2, "power exponent (paper: 2 or 4)")
 	k := fs.Int("k", 8, "fat-tree arity (8 = the paper's 80 switches)")
 	runs := fs.Int("runs", 10, "independent runs per point (paper: 10)")
@@ -144,7 +192,7 @@ func runFig2(args []string) error {
 }
 
 func runHardness(args []string) error {
-	fs := flag.NewFlagSet("hardness", flag.ContinueOnError)
+	fs := newFlagSet("hardness")
 	m := fs.Int("m", 4, "number of 3-element groups")
 	b := fs.Float64("b", 12, "group sum B")
 	alpha := fs.Float64("alpha", 2, "power exponent")
@@ -170,7 +218,7 @@ func runAblate(args []string) error {
 		return errors.New("ablate: need one of lambda | rounding | surrogate | online | exact")
 	}
 	which := args[0]
-	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
+	fs := newFlagSet("ablate " + which)
 	n := fs.Int("n", 40, "flows")
 	runs := fs.Int("runs", 5, "runs per point")
 	seed := fs.Int64("seed", 1, "base seed")
@@ -205,11 +253,11 @@ func runAblate(args []string) error {
 		fmt.Println("A3 — relaxation cost (dynamic vs envelope):")
 		fmt.Print(res.Table())
 	case "online":
-		res, err := experiments.RunOnlineComparison(cfg, nil)
+		res, err := experiments.RunOnlineComparison(experiments.OnlineConfig{AblateConfig: cfg}, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Println("EXT — online greedy vs offline Random-Schedule:")
+		fmt.Println("O1 — online greedy vs rolling-horizon vs offline Random-Schedule (diurnal):")
 		fmt.Print(res.Table())
 	case "exact":
 		res, err := experiments.RunExactComparison(cfg.Seed, cfg.Runs, nil)
@@ -224,8 +272,122 @@ func runAblate(args []string) error {
 	return nil
 }
 
+func runOnline(args []string) error {
+	fs := newFlagSet("online")
+	mode := fs.String("mode", "compare", "compare | rolling | greedy")
+	workload := fs.String("workload", "diurnal", "uniform | diurnal | incast")
+	n := fs.Int("n", 80, "flows per run")
+	k := fs.Int("k", 4, "fat-tree arity")
+	runs := fs.Int("runs", 3, "runs per point (compare mode)")
+	counts := fs.String("counts", "", "comma-separated flow counts for compare mode (default: -n)")
+	alpha := fs.Float64("alpha", 2, "power exponent")
+	iters := fs.Int("iters", 30, "Frank-Wolfe iterations per interval")
+	seed := fs.Int64("seed", 1, "base seed")
+	epoch := fs.Float64("epoch", 0, "fixed re-plan period for rolling (0 = re-plan per arrival)")
+	warm := fs.Bool("warm", true, "warm-start epoch re-solves from the previous epoch")
+	reject := fs.Bool("reject", false, "admission control: reject flows that cannot fit under capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.OnlineConfig{
+		AblateConfig: experiments.AblateConfig{
+			FatTreeK: *k, N: *n, Runs: *runs, Seed: *seed, Alpha: *alpha, SolverIters: *iters,
+		},
+		Workload: *workload,
+		Epoch:    *epoch,
+	}
+	if *mode == "compare" {
+		// The comparison runner pins WarmStart on and admission control
+		// off (its contract rejects runs with rejected flows); refuse
+		// flags it would silently ignore.
+		var ignored []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "warm" || f.Name == "reject" {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			return fmt.Errorf("online: %s not supported in -mode compare", strings.Join(ignored, ", "))
+		}
+		flowCounts := []int{*n}
+		if *counts != "" {
+			var err error
+			if flowCounts, err = parseInts(*counts); err != nil {
+				return err
+			}
+		}
+		res, err := experiments.RunOnlineComparison(cfg, flowCounts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("O1 — online comparison (%s workload, fat-tree k=%d, %d runs):\n", *workload, *k, *runs)
+		fmt.Print(res.Table())
+		return nil
+	}
+
+	// Single-run modes: one workload instance, one scheme, full stats.
+	ft, err := topology.FatTree(*k, 1e12)
+	if err != nil {
+		return err
+	}
+	set, err := experiments.OnlineWorkloadInstance(cfg, ft, *n, *seed)
+	if err != nil {
+		return err
+	}
+	model := power.Model{Mu: 1, Alpha: *alpha, C: 1e12}
+	lb, err := core.LowerBound(ft.Graph, set, model, core.DCFSROptions{
+		Solver: mcfsolve.Options{MaxIters: *iters},
+	})
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "rolling":
+		var policy online.ReplanPolicy = online.ArrivalCount{N: 1}
+		if *epoch > 0 {
+			policy = online.FixedPeriod{Period: *epoch}
+		}
+		res, rep, err := online.RunRolling(ft.Graph, set, model, online.RollingOptions{
+			Policy: policy,
+			DCFSR: core.DCFSROptions{
+				Seed:      *seed,
+				Solver:    mcfsolve.Options{MaxIters: *iters},
+				WarmStart: *warm,
+			},
+			RejectOverCapacity: *reject,
+		})
+		if err != nil {
+			return err
+		}
+		e := res.Schedule.EnergyTotal(model)
+		fmt.Printf("rolling-horizon on %s (%d flows, %s workload):\n", ft.Name, set.Len(), *workload)
+		fmt.Printf("  energy %.4g (%.3fx of offline LB %.4g)\n", e, e/lb, lb)
+		fmt.Printf("  epochs %d, FW iterations %d, warm-seeded intervals %d/%d\n",
+			res.Stats.Epochs, res.Stats.FWIters, res.Stats.SeededIntervals, res.Stats.SolvedIntervals)
+		fmt.Printf("  admitted %d, rejected %d; deadline violations %d, capacity violations %d\n",
+			rep.Admitted, rep.Rejected, rep.DeadlineViolations, rep.CapacityViolations)
+	case "greedy":
+		res, err := online.Run(ft.Graph, set, model, online.Options{RejectOverCapacity: *reject})
+		if err != nil {
+			return err
+		}
+		simRes, err := sim.Run(ft.Graph, set, res.Schedule, model, sim.Options{})
+		if err != nil {
+			return err
+		}
+		e := res.Schedule.EnergyTotal(model)
+		fmt.Printf("marginal-cost greedy on %s (%d flows, %s workload):\n", ft.Name, set.Len(), *workload)
+		fmt.Printf("  energy %.4g (%.3fx of offline LB %.4g)\n", e, e/lb, lb)
+		fmt.Printf("  admitted %d/%d, peak link rate %.4g, deadlines met %d/%d\n",
+			res.Admitted, set.Len(), res.PeakRate, simRes.DeadlinesMet, set.Len())
+	default:
+		return fmt.Errorf("online: unknown mode %q", *mode)
+	}
+	return nil
+}
+
 func runWorkload(args []string) error {
-	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	fs := newFlagSet("workload")
 	n := fs.Int("n", 100, "number of flows")
 	t0 := fs.Float64("t0", 1, "horizon start")
 	t1 := fs.Float64("t1", 100, "horizon end")
@@ -256,7 +418,7 @@ func runWorkload(args []string) error {
 }
 
 func runCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs := newFlagSet("compare")
 	n := fs.Int("n", 60, "number of flows")
 	k := fs.Int("k", 4, "fat-tree arity")
 	alpha := fs.Float64("alpha", 2, "power exponent")
@@ -323,7 +485,7 @@ func runCompare(args []string) error {
 }
 
 func runTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs := newFlagSet("trace")
 	path := fs.String("file", "", "trace file (default: stdin)")
 	kind := fs.String("topo", "fattree", "fattree | bcube | leafspine | line")
 	k := fs.Int("k", 4, "topology size parameter")
@@ -407,7 +569,7 @@ func runTrace(args []string) error {
 }
 
 func runTopo(args []string) error {
-	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
+	fs := newFlagSet("topo")
 	kind := fs.String("kind", "fattree", "fattree | bcube | leafspine | line | parallel")
 	k := fs.Int("k", 4, "fat-tree arity / bcube n / line length / parallel links")
 	l := fs.Int("l", 1, "bcube level")

@@ -71,6 +71,94 @@ func TestRunAblateCommands(t *testing.T) {
 	}
 }
 
+// TestUsageListsEveryCommand guards the self-documentation contract: every
+// registered subcommand must appear in the top-level usage text with its
+// one-line summary, and the experiment commands must carry their DESIGN.md
+// IDs.
+func TestUsageListsEveryCommand(t *testing.T) {
+	text := usage()
+	for _, c := range commands() {
+		if !strings.Contains(text, "\n  "+c.name) {
+			t.Errorf("usage missing command %q", c.name)
+		}
+		if !strings.Contains(text, c.summary) {
+			t.Errorf("usage missing summary for %q", c.name)
+		}
+		if c.ids != "" && !strings.Contains(text, "["+c.ids+"]") {
+			t.Errorf("usage missing experiment ids %q for %q", c.ids, c.name)
+		}
+	}
+	if !strings.Contains(text, "DESIGN.md") {
+		t.Error("usage does not point at DESIGN.md")
+	}
+	// Experiment IDs on the CLI surface: the full DESIGN.md index.
+	for _, id := range []string{"E1", "F2", "T2/T3", "A1", "A2", "A3", "O1"} {
+		if !strings.Contains(text, id) {
+			t.Errorf("usage missing experiment id %q", id)
+		}
+	}
+}
+
+// TestExperimentIDsAgreeAcrossDocs pins the documentation contract: the
+// CLI usage text, DESIGN.md's per-experiment index and README.md's
+// experiment table must all carry the full set of experiment IDs.
+func TestExperimentIDsAgreeAcrossDocs(t *testing.T) {
+	ids := []string{"E1", "F2", "T2/T3", "A1", "A2", "A3", "O1"}
+	sources := map[string]string{"usage": usage()}
+	for _, fname := range []string{"README.md", "DESIGN.md"} {
+		data, err := os.ReadFile("../../" + fname)
+		if err != nil {
+			t.Fatalf("reading %s: %v", fname, err)
+		}
+		sources[fname] = string(data)
+	}
+	for where, text := range sources {
+		for _, id := range ids {
+			if !strings.Contains(text, id) {
+				t.Errorf("%s missing experiment id %q", where, id)
+			}
+		}
+	}
+}
+
+// TestSubcommandHelpSelfDocuments: each command's -h names the command and
+// its summary and is not an error.
+func TestSubcommandHelpSelfDocuments(t *testing.T) {
+	for _, c := range commands() {
+		args := []string{c.name, "-h"}
+		if c.name == "ablate" {
+			args = []string{c.name, "lambda", "-h"}
+		}
+		if err := run(args); err != nil {
+			t.Errorf("%s -h: %v", c.name, err)
+		}
+	}
+}
+
+func TestRunOnlineCommand(t *testing.T) {
+	if err := run([]string{"online", "-mode", "compare", "-workload", "uniform", "-n", "8", "-runs", "1", "-iters", "10"}); err != nil {
+		t.Fatalf("online compare: %v", err)
+	}
+	if err := run([]string{"online", "-mode", "rolling", "-n", "10", "-iters", "10"}); err != nil {
+		t.Fatalf("online rolling: %v", err)
+	}
+	if err := run([]string{"online", "-mode", "greedy", "-n", "10", "-iters", "10"}); err != nil {
+		t.Fatalf("online greedy: %v", err)
+	}
+	if err := run([]string{"online", "-mode", "bogus"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"online", "-mode", "compare", "-warm=false", "-n", "4", "-runs", "1"}); err == nil {
+		t.Fatal("compare mode silently ignored -warm")
+	}
+	if err := run([]string{"online", "-mode", "compare", "-reject", "-n", "4", "-runs", "1"}); err == nil {
+		t.Fatal("compare mode silently ignored -reject")
+	}
+	if err := run([]string{"online", "-mode", "compare", "-workload", "bogus", "-n", "4", "-runs", "1"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
 func TestRunWorkloadCommand(t *testing.T) {
 	if err := run([]string{"workload", "-n", "5", "-k", "4"}); err != nil {
 		t.Fatalf("workload: %v", err)
@@ -131,7 +219,7 @@ func TestParseInts(t *testing.T) {
 	if _, err := parseInts("1,x"); err == nil {
 		t.Fatal("bad int accepted")
 	}
-	if !strings.Contains(usage, "fig2") {
+	if !strings.Contains(usage(), "fig2") {
 		t.Fatal("usage missing fig2")
 	}
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAuditFindsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	src := `package demo
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bad struct{}
+
+// Good has a doc comment.
+type Good struct{}
+
+var BadVar = 1
+
+// Grouped declarations with a block doc pass.
+var (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const BadConst = 3 // trailing comments count as documentation
+
+func unexported() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(missing, "\n")
+	for _, want := range []string{"func Undocumented", "type Bad", "value BadVar"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("audit missed %q; got:\n%s", want, joined)
+		}
+	}
+	for _, clean := range []string{"Documented", "Good", "GroupedA", "BadConst", "unexported"} {
+		for _, m := range missing {
+			if strings.HasSuffix(m, " "+clean) {
+				t.Errorf("audit flagged documented/unexported symbol %q", clean)
+			}
+		}
+	}
+}
+
+func TestAuditRootPackageClean(t *testing.T) {
+	missing, err := audit("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("root package has undocumented exports:\n%s", strings.Join(missing, "\n"))
+	}
+}

@@ -14,6 +14,14 @@
 //     Theorems 4, 6, 7), and LowerBound exposes the fractional bound its
 //     evaluation is normalised by.
 //
+// Beyond the paper, the library implements the online setting its authors
+// defer to future work: flows revealed at release time, scheduled by either
+// the irrevocable marginal-cost greedy (SolveOnline) or the rolling-horizon
+// re-optimizer (SolveOnlineRolling), which re-runs the Random-Schedule
+// relaxation over the remaining horizon with frozen commitments at every
+// epoch boundary (SolveDCFSRPartial) and validates every run with the
+// discrete-event simulator (ReplayOnline).
+//
 // Quick start:
 //
 //	ft, _ := dcnflow.FatTree(8, 1000)            // 80 switches, 128 hosts
@@ -48,11 +56,15 @@
 //   - SolverOptions.ClosedFormStep swaps the bisection line search for an
 //     analytic step on exactly-quadratic costs (alpha == 2); faster, but
 //     trajectories are no longer bit-identical to the default.
-//   - DCFSROptions.WarmStart seeds each interval's solve from the
-//     neighbouring interval's path decomposition. Off by default: on the
-//     paper's evaluation workloads the hop-count cold start converges in
-//     fewer iterations and keeps runs bit-reproducible across releases;
-//     enable it for long chains of near-identical intervals.
+//   - DCFSROptions.WarmStart seeds Frank–Wolfe solves from earlier
+//     decompositions. Off by default: on the paper's evaluation workloads
+//     the hop-count cold start converges in fewer iterations and keeps
+//     runs bit-reproducible across releases. It pays on long chains of
+//     near-identical instances — exactly the rolling-horizon epoch
+//     re-solves, where SolveOnlineRolling seeds each epoch's per-interval
+//     solves from the previous epoch's decompositions and measures roughly
+//     half the Frank–Wolfe iterations of cold starts on slowly varying
+//     diurnal workloads (see DESIGN.md's "Online scheduling" chapter).
 package dcnflow
 
 import (
@@ -181,15 +193,54 @@ var (
 )
 
 // Online scheduling (the paper's future-work direction): flows are revealed
-// at release time and placed irrevocably by marginal-cost greedy routing at
-// density rates.
+// only at their release times. Two schedulers cover the effort/quality
+// spectrum — the marginal-cost greedy places each flow irrevocably on
+// arrival, and the rolling-horizon re-optimizer batches arrivals into
+// epochs and re-runs the Random-Schedule relaxation over the remaining
+// horizon with frozen commitments at every epoch boundary.
 type (
-	// OnlineOptions tunes the online scheduler.
+	// OnlineOptions tunes the greedy online scheduler.
 	OnlineOptions = online.Options
-	// OnlineResult is the outcome of an online run.
+	// OnlineResult is the outcome of a greedy online run.
 	OnlineResult = online.Result
-	// OnlineScheduler admits flows one at a time.
+	// OnlineScheduler admits flows one at a time (marginal-cost greedy).
 	OnlineScheduler = online.Scheduler
+	// RollingOptions tunes the rolling-horizon online scheduler.
+	RollingOptions = online.RollingOptions
+	// RollingScheduler is the rolling-horizon online DCFSR scheduler.
+	RollingScheduler = online.RollingScheduler
+	// RollingResult is the outcome of a rolling-horizon run.
+	RollingResult = online.RollingResult
+	// RollingStats aggregates per-epoch diagnostics of a rolling run.
+	RollingStats = online.RollingStats
+	// ReplanPolicy decides when the rolling scheduler re-optimises.
+	ReplanPolicy = online.ReplanPolicy
+	// FixedPeriod re-plans every Period time units.
+	FixedPeriod = online.FixedPeriod
+	// ArrivalCount re-plans once N arrivals are queued.
+	ArrivalCount = online.ArrivalCount
+	// LoadDrift re-plans when queued demand drifts past a fraction of the
+	// committed load.
+	LoadDrift = online.LoadDrift
+	// OnlineEngine is the event-driven interface both online schedulers
+	// implement; ReplayOnline drives one through a flow set.
+	OnlineEngine = sim.OnlineEngine
+	// OnlineReplayResult is the validated outcome of an online replay.
+	OnlineReplayResult = sim.ReplayResult
+	// PinnedCommitment is an in-flight flow's frozen state at a re-plan
+	// instant (path, transmitted data).
+	PinnedCommitment = core.PinnedCommitment
+	// DCFSRPartialInput is a residual DCFSR instance with frozen
+	// commitments — the epoch re-solve input.
+	DCFSRPartialInput = core.DCFSRPartialInput
+	// DCFSRPartialResult is the residual plan of a partial solve.
+	DCFSRPartialResult = core.DCFSRPartialResult
+	// RelaxationState carries per-interval fractional solutions across
+	// epochs for warm-started re-solves.
+	RelaxationState = core.RelaxationState
+	// CandidatePath is one entry of a flow's aggregated rounding
+	// distribution.
+	CandidatePath = core.CandidatePath
 	// DiurnalConfig parameterises the sinusoidal time-varying workload.
 	DiurnalConfig = flow.DiurnalConfig
 	// PacketLevelOptions configures the store-and-forward simulation.
@@ -209,6 +260,37 @@ func SolveOnline(g *Graph, flows *FlowSet, m PowerModel, opts OnlineOptions) (*O
 // that admit flows as they arrive.
 func NewOnlineScheduler(g *Graph, m PowerModel, horizon Interval, opts OnlineOptions) (*OnlineScheduler, error) {
 	return online.New(g, m, horizon, opts)
+}
+
+// SolveOnlineRolling replays the flow set through the rolling-horizon
+// scheduler via the event-driven simulator and returns both the scheduler's
+// outcome and the simulator's validated replay (deadlines, capacities,
+// independently measured energy).
+func SolveOnlineRolling(g *Graph, flows *FlowSet, m PowerModel, opts RollingOptions) (*RollingResult, *OnlineReplayResult, error) {
+	return online.RunRolling(g, flows, m, opts)
+}
+
+// NewRollingScheduler creates an incremental rolling-horizon scheduler for
+// callers that feed arrivals themselves (Arrive/AdvanceTo/Finish in release
+// order).
+func NewRollingScheduler(g *Graph, m PowerModel, horizon Interval, opts RollingOptions) (*RollingScheduler, error) {
+	return online.NewRolling(g, m, horizon, opts)
+}
+
+// ReplayOnline drives any online scheduling engine through an event-driven
+// replay of the flow set (arrivals interleaved with the engine's re-plan
+// boundaries) and validates the resulting schedule post hoc with the
+// discrete-event simulator.
+func ReplayOnline(g *Graph, flows *FlowSet, m PowerModel, engine OnlineEngine, opts SimOptions) (*OnlineReplayResult, error) {
+	return sim.ReplayOnline(g, flows, m, engine, opts)
+}
+
+// SolveDCFSRPartial re-runs the Random-Schedule relaxation over the
+// remaining horizon with frozen commitments (pinned paths, transmitted
+// data) — the epoch re-solve primitive under the rolling-horizon scheduler,
+// exposed for callers building their own re-optimization loops.
+func SolveDCFSRPartial(in DCFSRPartialInput) (*DCFSRPartialResult, error) {
+	return core.SolveDCFSRPartial(in)
 }
 
 // SimulatePacketLevel runs the store-and-forward per-link EDF simulation

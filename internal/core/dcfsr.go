@@ -135,18 +135,40 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 		}
 	}
 
-	// Fan the intervals out in contiguous blocks. Each worker owns one
-	// reusable Solver per block, so shortest-path scratch, intern table and
-	// edge buffers amortise across the block's solves. With opts.WarmStart
-	// set, every interval additionally seeds from its left neighbour within
-	// the block (adjacent intervals share most commodities); blocks are
-	// then a fixed constant — never derived from Parallelism — so results
-	// do not depend on the worker count or scheduling. Without warm starts
-	// the intervals are fully independent and blocking is purely a
-	// scheduling choice, so blocks shrink as needed to keep every worker
-	// busy on short horizons.
+	if err := solveIntervalRelaxation(g, m, opts, rel, nil); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// solveIntervalRelaxation runs one F-MCF per interval of rel (concurrently)
+// and fills rel.results and rel.lowerBound. rel.intervals and rel.comms must
+// already be populated.
+//
+// Fan-out: the intervals run in contiguous blocks. Each worker owns one
+// reusable Solver per block, so shortest-path scratch, intern table and
+// edge buffers amortise across the block's solves. With opts.WarmStart
+// set, every interval additionally seeds from its left neighbour within
+// the block (adjacent intervals share most commodities); blocks are
+// then a fixed constant — never derived from Parallelism — so results
+// do not depend on the worker count or scheduling. Without warm starts
+// the intervals are fully independent and blocking is purely a
+// scheduling choice, so blocks shrink as needed to keep every worker
+// busy on short horizons.
+//
+// seeds, when non-nil, supplies an external warm start for interval k (the
+// rolling-horizon re-optimizer passes the previous epoch's time-aligned
+// decompositions) and REPLACES the left-neighbour chain entirely: unseeded
+// intervals run cold. The two warm mechanisms must not mix — a seed from a
+// fully converged previous-epoch solve is near-optimal, while chaining on
+// top of it would drag unconverged neighbour mass back in (Frank–Wolfe has
+// no away-steps, so a bad start drains only geometrically). A zero-valued
+// seed means "no seed for this interval".
+func solveIntervalRelaxation(g *graph.Graph, m power.Model, opts DCFSROptions, rel *relaxation, seeds []mcfsolve.WarmStart) error {
+	intervals := rel.intervals
+	chain := opts.WarmStart && seeds == nil
 	blockSize := warmBlockSize
-	if !opts.WarmStart {
+	if !chain {
 		if per := (len(intervals) + opts.Parallelism - 1) / opts.Parallelism; per < blockSize {
 			blockSize = per
 		}
@@ -185,7 +207,11 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 					warm = mcfsolve.WarmStart{}
 					continue
 				}
-				res, err := solver.SolveWarm(rel.comms[k], warm)
+				use := warm
+				if seeds != nil {
+					use = seeds[k]
+				}
+				res, err := solver.SolveWarm(rel.comms[k], use)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -195,7 +221,7 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 					return
 				}
 				rel.results[k] = res
-				if opts.WarmStart {
+				if chain {
 					warm = mcfsolve.WarmStart{Commodities: rel.comms[k], Result: res}
 				}
 			}
@@ -203,14 +229,14 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	for k, res := range rel.results {
 		if res != nil {
 			rel.lowerBound += res.Objective * intervals[k].Length()
 		}
 	}
-	return rel, nil
+	return nil
 }
 
 // LowerBound computes the fractional relaxation value on its own — the
@@ -262,53 +288,12 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 		return nil, err
 	}
 
-	// Aggregate candidate paths and time-weighted probabilities per flow.
-	// Paths from every interval result are interned once into a shared
-	// table, so per-flow candidate identity is an integer handle compare
-	// instead of a string key build.
+	spans := make(map[flow.ID]float64, in.Flows.Len())
+	for _, f := range in.Flows.Flows() {
+		spans[f.ID] = f.Span()
+	}
 	interner := graph.NewPathInterner()
-	cands := make(map[flow.ID][]candidate, in.Flows.Len())
-	for k, res := range rel.results {
-		if res == nil {
-			continue
-		}
-		ivLen := rel.intervals[k].Length()
-		for ci, c := range rel.comms[k] {
-			f, ferr := in.Flows.Flow(c.ID)
-			if ferr != nil {
-				return nil, ferr
-			}
-			span := f.Span()
-			list := cands[c.ID]
-			for _, wp := range res.PathsByCommodity[ci] {
-				frac := wp.Weight / c.Demand
-				add := frac * ivLen / span
-				h := interner.Intern(wp.Path.Edges)
-				found := false
-				for i := range list {
-					if list[i].handle == h {
-						list[i].weight += add
-						found = true
-						break
-					}
-				}
-				if !found {
-					list = append(list, candidate{handle: h, weight: add})
-				}
-			}
-			cands[c.ID] = list
-		}
-	}
-	// Deterministic candidate ordering per flow.
-	for fid, list := range cands {
-		sort.Slice(list, func(a, b int) bool {
-			if list[a].weight != list[b].weight {
-				return list[a].weight > list[b].weight
-			}
-			return graph.ComparePathKeys(interner.Edges(list[a].handle), interner.Edges(list[b].handle)) < 0
-		})
-		cands[fid] = list
-	}
+	cands := aggregateCandidates(rel, spans, interner)
 	for _, f := range in.Flows.Flows() {
 		if len(cands[f.ID]) == 0 {
 			return nil, fmt.Errorf("%w: flow %d received no candidate paths", ErrInfeasible, f.ID)
@@ -376,6 +361,60 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 		Intervals:           len(rel.intervals),
 		Lambda:              rel.lambda,
 	}, nil
+}
+
+// aggregateCandidates builds, per flow, the time-weighted candidate path
+// distribution wbar_P = sum_k w_P(k) * |I_k| / span of a solved relaxation
+// (Algorithm 2, step 3). Paths from every interval result are interned once
+// into the shared table, so per-flow candidate identity is an integer handle
+// compare instead of a string key build. spans maps each flow to the span
+// normalising its weights; flows absent from spans are skipped (the partial
+// re-solve skips path-pinned flows this way). Candidates come back sorted by
+// descending weight (path key as the deterministic tie-break), so the first
+// entry is the modal path.
+func aggregateCandidates(rel *relaxation, spans map[flow.ID]float64, interner *graph.PathInterner) map[flow.ID][]candidate {
+	cands := make(map[flow.ID][]candidate, len(spans))
+	for k, res := range rel.results {
+		if res == nil {
+			continue
+		}
+		ivLen := rel.intervals[k].Length()
+		for ci, c := range rel.comms[k] {
+			span, ok := spans[c.ID]
+			if !ok {
+				continue
+			}
+			list := cands[c.ID]
+			for _, wp := range res.PathsByCommodity[ci] {
+				frac := wp.Weight / c.Demand
+				add := frac * ivLen / span
+				h := interner.Intern(wp.Path.Edges)
+				found := false
+				for i := range list {
+					if list[i].handle == h {
+						list[i].weight += add
+						found = true
+						break
+					}
+				}
+				if !found {
+					list = append(list, candidate{handle: h, weight: add})
+				}
+			}
+			cands[c.ID] = list
+		}
+	}
+	// Deterministic candidate ordering per flow.
+	for fid, list := range cands {
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].weight != list[b].weight {
+				return list[a].weight > list[b].weight
+			}
+			return graph.ComparePathKeys(interner.Edges(list[a].handle), interner.Edges(list[b].handle)) < 0
+		})
+		cands[fid] = list
+	}
+	return cands
 }
 
 // samplePath draws a path handle according to the aggregated weights (which

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/mcfsolve"
+	"dcnflow/internal/power"
+	"dcnflow/internal/timeline"
+)
+
+// PinnedCommitment is the frozen state of one in-flight flow at a re-plan
+// instant: the path fixed at admission and the data already delivered. Both
+// are constraints on the re-plan, never variables — a partial solve can
+// neither move the flow to another path nor un-send its transmitted prefix.
+type PinnedCommitment struct {
+	// Path is the routing path pinned when the flow was first admitted.
+	Path graph.Path
+	// Transmitted is the data delivered before the re-plan instant; only
+	// the residual Size - Transmitted remains to be scheduled.
+	Transmitted float64
+	// Demand optionally fixes the commodity demand the relaxation uses for
+	// this pinned flow; zero selects the true residual density
+	// (Size - Transmitted) / (Deadline - Now). A rolling scheduler passes
+	// the admission-time nominal density here so that consecutive epochs
+	// solve bit-identical pinned commodities — keeping cross-epoch warm
+	// seeds matchable — even when the actually reserved rate profile was
+	// shaped around the committed load.
+	Demand float64
+}
+
+// RelaxationState carries one epoch's per-interval fractional solutions
+// across re-plans. The next epoch seeds each of its interval solves from
+// the state interval containing the same instant (commodities match by flow
+// ID inside mcfsolve.Solver.SolveWarm), which is what makes rolling-horizon
+// chains of near-identical residual instances converge in few Frank–Wolfe
+// iterations.
+type RelaxationState struct {
+	// Now is the re-plan instant the state was solved at.
+	Now float64
+	// Intervals is the residual-horizon decomposition of that epoch.
+	Intervals []timeline.Interval
+	// Comms holds the commodities solved per interval (same order as
+	// Intervals).
+	Comms [][]mcfsolve.Commodity
+	// Results holds the fractional solutions per interval.
+	Results []*mcfsolve.Result
+}
+
+// seedFor returns the warm start for a target interval solving the given
+// commodities: the state's solve whose interval contains the target's
+// midpoint, and only if that solve covered the exact same commodity
+// multiset (IDs, endpoints and demands). The restriction is deliberate —
+// seeding a Frank–Wolfe solve whose instance gained or lost commodities
+// starts it from stale mass that, with no away-steps, drains only
+// geometrically and converges SLOWER than a cold hop-count start. An
+// unchanged instance, by contrast, starts at the previous optimum and stops
+// at the first duality-gap check. The zero WarmStart is returned when no
+// matching solve exists.
+func (st *RelaxationState) seedFor(iv timeline.Interval, comms []mcfsolve.Commodity) mcfsolve.WarmStart {
+	if st == nil {
+		return mcfsolve.WarmStart{}
+	}
+	mid := (iv.Start + iv.End) / 2
+	i := sort.Search(len(st.Intervals), func(k int) bool { return st.Intervals[k].End >= mid })
+	if i >= len(st.Intervals) || !st.Intervals[i].Contains(mid) || st.Results[i] == nil {
+		return mcfsolve.WarmStart{}
+	}
+	prev := st.Comms[i]
+	if len(prev) != len(comms) {
+		return mcfsolve.WarmStart{}
+	}
+	byID := make(map[flow.ID]mcfsolve.Commodity, len(prev))
+	for _, c := range prev {
+		byID[c.ID] = c
+	}
+	for _, c := range comms {
+		p, ok := byID[c.ID]
+		if !ok || p.Src != c.Src || p.Dst != c.Dst ||
+			math.Abs(p.Demand-c.Demand) > 1e-9*math.Max(p.Demand, c.Demand) {
+			return mcfsolve.WarmStart{}
+		}
+	}
+	return mcfsolve.WarmStart{Commodities: st.Comms[i], Result: st.Results[i]}
+}
+
+// DCFSRPartialInput is a residual DCFSR instance: the joint
+// routing-and-scheduling problem restricted to [Now, horizon end] with part
+// of the decisions already frozen.
+type DCFSRPartialInput struct {
+	Graph *graph.Graph
+	// Flows are the active flows: in-flight pinned ones plus newly revealed
+	// free ones. Flow IDs are the caller's and are preserved (nothing is
+	// renumbered, unlike flow.NewSet), so commitments and warm-start
+	// identities stay stable across epochs. Flows whose pinned residual is
+	// already zero are treated as complete and skipped.
+	Flows []flow.Flow
+	Model power.Model
+	// Now is the re-plan instant. Only [Now, …] is planned: each flow's
+	// residual demand must fit into [max(Release, Now), Deadline].
+	Now float64
+	// Pinned maps in-flight flows to their frozen commitments. Flows not in
+	// the map are free: the solve chooses their path.
+	Pinned map[flow.ID]PinnedCommitment
+	// Intervals optionally supplies the residual-horizon segmentation
+	// (e.g. timeline.BreakpointSet.IntervalsFrom(Now), maintained
+	// incrementally by a rolling scheduler). When nil it is rebuilt from
+	// the residual spans.
+	Intervals []timeline.Interval
+	// Prev, with Opts.WarmStart set, seeds each interval's Frank–Wolfe
+	// solve from the previous epoch's time-aligned decomposition.
+	Prev *RelaxationState
+	// Argmax makes the first rounding attempt assign every free flow its
+	// modal (highest-weight) candidate path instead of sampling — the
+	// deterministic choice a model-predictive controller prefers; repair
+	// attempts after a capacity violation still sample.
+	Argmax bool
+	Opts   DCFSROptions
+}
+
+// CandidatePath is one entry of a free flow's aggregated rounding
+// distribution: a path and its time-weighted fractional probability.
+type CandidatePath struct {
+	Path   graph.Path
+	Weight float64
+}
+
+// DCFSRPartialResult is the residual plan.
+type DCFSRPartialResult struct {
+	// Paths holds the planned path per active flow: the sampled candidate
+	// for free flows, the pinned path echoed back for pinned ones.
+	Paths map[flow.ID]graph.Path
+	// Candidates holds each free flow's aggregated candidate distribution
+	// in descending weight order (deterministic tie-break) — the basis of
+	// the rounding. Rolling-horizon callers re-score it against their own
+	// reservation state instead of trusting a single draw.
+	Candidates map[flow.ID][]CandidatePath
+	// Rates holds each active flow's planning rate: the residual density —
+	// the constant rate that, sustained from Starts[id] to the deadline,
+	// exactly delivers the residual demand — or, for pinned flows, the
+	// PinnedCommitment.Demand override when one was supplied.
+	Rates map[flow.ID]float64
+	// Starts holds each active flow's (re)start instant max(Release, Now).
+	Starts map[flow.ID]float64
+	// ResidualLowerBound is the fractional relaxation value of the residual
+	// instance — a valid lower bound on the energy over [Now, …] of every
+	// feasible continuation (pinning only constrains, so the unpinned
+	// relaxation bounds the pinned continuation too).
+	ResidualLowerBound float64
+	// State is this epoch's relaxation, to be passed as Prev next epoch.
+	State *RelaxationState
+	// FWIters is the total number of Frank–Wolfe iterations across all
+	// interval solves — the warm-start effectiveness metric.
+	FWIters int
+	// SeededIntervals counts interval solves that received a Prev seed.
+	SeededIntervals int
+	// Intervals is the number of residual decomposition intervals.
+	Intervals int
+	// Attempts is the number of rounding attempts consumed.
+	Attempts int
+	// CapacityFeasible reports whether the returned assignment satisfies
+	// link capacities (always true for uncapped models).
+	CapacityFeasible bool
+	// MaxRate is the maximum per-link per-interval aggregate planned rate.
+	MaxRate float64
+}
+
+// SolveDCFSRPartial re-runs the Random-Schedule relaxation over the
+// remaining horizon with frozen commitments — the epoch re-solve of the
+// rolling-horizon online scheduler:
+//
+//  1. every active flow is reduced to its residual instance: demand
+//     Size - Transmitted over [max(Release, Now), Deadline];
+//  2. the residual multi-interval F-MCF relaxation is solved exactly as in
+//     SolveDCFSR, warm-seeded per interval from Prev when Opts.WarmStart is
+//     set (mcfsolve.Solver.SolveWarm matches commodities by flow ID);
+//  3. free flows are rounded to candidate paths (modal-first under Argmax,
+//     sampled otherwise, re-sampled on capacity violations); pinned flows
+//     keep their pinned path — the rounding is where the frozen
+//     commitments bind.
+//
+// The relaxation itself routes all active flows fractionally, so its value
+// is the residual lower bound of the unconstrained continuation; since
+// pinning only removes options, it also lower-bounds the pinned
+// continuation the caller will actually execute.
+func SolveDCFSRPartial(in DCFSRPartialInput) (*DCFSRPartialResult, error) {
+	if in.Graph == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
+	}
+	if err := in.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	if math.IsNaN(in.Now) || math.IsInf(in.Now, 0) {
+		return nil, fmt.Errorf("%w: bad re-plan instant %v", ErrBadInput, in.Now)
+	}
+	opts := in.Opts.withDefaults()
+
+	// Reduce every active flow to its residual instance.
+	type residual struct {
+		f       flow.Flow
+		start   float64
+		demand  float64 // residual data
+		density float64 // demand / (deadline - start)
+		pinned  bool
+	}
+	var (
+		active []residual
+		seen   = make(map[flow.ID]bool, len(in.Flows))
+	)
+	res := &DCFSRPartialResult{
+		Paths:            make(map[flow.ID]graph.Path, len(in.Flows)),
+		Rates:            make(map[flow.ID]float64, len(in.Flows)),
+		Starts:           make(map[flow.ID]float64, len(in.Flows)),
+		CapacityFeasible: true,
+	}
+	for _, f := range in.Flows {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		if seen[f.ID] {
+			return nil, fmt.Errorf("%w: duplicate flow id %d", ErrBadInput, f.ID)
+		}
+		seen[f.ID] = true
+		r := residual{f: f, start: math.Max(f.Release, in.Now), demand: f.Size}
+		var fixedDemand float64
+		if pc, ok := in.Pinned[f.ID]; ok {
+			if err := pc.Path.Validate(in.Graph, f.Src, f.Dst); err != nil {
+				return nil, fmt.Errorf("%w: pinned flow %d: %v", ErrBadInput, f.ID, err)
+			}
+			if pc.Transmitted < 0 || pc.Transmitted > f.Size*(1+1e-9) {
+				return nil, fmt.Errorf("%w: pinned flow %d transmitted %v of %v", ErrBadInput, f.ID, pc.Transmitted, f.Size)
+			}
+			r.demand = f.Size - pc.Transmitted
+			r.pinned = true
+			fixedDemand = pc.Demand
+		}
+		if r.demand <= f.Size*1e-9 {
+			continue // already complete; nothing left to plan
+		}
+		span := f.Deadline - r.start
+		if span <= timeline.Eps {
+			return nil, fmt.Errorf("%w: flow %d has %v residual data but its deadline %v has passed at %v",
+				ErrInfeasible, f.ID, r.demand, f.Deadline, in.Now)
+		}
+		r.density = r.demand / span
+		if fixedDemand > 0 {
+			r.density = fixedDemand
+		}
+		active = append(active, r)
+	}
+	if len(active) == 0 {
+		res.State = &RelaxationState{Now: in.Now}
+		return res, nil
+	}
+	sort.Slice(active, func(a, b int) bool { return active[a].f.ID < active[b].f.ID })
+
+	// Residual-horizon segmentation: the caller's incremental one, or a
+	// rebuild from the residual spans.
+	intervals := in.Intervals
+	if intervals == nil {
+		var times []float64
+		for _, r := range active {
+			times = append(times, r.start, r.f.Deadline)
+		}
+		intervals = timeline.Decompose(timeline.Breakpoints(times))
+	}
+
+	rel := &relaxation{
+		intervals: intervals,
+		comms:     make([][]mcfsolve.Commodity, len(intervals)),
+		results:   make([]*mcfsolve.Result, len(intervals)),
+	}
+	for k, iv := range intervals {
+		for _, r := range active {
+			if r.start <= iv.Start+timeline.Eps && r.f.Deadline >= iv.End-timeline.Eps {
+				rel.comms[k] = append(rel.comms[k], mcfsolve.Commodity{
+					ID: r.f.ID, Src: r.f.Src, Dst: r.f.Dst, Demand: r.density,
+				})
+			}
+		}
+	}
+
+	// Cross-epoch warm seeds, resolved serially up front so the concurrent
+	// fan-out only reads them. With Opts.WarmStart the seeds slice is
+	// always non-nil — even on the first epoch, when every entry is zero —
+	// because a non-nil slice also disables the offline left-neighbour
+	// chain inside solveIntervalRelaxation: partial solves must keep every
+	// interval fully converged so the NEXT epoch inherits good seeds.
+	var seeds []mcfsolve.WarmStart
+	if opts.WarmStart {
+		seeds = make([]mcfsolve.WarmStart, len(intervals))
+		for k, iv := range intervals {
+			if len(rel.comms[k]) == 0 {
+				continue
+			}
+			seeds[k] = in.Prev.seedFor(iv, rel.comms[k])
+			if seeds[k].Result != nil {
+				res.SeededIntervals++
+			}
+		}
+	}
+	if err := solveIntervalRelaxation(in.Graph, in.Model, opts, rel, seeds); err != nil {
+		return nil, err
+	}
+	for _, r := range rel.results {
+		if r != nil {
+			res.FWIters += r.Iters
+		}
+	}
+	res.ResidualLowerBound = rel.lowerBound
+	res.Intervals = len(intervals)
+	res.State = &RelaxationState{
+		Now:       in.Now,
+		Intervals: rel.intervals,
+		Comms:     rel.comms,
+		Results:   rel.results,
+	}
+
+	// Candidate aggregation for the free flows only; pinned paths are
+	// frozen, so their fractional decompositions never reach the rounding.
+	spans := make(map[flow.ID]float64, len(active))
+	for _, r := range active {
+		if !r.pinned {
+			spans[r.f.ID] = r.f.Deadline - r.start
+		}
+	}
+	interner := graph.NewPathInterner()
+	cands := aggregateCandidates(rel, spans, interner)
+	res.Candidates = make(map[flow.ID][]CandidatePath, len(spans))
+	for _, r := range active {
+		res.Rates[r.f.ID] = r.density
+		res.Starts[r.f.ID] = r.start
+		if r.pinned {
+			res.Paths[r.f.ID] = in.Pinned[r.f.ID].Path
+			continue
+		}
+		list := cands[r.f.ID]
+		if len(list) == 0 {
+			return nil, fmt.Errorf("%w: flow %d received no candidate paths", ErrInfeasible, r.f.ID)
+		}
+		out := make([]CandidatePath, len(list))
+		for i, c := range list {
+			out[i] = CandidatePath{Path: interner.Path(c.handle), Weight: c.weight}
+		}
+		res.Candidates[r.f.ID] = out
+	}
+
+	// Rounding: free flows draw a path (modal-first under Argmax), pinned
+	// flows contribute their frozen load; re-sample free flows while link
+	// capacities are violated, keeping the least-violating assignment.
+	capLimit := math.Inf(1)
+	if in.Model.Capped() {
+		capLimit = in.Model.C
+	}
+	var free []residual
+	for _, r := range active {
+		if !r.pinned {
+			free = append(free, r)
+		}
+	}
+	// Per-interval pinned base load, shared by every attempt.
+	nE := in.Graph.NumEdges()
+	base := make([][]float64, len(intervals))
+	load := make([]float64, nE)
+	for k, iv := range intervals {
+		base[k] = make([]float64, nE)
+		for _, r := range active {
+			if r.pinned && r.start <= iv.Start+timeline.Eps && r.f.Deadline >= iv.End-timeline.Eps {
+				for _, eid := range in.Pinned[r.f.ID].Path.Edges {
+					base[k][eid] += r.density
+				}
+			}
+		}
+	}
+	maxAssignedRate := func(chosen map[flow.ID]graph.PathHandle) float64 {
+		var max float64
+		for k, iv := range intervals {
+			copy(load, base[k])
+			for _, r := range free {
+				if r.start <= iv.Start+timeline.Eps && r.f.Deadline >= iv.End-timeline.Eps {
+					for _, eid := range interner.Edges(chosen[r.f.ID]) {
+						load[eid] += r.density
+					}
+				}
+			}
+			for _, v := range load {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var (
+		best          map[flow.ID]graph.PathHandle
+		bestViolation = math.Inf(1)
+		bestMaxRate   float64
+		feasibleFound bool
+		attempts      int
+	)
+	for attempts = 1; attempts <= opts.MaxRoundingAttempts; attempts++ {
+		chosen := make(map[flow.ID]graph.PathHandle, len(free))
+		for _, r := range free {
+			list := cands[r.f.ID]
+			if in.Argmax && attempts == 1 {
+				chosen[r.f.ID] = list[0].handle
+			} else {
+				chosen[r.f.ID] = samplePath(rng, list)
+			}
+		}
+		maxRate := maxAssignedRate(chosen)
+		violation := math.Max(0, maxRate-capLimit)
+		if violation <= capLimit*1e-9 {
+			best, bestMaxRate, feasibleFound = chosen, maxRate, true
+			break
+		}
+		if violation < bestViolation {
+			best, bestViolation, bestMaxRate = chosen, violation, maxRate
+		}
+	}
+	if attempts > opts.MaxRoundingAttempts {
+		attempts = opts.MaxRoundingAttempts
+	}
+	for _, r := range free {
+		res.Paths[r.f.ID] = interner.Path(best[r.f.ID])
+	}
+	res.Attempts = attempts
+	res.CapacityFeasible = feasibleFound
+	res.MaxRate = bestMaxRate
+	return res, nil
+}

@@ -151,7 +151,10 @@ func TestRunAblationSurrogate(t *testing.T) {
 
 func TestRunOnlineComparison(t *testing.T) {
 	res, err := RunOnlineComparison(
-		AblateConfig{N: 10, Runs: 2, Seed: 9, SolverIters: 15},
+		OnlineConfig{
+			AblateConfig: AblateConfig{N: 10, Runs: 2, Seed: 9, SolverIters: 15},
+			Workload:     "uniform",
+		},
 		[]int{8, 16},
 	)
 	if err != nil {
@@ -161,17 +164,59 @@ func TestRunOnlineComparison(t *testing.T) {
 		t.Fatalf("points = %d, want 2", len(res.Points))
 	}
 	for _, p := range res.Points {
-		if p.Online < 1-1e-6 || p.Offline < 1-1e-6 {
+		if p.Greedy < 1-1e-6 || p.Rolling < 1-1e-6 || p.Offline < 1-1e-6 {
 			t.Fatalf("ratio below lower bound: %+v", p)
 		}
-		// The online greedy must stay in the same ballpark as offline RS
+		// Both online schemes must stay in the same ballpark as offline RS
 		// on mild uniform workloads.
-		if p.Online > 3*p.Offline {
-			t.Fatalf("online ratio %v implausibly worse than offline %v", p.Online, p.Offline)
+		if p.Greedy > 3*p.Offline || p.Rolling > 3*p.Offline {
+			t.Fatalf("online ratios implausibly worse than offline: %+v", p)
 		}
 	}
-	if !strings.Contains(res.Table(), "online/LB") {
-		t.Fatal("table missing online column")
+	if !strings.Contains(res.Table(), "rolling/LB") {
+		t.Fatal("table missing rolling column")
+	}
+}
+
+// TestRunOnlineComparisonDiurnalRollingWins pins the headline claim of the
+// online extension: on the diurnal workload, rolling-horizon
+// re-optimization strictly beats the irrevocable marginal-cost greedy on
+// mean total energy (both normalised by the shared offline lower bound),
+// with the simulator validating every schedule inside the runner.
+func TestRunOnlineComparisonDiurnalRollingWins(t *testing.T) {
+	res, err := RunOnlineComparison(
+		OnlineConfig{AblateConfig: AblateConfig{Runs: 3, Seed: 1, SolverIters: 25}},
+		[]int{40, 80},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Workload != "diurnal" {
+		t.Fatalf("default workload = %q, want diurnal", res.Config.Workload)
+	}
+	for _, p := range res.Points {
+		if p.Rolling >= p.Greedy {
+			t.Fatalf("n=%d: rolling %v did not beat greedy %v", p.N, p.Rolling, p.Greedy)
+		}
+	}
+}
+
+func TestRunOnlineComparisonIncast(t *testing.T) {
+	res, err := RunOnlineComparison(
+		OnlineConfig{
+			AblateConfig: AblateConfig{Runs: 1, Seed: 3, SolverIters: 15},
+			Workload:     "incast",
+		},
+		[]int{16},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Rolling < 1-1e-6 {
+		t.Fatalf("incast points: %+v", res.Points)
+	}
+	if _, err := RunOnlineComparison(OnlineConfig{Workload: "bogus"}, []int{4}); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 }
 
@@ -222,8 +267,8 @@ func TestAblationTables(t *testing.T) {
 	if !strings.Contains(sr.Table(), "envelope of f") {
 		t.Fatal("surrogate table missing row")
 	}
-	or := &OnlineResult{Points: []OnlinePoint{{N: 10, Online: 1.2, Offline: 1.3}}}
-	if !strings.Contains(or.Table(), "online/LB") {
+	or := &OnlineResult{Points: []OnlinePoint{{N: 10, Greedy: 1.2, Rolling: 1.1, Offline: 1.3}}}
+	if !strings.Contains(or.Table(), "greedy/LB") || !strings.Contains(or.Table(), "rolling/LB") {
 		t.Fatal("online table missing header")
 	}
 	er := &ExactResult{Points: []ExactPoint{{N: 2, RSOverExact: 1.1, LBOverExact: 0.9}}}

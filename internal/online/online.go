@@ -5,13 +5,23 @@
 // times; the scheduler must fix each flow's path and rate immediately and
 // irrevocably.
 //
-// The heuristic is marginal-cost greedy routing with density rates: when a
-// flow arrives, route it on the path minimising the *increase* of the
-// power-function cost given the rates currently reserved by admitted
-// flows, then reserve the flow's density D_i on every link of that path
-// for its whole span. Deadlines are met by construction (density rates),
-// and the marginal-cost objective makes the greedy a natural online
-// counterpart of the offline relaxation.
+// The package offers two schedulers at opposite ends of the
+// effort/quality spectrum:
+//
+//   - Scheduler (marginal-cost greedy): when a flow arrives, route it on
+//     the path minimising the *increase* of the power-function cost given
+//     the rates currently reserved by admitted flows, then reserve the
+//     flow's density D_i on every link of that path for its whole span.
+//     Deadlines are met by construction (density rates), decisions are
+//     instantaneous and irrevocable.
+//   - RollingScheduler (rolling horizon): arrivals are batched into
+//     epochs; each epoch boundary re-runs the Random-Schedule relaxation
+//     over the remaining horizon with frozen commitments
+//     (core.SolveDCFSRPartial) and routes the batch on the resulting
+//     candidate distributions, warm-starting the per-interval Frank–Wolfe
+//     solves from the previous epoch.
+//
+// Both implement sim.OnlineEngine and can be driven by sim.ReplayOnline.
 package online
 
 import (
@@ -105,6 +115,55 @@ func (r *reservation) add(a, b, rate float64) {
 	r.segs = out
 }
 
+// marginalEnergy integrates cost(cur(t)+d) - cost(cur(t)) over [a, b],
+// where cur is the reserved piecewise-constant rate (zero in the gaps
+// between pieces): the exact energy increase of adding rate d to this link
+// for the whole window. A nil receiver is an empty reservation.
+func (r *reservation) marginalEnergy(a, b, d float64, cost func(float64) float64) float64 {
+	if b <= a {
+		return 0
+	}
+	gapDelta := cost(d) - cost(0)
+	var sum float64
+	cur := a
+	if r != nil {
+		for _, s := range r.segs {
+			if s.Interval.End <= cur+timeline.Eps {
+				continue
+			}
+			if s.Interval.Start >= b-timeline.Eps {
+				break
+			}
+			lo := math.Max(s.Interval.Start, cur)
+			hi := math.Min(s.Interval.End, b)
+			if lo > cur {
+				sum += gapDelta * (lo - cur)
+			}
+			sum += (cost(s.Rate+d) - cost(s.Rate)) * (hi - lo)
+			cur = hi
+			if cur >= b-timeline.Eps {
+				break
+			}
+		}
+	}
+	if cur < b {
+		sum += gapDelta * (b - cur)
+	}
+	return sum
+}
+
+// prune discards pieces that end at or before t; callers must only query
+// windows starting at or after t afterwards.
+func (r *reservation) prune(t float64) {
+	keep := r.segs[:0]
+	for _, s := range r.segs {
+		if s.Interval.End > t+timeline.Eps {
+			keep = append(keep, s)
+		}
+	}
+	r.segs = keep
+}
+
 // maxDuring returns the maximum reserved rate within [a, b].
 func (r *reservation) maxDuring(a, b float64) float64 {
 	var max float64
@@ -118,14 +177,16 @@ func (r *reservation) maxDuring(a, b float64) float64 {
 }
 
 // Scheduler admits flows one at a time. The zero value is not usable; use
-// New.
+// New. It implements sim.OnlineEngine (Arrive/AdvanceTo/Finish), so it can
+// be driven by sim.ReplayOnline interchangeably with RollingScheduler.
 type Scheduler struct {
-	g     *graph.Graph
-	model power.Model
-	opts  Options
-	res   map[graph.EdgeID]*reservation
-	sched *schedule.Schedule
-	peak  float64
+	g        *graph.Graph
+	model    power.Model
+	opts     Options
+	res      map[graph.EdgeID]*reservation
+	sched    *schedule.Schedule
+	peak     float64
+	rejected int
 }
 
 // New creates an online scheduler over the given horizon.
@@ -207,6 +268,36 @@ func (s *Scheduler) Admit(f flow.Flow) error {
 		}},
 	})
 }
+
+// Arrive implements the sim.OnlineEngine reveal event: the flow is admitted
+// immediately (the greedy decides at arrival, there is no batching), and a
+// capacity rejection under RejectOverCapacity is recorded rather than
+// returned as an error.
+func (s *Scheduler) Arrive(f flow.Flow) error {
+	if err := s.Admit(f); err != nil {
+		if errors.Is(err, ErrOverCapacity) {
+			s.rejected++
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// AdvanceTo implements sim.OnlineEngine; the greedy has no internal
+// boundaries, so advancing time is a no-op.
+func (s *Scheduler) AdvanceTo(float64) error { return nil }
+
+// Finish implements sim.OnlineEngine: it assigns packet priorities and
+// returns the accumulated schedule.
+func (s *Scheduler) Finish() (*schedule.Schedule, error) {
+	s.sched.AssignPriorities()
+	return s.sched, nil
+}
+
+// Rejected returns the number of flows refused under RejectOverCapacity
+// since the scheduler was created.
+func (s *Scheduler) Rejected() int { return s.rejected }
 
 // Run replays a whole flow set in release order through the online
 // scheduler — the offline-comparable entry point.

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/timeline"
+	"dcnflow/internal/topology"
+)
+
+// stubEngine admits every flow at its density except the IDs in skip, and
+// records the event order it observes.
+type stubEngine struct {
+	g      *graph.Graph
+	sched  *schedule.Schedule
+	skip   map[flow.ID]bool
+	events []string
+	last   float64
+}
+
+func (e *stubEngine) Arrive(f flow.Flow) error {
+	e.events = append(e.events, fmt.Sprintf("arrive:%d", f.ID))
+	if f.Release < e.last-timeline.Eps {
+		return fmt.Errorf("arrival at %v before clock %v", f.Release, e.last)
+	}
+	if e.skip[f.ID] {
+		return nil
+	}
+	p, err := e.g.ShortestPath(f.Src, f.Dst)
+	if err != nil {
+		return err
+	}
+	return e.sched.SetFlow(&schedule.FlowSchedule{
+		FlowID: f.ID,
+		Path:   p,
+		Segments: []schedule.RateSegment{{
+			Interval: timeline.Interval{Start: f.Release, End: f.Deadline},
+			Rate:     f.Density(),
+		}},
+	})
+}
+
+func (e *stubEngine) AdvanceTo(t float64) error {
+	if t > e.last {
+		e.last = t
+	}
+	return nil
+}
+
+func (e *stubEngine) Finish() (*schedule.Schedule, error) {
+	e.events = append(e.events, "finish")
+	return e.sched, nil
+}
+
+func TestReplayOnlineDrivesEngineInReleaseOrder(t *testing.T) {
+	top, err := topology.Line(3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := top.Hosts[0], top.Hosts[1], top.Hosts[2]
+	flows, err := flow.NewSet([]flow.Flow{
+		{Src: a, Dst: c, Release: 5, Deadline: 9, Size: 4},
+		{Src: a, Dst: b, Release: 1, Deadline: 6, Size: 2},
+		{Src: b, Dst: c, Release: 3, Deadline: 8, Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 1e9}
+	t0, t1 := flows.Horizon()
+	eng := &stubEngine{
+		g:     top.Graph,
+		sched: schedule.New(timeline.Interval{Start: t0, End: t1}),
+		skip:  map[flow.ID]bool{2: true},
+	}
+	rep, err := ReplayOnline(top.Graph, flows, m, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals must come in release order (flow 1 released first), with
+	// finish last.
+	want := "arrive:1,arrive:2,arrive:0,finish"
+	if got := strings.Join(eng.events, ","); got != want {
+		t.Fatalf("event order %q, want %q", got, want)
+	}
+	if rep.Admitted != 2 || rep.Rejected != 1 {
+		t.Fatalf("admitted/rejected = %d/%d, want 2/1", rep.Admitted, rep.Rejected)
+	}
+	// The skipped flow counts as a simulator miss but not as an admitted
+	// violation.
+	if rep.DeadlineViolations != 0 {
+		t.Fatalf("violations = %d, want 0", rep.DeadlineViolations)
+	}
+	if rep.Sim.DeadlinesMissed != 1 || rep.Sim.DeadlinesMet != 2 {
+		t.Fatalf("sim deadlines met/missed = %d/%d", rep.Sim.DeadlinesMet, rep.Sim.DeadlinesMissed)
+	}
+	if rep.Energy <= 0 || rep.Energy != rep.Sim.TotalEnergy {
+		t.Fatalf("energy %v vs sim %v", rep.Energy, rep.Sim.TotalEnergy)
+	}
+}
+
+func TestReplayOnlineBadInput(t *testing.T) {
+	top, err := topology.Line(3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 1e9}
+	if _, err := ReplayOnline(nil, nil, m, nil, Options{}); err == nil {
+		t.Fatal("nil arguments accepted")
+	}
+	flows, _ := flow.NewSet([]flow.Flow{{Src: top.Hosts[0], Dst: top.Hosts[1], Release: 0, Deadline: 1, Size: 1}})
+	if _, err := ReplayOnline(top.Graph, flows, m, nil, Options{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package timeline
+
+import "sort"
+
+// BreakpointSet maintains a sorted, Eps-deduplicated set of time breakpoints
+// under incremental insertion — the online counterpart of Breakpoints. A
+// rolling-horizon scheduler inserts the release times and deadlines of newly
+// revealed flows as they arrive and re-segments only the remaining horizon
+// at each re-plan instant, instead of rebuilding the full breakpoint list
+// from every flow on every epoch.
+//
+// The zero value is an empty set ready for use.
+type BreakpointSet struct {
+	pts []float64
+}
+
+// Len returns the number of breakpoints currently held.
+func (s *BreakpointSet) Len() int { return len(s.pts) }
+
+// Points returns a copy of the breakpoints in ascending order.
+func (s *BreakpointSet) Points() []float64 {
+	out := make([]float64, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Insert adds the time values, keeping the set sorted and deduplicated
+// within Eps. It returns the number of values that were genuinely new.
+// Insertion is O(log n + n) per new value in the worst case but O(log n)
+// for values already present — the common case for an online workload whose
+// flows share grid-aligned deadlines.
+func (s *BreakpointSet) Insert(times ...float64) (added int) {
+	for _, t := range times {
+		i := sort.SearchFloat64s(s.pts, t)
+		// A value within Eps of t sits at index i-1 or i.
+		if i > 0 && t-s.pts[i-1] <= Eps {
+			continue
+		}
+		if i < len(s.pts) && s.pts[i]-t <= Eps {
+			continue
+		}
+		s.pts = append(s.pts, 0)
+		copy(s.pts[i+1:], s.pts[i:])
+		s.pts[i] = t
+		added++
+	}
+	return added
+}
+
+// Contains reports whether a breakpoint within Eps of t is present.
+func (s *BreakpointSet) Contains(t float64) bool {
+	i := sort.SearchFloat64s(s.pts, t)
+	if i > 0 && t-s.pts[i-1] <= Eps {
+		return true
+	}
+	return i < len(s.pts) && s.pts[i]-t <= Eps
+}
+
+// Prune discards breakpoints strictly before t (outside Eps), bounding the
+// set's memory over a long-running horizon. Points already re-segmented
+// into committed intervals are never needed again.
+func (s *BreakpointSet) Prune(t float64) {
+	i := sort.SearchFloat64s(s.pts, t-Eps)
+	if i > 0 {
+		s.pts = append(s.pts[:0], s.pts[i:]...)
+	}
+}
+
+// IntervalsFrom re-segments the remaining horizon: it returns the
+// consecutive intervals I_k covering [from, max breakpoint], starting at
+// `from` and splitting at every breakpoint after it. Breakpoints at or
+// before `from` (within Eps) are skipped, so the caller re-plans only the
+// future without rebuilding past segmentation. It returns nil when no
+// breakpoint lies beyond `from`.
+func (s *BreakpointSet) IntervalsFrom(from float64) []Interval {
+	i := sort.SearchFloat64s(s.pts, from)
+	for i < len(s.pts) && s.pts[i]-from <= Eps {
+		i++
+	}
+	if i == len(s.pts) {
+		return nil
+	}
+	out := make([]Interval, 0, len(s.pts)-i)
+	cur := from
+	for ; i < len(s.pts); i++ {
+		out = append(out, Interval{Start: cur, End: s.pts[i]})
+		cur = s.pts[i]
+	}
+	return out
+}

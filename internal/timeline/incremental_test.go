@@ -1,0 +1,113 @@
+package timeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakpointSetInsertDedup(t *testing.T) {
+	var s BreakpointSet
+	if added := s.Insert(5, 1, 3); added != 3 {
+		t.Fatalf("added = %d, want 3", added)
+	}
+	if added := s.Insert(3, 1+Eps/2, 7); added != 1 {
+		t.Fatalf("re-insert added = %d, want 1 (only 7 is new)", added)
+	}
+	got := s.Points()
+	want := []float64{1, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("points = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > Eps {
+			t.Fatalf("points = %v, want %v", got, want)
+		}
+	}
+	if !s.Contains(3) || !s.Contains(3+Eps/2) || s.Contains(4) {
+		t.Fatal("Contains disagrees with inserted points")
+	}
+}
+
+func TestBreakpointSetIntervalsFrom(t *testing.T) {
+	var s BreakpointSet
+	s.Insert(10, 20, 30, 40)
+	ivs := s.IntervalsFrom(15)
+	want := []Interval{{15, 20}, {20, 30}, {30, 40}}
+	if len(ivs) != len(want) {
+		t.Fatalf("intervals = %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if math.Abs(ivs[i].Start-want[i].Start) > Eps || math.Abs(ivs[i].End-want[i].End) > Eps {
+			t.Fatalf("intervals = %v, want %v", ivs, want)
+		}
+	}
+	// A re-plan instant sitting exactly on a breakpoint skips it.
+	ivs = s.IntervalsFrom(20)
+	if len(ivs) != 2 || ivs[0].Start != 20 || ivs[0].End != 30 {
+		t.Fatalf("intervals from breakpoint = %v", ivs)
+	}
+	// Nothing beyond the last breakpoint.
+	if got := s.IntervalsFrom(40); got != nil {
+		t.Fatalf("intervals past the end = %v, want nil", got)
+	}
+	if got := s.IntervalsFrom(45); got != nil {
+		t.Fatalf("intervals past the end = %v, want nil", got)
+	}
+}
+
+func TestBreakpointSetPrune(t *testing.T) {
+	var s BreakpointSet
+	s.Insert(1, 2, 3, 4, 5)
+	s.Prune(3)
+	got := s.Points()
+	if len(got) != 3 || got[0] != 3 {
+		t.Fatalf("after prune: %v, want [3 4 5]", got)
+	}
+	// Pruning must not disturb future re-segmentation.
+	ivs := s.IntervalsFrom(3.5)
+	if len(ivs) != 2 || ivs[0].Start != 3.5 || ivs[1].End != 5 {
+		t.Fatalf("intervals after prune = %v", ivs)
+	}
+}
+
+// Property: incremental insertion agrees with the batch Breakpoints +
+// Decompose pipeline on random inputs.
+func TestPropertyBreakpointSetMatchesBatch(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		times := make([]float64, n)
+		var s BreakpointSet
+		for i := range times {
+			times[i] = math.Floor(rng.Float64()*200) / 4 // collision-prone grid
+			s.Insert(times[i])
+		}
+		batch := Breakpoints(times)
+		inc := s.Points()
+		if len(batch) != len(inc) {
+			return false
+		}
+		for i := range batch {
+			if math.Abs(batch[i]-inc[i]) > Eps {
+				return false
+			}
+		}
+		// IntervalsFrom the minimum matches Decompose.
+		ivs := s.IntervalsFrom(batch[0])
+		dec := Decompose(batch)
+		if len(ivs) != len(dec) {
+			return false
+		}
+		for i := range dec {
+			if math.Abs(ivs[i].Start-dec[i].Start) > Eps || math.Abs(ivs[i].End-dec[i].End) > Eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
