@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt bench bench-smoke examples doccheck
+.PHONY: build test test-race-online vet fmt bench bench-smoke examples scenarios doccheck
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,29 @@ build:
 examples:
 	$(GO) build ./examples/...
 
+# scenarios solves every JSON scenario spec under examples/scenarios/
+# through a representative registered-solver set (exact is excluded: the
+# specs are larger than its enumeration bound).
+scenarios:
+	@for f in examples/scenarios/*.json; do \
+		echo "== $$f"; \
+		$(GO) run ./cmd/dcnflow run $$f -solver dcfsr,sp-mcf,greedy-online,rolling-online || exit 1; \
+	done
+
 # doccheck fails when an exported symbol of the public facade (root
-# package) is missing a doc comment.
+# package) is missing a doc comment, or when a registered solver name is
+# absent from README.md, DESIGN.md or `dcnflow run -h`.
 doccheck:
 	$(GO) run ./cmd/doccheck
 
 test:
 	$(GO) test ./...
+
+# test-race-online runs the packages with cross-goroutine state (the online
+# schedulers and the concurrent relaxation fan-out they drive) under the
+# race detector; CI runs the same job.
+test-race-online:
+	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/...
 
 vet:
 	$(GO) vet ./...

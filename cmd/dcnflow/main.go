@@ -10,15 +10,20 @@
 //	dcnflow ablate surrogate         # A3: relaxation cost
 //	dcnflow online -mode compare     # O1: greedy vs rolling vs offline RS
 //	dcnflow online -mode rolling     # one rolling-horizon run with stats
+//	dcnflow run scenario.json -solver dcfsr,sp-mcf   # solve a JSON scenario spec
 //	dcnflow workload -n 100          # dump a generated workload as CSV
 //	dcnflow topo -kind fattree -k 4  # emit a topology in Graphviz DOT
 //
 // Run `dcnflow <command> -h` for any command's flags. The experiment IDs
 // (E1, F2, T2/T3, A1-A3, O1) are defined in DESIGN.md's per-experiment
 // index, which maps each one to its runner, benchmark and CLI entry.
+// Scheme-running commands (run, compare, trace) dispatch through the
+// Scenario/Solver registry of the dcnflow package, so every registered
+// solver is reachable from the command line.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,16 +31,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
-	"dcnflow/internal/baseline"
+	"dcnflow"
 	"dcnflow/internal/core"
 	"dcnflow/internal/experiments"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/mcfsolve"
 	"dcnflow/internal/online"
 	"dcnflow/internal/power"
-	"dcnflow/internal/schedule"
-	"dcnflow/internal/sim"
 	"dcnflow/internal/stats"
 	"dcnflow/internal/topology"
 )
@@ -68,8 +72,9 @@ func commands() []command {
 		{"hardness", "run the Theorem 2 gadget and report the Theorem 3 constant", "T2/T3", runHardness},
 		{"ablate", "run an ablation study: lambda | rounding | surrogate | online | exact", "A1 A2 A3", runAblate},
 		{"online", "run the online extension: greedy, rolling-horizon, or the O1 comparison", "O1", runOnline},
+		{"run", "solve a JSON scenario spec with registered solvers (see examples/scenarios/)", "", runScenario},
 		{"workload", "generate and print a random workload as CSV", "", runWorkload},
-		{"compare", "run every scheme (LB, RS, SP+MCF, ECMP+MCF, online, always-on) on one workload", "", runCompare},
+		{"compare", "run every registered solver (and the fractional LB) on one workload", "", runCompare},
 		{"trace", "schedule a CSV flow trace (id,src,dst,release,deadline,size) on a chosen topology", "", runTrace},
 		{"topo", "emit a topology in Graphviz DOT", "", runTopo},
 	}
@@ -371,7 +376,7 @@ func runOnline(args []string) error {
 		if err != nil {
 			return err
 		}
-		simRes, err := sim.Run(ft.Graph, set, res.Schedule, model, sim.Options{})
+		simRes, err := dcnflow.Simulate(ft.Graph, set, res.Schedule, model, dcnflow.SimOptions{})
 		if err != nil {
 			return err
 		}
@@ -383,6 +388,139 @@ func runOnline(args []string) error {
 	default:
 		return fmt.Errorf("online: unknown mode %q", *mode)
 	}
+	return nil
+}
+
+// solverList resolves a -solver flag value against the registry: a
+// comma-separated list of registered names, or "all".
+func solverList(value string) ([]string, error) {
+	if value == "all" {
+		return dcnflow.SolverNames(), nil
+	}
+	registered := make(map[string]bool)
+	for _, name := range dcnflow.SolverNames() {
+		registered[name] = true
+	}
+	var out []string
+	for _, name := range strings.Split(value, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !registered[name] {
+			return nil, fmt.Errorf("unknown solver %q (registered: %s)",
+				name, strings.Join(dcnflow.SolverNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no solvers selected")
+	}
+	return out, nil
+}
+
+// solutionTable renders solutions uniformly: energy, the ratio against the
+// best lower bound any selected solver produced, and active link counts.
+func solutionTable(sols []*dcnflow.Solution, lb float64) *stats.Table {
+	tb := stats.NewTable("solver", "energy", "vs LB", "links on")
+	if lb > 0 {
+		tb.AddRow("fractional LB", lb, 1.0, "-")
+	}
+	for _, sol := range sols {
+		ratio := "-"
+		if lb > 0 {
+			ratio = fmt.Sprintf("%.4g", sol.Energy/lb)
+		}
+		tb.AddRow(sol.Solver, sol.Energy, ratio, int(sol.Stats["links_on"]))
+	}
+	return tb
+}
+
+func runScenario(args []string) error {
+	fs := newFlagSet("run <scenario.json>")
+	solvers := fs.String("solver", "dcfsr",
+		"comma-separated solver names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
+	timeout := fs.Duration("timeout", 0, "cancel the solves after this long (0 = no limit)")
+	progress := fs.Bool("progress", false, "stream per-interval / per-epoch progress events to stderr")
+	// The spec path may come before the flags (`dcnflow run spec.json
+	// -solver x`, the documented form) or after them.
+	path := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		if fs.NArg() == 0 {
+			fs.Usage()
+			return errors.New("run: missing scenario file")
+		}
+		path = fs.Arg(0)
+		if fs.NArg() > 1 {
+			return fmt.Errorf("run: unexpected arguments %q", fs.Args()[1:])
+		}
+	} else if fs.NArg() > 0 {
+		return fmt.Errorf("run: unexpected arguments %q", fs.Args())
+	}
+	names, err := solverList(*solvers)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+
+	spec, err := dcnflow.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	inst, err := spec.Instance()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := []dcnflow.SolveOption{dcnflow.WithSeed(spec.Seed)}
+	if *progress {
+		opts = append(opts, dcnflow.WithProgress(func(ev dcnflow.ProgressEvent) {
+			switch ev.Stage {
+			case "epoch":
+				fmt.Fprintf(os.Stderr, "  epoch %d at t=%.4g (%d FW iterations)\n", ev.Index, ev.Time, ev.FWIters)
+			default:
+				fmt.Fprintf(os.Stderr, "  interval %d/%d solved (%d FW iterations)\n", ev.Index+1, ev.Total, ev.FWIters)
+			}
+		}))
+	}
+
+	label := spec.Name
+	if label == "" {
+		label = path
+	}
+	m := inst.Model()
+	fmt.Printf("scenario %q: %s, %d flows, f(x) = %g + %g*x^%g (C=%g):\n",
+		label, inst.Topology().Name, inst.Flows().Len(), m.Sigma, m.Mu, m.Alpha, m.C)
+
+	var (
+		sols []*dcnflow.Solution
+		lb   float64
+	)
+	for _, name := range names {
+		start := time.Now()
+		sol, err := dcnflow.Solve(ctx, name, inst, opts...)
+		if err != nil {
+			return fmt.Errorf("run: solver %s: %w", name, err)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "%s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		if sol.LowerBound > lb {
+			lb = sol.LowerBound
+		}
+		sols = append(sols, sol)
+	}
+	fmt.Print(solutionTable(sols, lb).String())
 	return nil
 }
 
@@ -417,6 +555,8 @@ func runWorkload(args []string) error {
 	return nil
 }
 
+// runCompare runs a set of registered solvers on one generated workload —
+// the CLI face of the Scenario/Solver registry on ad-hoc (non-spec) inputs.
 func runCompare(args []string) error {
 	fs := newFlagSet("compare")
 	n := fs.Int("n", 60, "number of flows")
@@ -426,8 +566,14 @@ func runCompare(args []string) error {
 	idleMult := fs.Float64("idle-mult", 0, "idle power: Ropt at this multiple of mean density (0 = sigma 0)")
 	capacity := fs.Float64("cap", 1000, "link capacity C")
 	iters := fs.Int("iters", 40, "Frank-Wolfe iterations")
+	solvers := fs.String("solvers", "dcfsr,sp-mcf,ecmp-mcf,greedy-online,rolling-online,always-on",
+		"comma-separated solver names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	names, err := solverList(*solvers)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
 	}
 	ft, err := topology.FatTree(*k, *capacity)
 	if err != nil {
@@ -445,42 +591,39 @@ func runCompare(args []string) error {
 		sigma = power.SigmaForRopt(1, *alpha, *idleMult*set.MeanDensity())
 	}
 	model := power.Model{Sigma: sigma, Mu: 1, Alpha: *alpha, C: *capacity}
-
-	rs, err := core.SolveDCFSR(core.DCFSRInput{
-		Graph: ft.Graph, Flows: set, Model: model,
-		Opts: core.DCFSROptions{Seed: *seed, Solver: mcfsolve.Options{MaxIters: *iters}},
-	})
-	if err != nil {
-		return err
-	}
-	sp, err := baseline.SPMCF(ft.Graph, set, model)
-	if err != nil {
-		return err
-	}
-	ecmp, err := baseline.ECMPMCF(ft.Graph, set, model, 8, *seed)
-	if err != nil {
-		return err
-	}
-	onl, err := online.Run(ft.Graph, set, model, online.Options{CostFull: sigma > 0})
+	inst, err := dcnflow.NewInstanceBuilder().Topology(ft).Flows(set).Model(model).Build()
 	if err != nil {
 		return err
 	}
 
-	lb := rs.LowerBound
-	tb := stats.NewTable("scheme", "energy", "vs LB", "links on")
-	tb.AddRow("fractional LB", lb, 1.0, "-")
-	add := func(name string, energy float64, links int) {
-		tb.AddRow(name, energy, energy/lb, links)
+	opts := []dcnflow.SolveOption{
+		dcnflow.WithSeed(*seed),
+		dcnflow.WithSolverOptions(mcfsolve.Options{MaxIters: *iters}),
+		dcnflow.WithOnlineOptions(online.Options{CostFull: sigma > 0}),
 	}
-	add("Random-Schedule (offline)", rs.Schedule.EnergyTotal(model), len(rs.Schedule.ActiveLinks()))
-	add("SP+MCF", sp.Schedule.EnergyTotal(model), len(sp.Schedule.ActiveLinks()))
-	add("ECMP+MCF", ecmp.Schedule.EnergyTotal(model), len(ecmp.Schedule.ActiveLinks()))
-	add("online greedy", onl.Schedule.EnergyTotal(model), len(onl.Schedule.ActiveLinks()))
-	if ao, err := baseline.AlwaysOnFullRate(ft.Graph, set, model); err == nil {
-		add("always-on full rate", ao.Energy, ft.Graph.NumEdges())
+	var (
+		sols []*dcnflow.Solution
+		lb   float64
+	)
+	for _, name := range names {
+		sol, err := dcnflow.Solve(context.Background(), name, inst, opts...)
+		if err != nil {
+			// compare is a survey: a solver that refuses the instance (the
+			// exact enumerator past its assignment bound, always-on without
+			// full-rate feasibility) is reported and skipped, not fatal.
+			fmt.Printf("(skipping %s: %v)\n", name, err)
+			continue
+		}
+		if sol.LowerBound > lb {
+			lb = sol.LowerBound
+		}
+		sols = append(sols, sol)
+	}
+	if len(sols) == 0 {
+		return errors.New("compare: every selected solver failed")
 	}
 	fmt.Printf("%s, %d flows, alpha=%g, sigma=%.4g:\n", ft.Name, set.Len(), *alpha, sigma)
-	fmt.Print(tb.String())
+	fmt.Print(solutionTable(sols, lb).String())
 	return nil
 }
 
@@ -489,7 +632,8 @@ func runTrace(args []string) error {
 	path := fs.String("file", "", "trace file (default: stdin)")
 	kind := fs.String("topo", "fattree", "fattree | bcube | leafspine | line")
 	k := fs.Int("k", 4, "topology size parameter")
-	scheme := fs.String("scheme", "rs", "rs | spmcf | online")
+	scheme := fs.String("scheme", "rs",
+		"rs | spmcf | online, or any registered solver: "+strings.Join(dcnflow.SolverNames(), ", "))
 	alpha := fs.Float64("alpha", 2, "power exponent")
 	sigma := fs.Float64("sigma", 0, "idle power")
 	capacity := fs.Float64("cap", 1000, "link capacity C")
@@ -528,34 +672,34 @@ func runTrace(args []string) error {
 		return err
 	}
 	model := power.Model{Sigma: *sigma, Mu: 1, Alpha: *alpha, C: *capacity}
-	var sched *schedule.Schedule
-	switch *scheme {
-	case "rs":
-		res, rerr := core.SolveDCFSR(core.DCFSRInput{
-			Graph: top.Graph, Flows: set, Model: model,
-			Opts: core.DCFSROptions{Seed: *seed},
-		})
-		if rerr != nil {
-			return rerr
-		}
-		sched = res.Schedule
-		fmt.Printf("lower bound: %.4g\n", res.LowerBound)
-	case "spmcf":
-		res, rerr := baseline.SPMCF(top.Graph, set, model)
-		if rerr != nil {
-			return rerr
-		}
-		sched = res.Schedule
-	case "online":
-		res, rerr := online.Run(top.Graph, set, model, online.Options{CostFull: *sigma > 0})
-		if rerr != nil {
-			return rerr
-		}
-		sched = res.Schedule
-	default:
-		return fmt.Errorf("trace: unknown scheme %q", *scheme)
+	inst, err := dcnflow.NewInstanceBuilder().Topology(top).Flows(set).Model(model).Build()
+	if err != nil {
+		return err
 	}
-	simRes, err := sim.Run(top.Graph, set, sched, model, sim.Options{})
+	// Legacy scheme aliases map onto the registry; registered solver names
+	// pass through directly.
+	name := *scheme
+	switch name {
+	case "rs":
+		name = dcnflow.SolverDCFSR
+	case "spmcf":
+		name = dcnflow.SolverSPMCF
+	case "online":
+		name = dcnflow.SolverGreedyOnline
+	}
+	sol, err := dcnflow.Solve(context.Background(), name, inst,
+		dcnflow.WithSeed(*seed),
+		dcnflow.WithOnlineOptions(online.Options{CostFull: *sigma > 0}))
+	if err != nil {
+		if errors.Is(err, dcnflow.ErrUnknownSolver) {
+			return fmt.Errorf("trace: unknown scheme %q: %w", *scheme, err)
+		}
+		return err
+	}
+	if sol.LowerBound > 0 {
+		fmt.Printf("lower bound: %.4g\n", sol.LowerBound)
+	}
+	simRes, err := dcnflow.Simulate(top.Graph, set, sol.Schedule, model, dcnflow.SimOptions{})
 	if err != nil {
 		return err
 	}
@@ -563,7 +707,7 @@ func runTrace(args []string) error {
 		*scheme, top.Name, simRes.TotalEnergy, simRes.DeadlinesMet, set.Len(),
 		simRes.MaxLinkRate, simRes.ActiveLinks)
 	if *gantt {
-		fmt.Print(sched.Gantt(72))
+		fmt.Print(sol.Schedule.Gantt(72))
 	}
 	return nil
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"dcnflow"
 )
 
 func TestRunRequiresCommand(t *testing.T) {
@@ -159,6 +162,91 @@ func TestRunOnlineCommand(t *testing.T) {
 	}
 }
 
+// TestRunScenarioCommand exercises the scenario runner end to end: spec
+// loading, registry dispatch, multi-solver runs, and the error paths.
+func TestRunScenarioCommand(t *testing.T) {
+	const spec = "../../examples/scenarios/uniform-fattree.json"
+	if err := run([]string{"run", spec, "-solver", "dcfsr,sp-mcf,greedy-online"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Flags-before-path order works too.
+	if err := run([]string{"run", "-solver", "sp-mcf", spec}); err != nil {
+		t.Fatalf("run (flags first): %v", err)
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("missing spec path accepted")
+	}
+	if err := run([]string{"run", spec, "-solver", "bogus"}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+	if err := run([]string{"run", "../../testdata/missing.json"}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	if err := run([]string{"run", spec, "extra-arg"}); err == nil {
+		t.Fatal("extra positional argument accepted")
+	}
+	if err := run([]string{"run", "-solver", "sp-mcf", spec, "extra-arg"}); err == nil {
+		t.Fatal("extra positional argument accepted in flags-first form")
+	}
+	// A timeout that has already expired must surface the context error.
+	err := run([]string{"run", spec, "-solver", "dcfsr", "-timeout", "1ns"})
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("expired -timeout returned %v, want context deadline exceeded", err)
+	}
+}
+
+// TestRunScenarioAllSolversTiny runs every registered solver through the
+// CLI on a spec small enough for the exact enumerator.
+func TestRunScenarioAllSolversTiny(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tiny.json"
+	spec := `{
+  "name": "tiny",
+  "topology": {"kind": "fattree", "k": 4, "capacity": 1000},
+  "workload": {"kind": "uniform", "n": 6, "t0": 1, "t1": 100, "size_mean": 10, "size_stddev": 3, "seed": 42},
+  "model": {"mu": 1, "alpha": 2, "c": 1000},
+  "seed": 1
+}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", path, "-solver", "all"}); err != nil {
+		t.Fatalf("run -solver all: %v", err)
+	}
+}
+
+// TestRunUsageListsEverySolver guards the self-documentation contract of
+// the scenario runner: `dcnflow run -h` must name every registered solver
+// (cmd/doccheck enforces the same by executing the binary).
+func TestRunUsageListsEverySolver(t *testing.T) {
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := run([]string{"run", "-h"})
+	w.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run -h: %v", runErr)
+	}
+	for _, name := range dcnflow.SolverNames() {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("run -h missing solver %q:\n%s", name, out)
+		}
+	}
+}
+
+// The solver-name documentation contract (README.md and DESIGN.md mention
+// every registered solver) is owned by cmd/doccheck: its solverDocs check
+// runs in CI and its own tests gate the repository docs, so it is not
+// duplicated here.
+
 func TestRunWorkloadCommand(t *testing.T) {
 	if err := run([]string{"workload", "-n", "5", "-k", "4"}); err != nil {
 		t.Fatalf("workload: %v", err)
@@ -172,7 +260,8 @@ func TestRunTraceCommand(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	for _, scheme := range []string{"rs", "spmcf", "online"} {
+	// Legacy aliases and direct registry names both dispatch.
+	for _, scheme := range []string{"rs", "spmcf", "online", "dcfsr", "ecmp-mcf"} {
 		if err := run([]string{"trace", "-file", path, "-scheme", scheme, "-k", "4"}); err != nil {
 			t.Fatalf("trace %s: %v", scheme, err)
 		}

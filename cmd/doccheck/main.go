@@ -1,10 +1,13 @@
-// Command doccheck is the docs gate run by CI: it fails when an exported
+// Command doccheck is the docs gate run by CI. It fails when an exported
 // symbol of the target package (default: the repository root package, the
 // public facade) is missing a doc comment, so the pkg.go.dev surface cannot
-// silently rot.
+// silently rot — and when a solver registered in the Scenario/Solver
+// registry is missing from the user-facing docs (README.md, DESIGN.md and
+// the `dcnflow run -h` usage text), so a solver cannot ship undocumented.
 //
-//	go run ./cmd/doccheck            # audit the root package
-//	go run ./cmd/doccheck -dir path  # audit another package directory
+//	go run ./cmd/doccheck              # audit the root package + solver docs
+//	go run ./cmd/doccheck -dir path    # audit another package directory
+//	go run ./cmd/doccheck -cli=false   # skip the `dcnflow run -h` exec
 //
 // Checked declarations: exported functions, types, and every exported name
 // inside const/var/type blocks. Names inside a documented group
@@ -20,26 +23,83 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
+
+	"dcnflow"
 )
 
 func main() {
 	dir := flag.String("dir", ".", "package directory to audit")
+	repo := flag.String("repo", ".", "repository root holding README.md and DESIGN.md")
+	solvers := flag.Bool("solvers", true, "verify every registered solver name appears in README.md, DESIGN.md and `dcnflow run -h`")
+	cli := flag.Bool("cli", true, "include the `dcnflow run -h` check (runs the go tool)")
 	flag.Parse()
 	missing, err := audit(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "doccheck:", err)
 		os.Exit(1)
 	}
+	if *solvers {
+		more, err := solverDocs(*repo, dcnflow.SolverNames(), *cli)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		missing = append(missing, more...)
+	}
 	if len(missing) > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d exported symbols missing doc comments:\n", len(missing))
+		fmt.Fprintf(os.Stderr, "doccheck: %d findings:\n", len(missing))
 		for _, m := range missing {
 			fmt.Fprintln(os.Stderr, " ", m)
 		}
 		os.Exit(1)
 	}
 	fmt.Printf("doccheck: %s clean\n", *dir)
+}
+
+// solverDocs verifies that every registered solver name appears in the
+// repository's README.md and DESIGN.md and — when cli is set — in the
+// generated `dcnflow run -h` usage (obtained by running the command, so the
+// check covers exactly what a user sees).
+func solverDocs(repo string, names []string, cli bool) ([]string, error) {
+	var missing []string
+	for _, fname := range []string{"README.md", "DESIGN.md"} {
+		data, err := os.ReadFile(filepath.Join(repo, fname))
+		if err != nil {
+			return nil, err
+		}
+		missing = append(missing, missingNames(fname, string(data), names)...)
+	}
+	if cli {
+		cmd := exec.Command("go", "run", "./cmd/dcnflow", "run", "-h")
+		cmd.Dir = repo
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("dcnflow run -h: %v\n%s", err, out)
+		}
+		missing = append(missing, missingNames("dcnflow run -h", string(out), names)...)
+	}
+	return missing, nil
+}
+
+// missingNames reports the names absent from text, labelled by source. A
+// name must appear as a whole word — solver names use [a-z0-9-], so any
+// other character (backtick, comma, quote, space, line edge) delimits it.
+// Bare substring matching would let prose like "exactly" satisfy the gate
+// for the "exact" solver.
+func missingNames(source, text string, names []string) []string {
+	var missing []string
+	for _, name := range names {
+		re := regexp.MustCompile(`(^|[^a-z0-9-])` + regexp.QuoteMeta(name) + `($|[^a-z0-9-])`)
+		if !re.MatchString(text) {
+			missing = append(missing, fmt.Sprintf("%s: registered solver %q not mentioned", source, name))
+		}
+	}
+	return missing
 }
 
 // audit parses the package in dir (tests excluded) and returns the

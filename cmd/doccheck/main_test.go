@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dcnflow"
 )
 
 func TestAuditFindsUndocumentedExports(t *testing.T) {
@@ -62,5 +64,59 @@ func TestAuditRootPackageClean(t *testing.T) {
 	}
 	if len(missing) > 0 {
 		t.Fatalf("root package has undocumented exports:\n%s", strings.Join(missing, "\n"))
+	}
+}
+
+func TestMissingNames(t *testing.T) {
+	got := missingNames("src", "the dcfsr and sp-mcf solvers", []string{"dcfsr", "sp-mcf", "exact"})
+	if len(got) != 1 || !strings.Contains(got[0], `"exact"`) || !strings.Contains(got[0], "src") {
+		t.Errorf("missingNames = %v, want one finding about exact", got)
+	}
+	if got := missingNames("src", "all: a b", []string{"a", "b"}); len(got) != 0 {
+		t.Errorf("false positives: %v", got)
+	}
+	// Whole-word matching: prose containing "exactly" or a superstring
+	// solver name must not satisfy the gate.
+	if got := missingNames("src", "reproduces a run exactly via ecmp-mcf", []string{"exact", "sp-mcf"}); len(got) != 2 {
+		t.Errorf("substring leak: %v, want both exact and sp-mcf missing", got)
+	}
+	if got := missingNames("src", "| `exact` | enumerator | and `sp-mcf`, too", []string{"exact", "sp-mcf"}); len(got) != 0 {
+		t.Errorf("delimited names not recognised: %v", got)
+	}
+}
+
+// TestSolverDocsFindsGaps runs the solver-docs gate against a fake repo:
+// README documents everything, DESIGN misses one solver.
+func TestSolverDocsFindsGaps(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("README.md", "solvers: alpha, beta")
+	writeFile("DESIGN.md", "solvers: alpha")
+	missing, err := solverDocs(dir, []string{"alpha", "beta"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || !strings.Contains(missing[0], "DESIGN.md") || !strings.Contains(missing[0], `"beta"`) {
+		t.Errorf("solverDocs = %v, want exactly the DESIGN.md beta gap", missing)
+	}
+	if _, err := solverDocs(t.TempDir(), []string{"alpha"}, false); err == nil {
+		t.Error("missing README accepted")
+	}
+}
+
+// TestSolverDocsRepoClean gates the real repository docs (without the CLI
+// exec, which CI covers via `go run ./cmd/doccheck`).
+func TestSolverDocsRepoClean(t *testing.T) {
+	missing, err := solverDocs("../..", dcnflow.SolverNames(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("solver docs gaps:\n%s", strings.Join(missing, "\n"))
 	}
 }

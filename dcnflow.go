@@ -22,7 +22,11 @@
 // epoch boundary (SolveDCFSRPartial) and validates every run with the
 // discrete-event simulator (ReplayOnline).
 //
-// Quick start:
+// # Scenario/Solver API
+//
+// The unified entry point is a typed Instance (graph + flows + power model
+// + horizon, validated once) solved by any registered Solver under a
+// context.Context:
 //
 //	ft, _ := dcnflow.FatTree(8, 1000)            // 80 switches, 128 hosts
 //	flows, _ := dcnflow.UniformWorkload(dcnflow.WorkloadConfig{
@@ -30,8 +34,21 @@
 //	    Hosts: ft.Hosts, Seed: 42,
 //	})
 //	model := dcnflow.PowerModel{Sigma: 1, Mu: 1, Alpha: 2, C: 1000}
-//	res, _ := dcnflow.SolveDCFSR(ft.Graph, flows, model, dcnflow.DCFSROptions{Seed: 1})
-//	fmt.Println("energy:", res.Schedule.EnergyTotal(model), "LB:", res.LowerBound)
+//	inst, _ := dcnflow.NewInstance(ft.Graph, flows, model)
+//	sol, _ := dcnflow.Solve(ctx, "dcfsr", inst, dcnflow.WithSeed(1))
+//	fmt.Println("energy:", sol.Energy, "LB:", sol.LowerBound)
+//
+// SolverNames lists the eight built-in families (dcfsr, dcfs-mcf, sp-mcf,
+// ecmp-mcf, always-on, exact, greedy-online, rolling-online); Register adds
+// custom ones. Instances also load declaratively from JSON scenario specs
+// (LoadScenario / ScenarioSpec.Instance; `dcnflow run spec.json -solver
+// dcfsr` on the command line), so experiments are data. Solves accept a
+// context — cancellation is observed at Frank–Wolfe iteration and epoch
+// boundaries — and an optional progress callback (WithProgress).
+//
+// The free functions below (SolveDCFSR, SPMCF, SolveOnline, ...) predate
+// this API; they remain as thin shims over the same engines and produce
+// bit-identical output, but new code should prefer the registry.
 //
 // The subsystems (graph, topologies, power model, workloads, YDS,
 // F-MCF solver, simulator, baselines, experiment harness) live under
@@ -68,6 +85,7 @@
 package dcnflow
 
 import (
+	"context"
 	"io"
 
 	"dcnflow/internal/baseline"
@@ -159,6 +177,12 @@ type (
 	SolverOptions = mcfsolve.Options
 	// CostKind selects the relaxation's per-link cost.
 	CostKind = mcfsolve.CostKind
+	// ProgressEvent is one observation of a running solve (per-interval
+	// relaxation events, per-epoch rolling re-plan events).
+	ProgressEvent = core.ProgressEvent
+	// ProgressFunc observes solve progress (DCFSROptions.Progress,
+	// WithProgress).
+	ProgressFunc = core.ProgressFunc
 )
 
 // Relaxation cost kinds.
@@ -252,6 +276,10 @@ type (
 
 // SolveOnline replays the flow set in release order through the online
 // marginal-cost greedy scheduler.
+//
+// Deprecated: run the registered "greedy-online" solver
+// (WithOnlineOptions); this shim delegates to the same engine and produces
+// bit-identical output.
 func SolveOnline(g *Graph, flows *FlowSet, m PowerModel, opts OnlineOptions) (*OnlineResult, error) {
 	return online.Run(g, flows, m, opts)
 }
@@ -266,6 +294,10 @@ func NewOnlineScheduler(g *Graph, m PowerModel, horizon Interval, opts OnlineOpt
 // scheduler via the event-driven simulator and returns both the scheduler's
 // outcome and the simulator's validated replay (deadlines, capacities,
 // independently measured energy).
+//
+// Deprecated: run the registered "rolling-online" solver (WithReplanPolicy,
+// WithRollingOptions); this shim delegates to the same engine and produces
+// bit-identical output.
 func SolveOnlineRolling(g *Graph, flows *FlowSet, m PowerModel, opts RollingOptions) (*RollingResult, *OnlineReplayResult, error) {
 	return online.RunRolling(g, flows, m, opts)
 }
@@ -288,9 +320,12 @@ func ReplayOnline(g *Graph, flows *FlowSet, m PowerModel, engine OnlineEngine, o
 // SolveDCFSRPartial re-runs the Random-Schedule relaxation over the
 // remaining horizon with frozen commitments (pinned paths, transmitted
 // data) — the epoch re-solve primitive under the rolling-horizon scheduler,
-// exposed for callers building their own re-optimization loops.
-func SolveDCFSRPartial(in DCFSRPartialInput) (*DCFSRPartialResult, error) {
-	return core.SolveDCFSRPartial(in)
+// exposed for callers building their own re-optimization loops. Like every
+// solve of the Scenario/Solver API it takes a context, observed at each
+// Frank–Wolfe iteration boundary; pass context.Background() when
+// cancellation is not needed.
+func SolveDCFSRPartial(ctx context.Context, in DCFSRPartialInput) (*DCFSRPartialResult, error) {
+	return core.SolveDCFSRPartialCtx(ctx, in)
 }
 
 // SimulatePacketLevel runs the store-and-forward per-link EDF simulation
@@ -309,8 +344,12 @@ func ReadTrace(r io.Reader) (*FlowSet, error) { return flow.ReadTrace(r) }
 // modelling the time-varying load the paper's introduction cites.
 func DiurnalWorkload(cfg DiurnalConfig) (*FlowSet, error) { return flow.Diurnal(cfg) }
 
-// IncastWorkload generates a many-to-one pattern with a shared deadline.
-var IncastWorkload = flow.Incast
+// IncastWorkload generates a many-to-one pattern with a shared deadline:
+// every sender transmits size units to the receiver within
+// [release, deadline].
+func IncastWorkload(receiver NodeID, senders []NodeID, release, deadline, size float64) (*FlowSet, error) {
+	return flow.Incast(receiver, senders, release, deadline, size)
+}
 
 // Workload constructors.
 var (
@@ -332,27 +371,40 @@ var (
 
 // SolveDCFS schedules flows on the given routing paths with the optimal
 // Most-Critical-First algorithm.
+//
+// Deprecated: build an Instance with NewInstanceBuilder().Routing(paths)
+// and run the registered "dcfs-mcf" solver; this shim delegates to the same
+// engine and produces bit-identical output.
 func SolveDCFS(g *Graph, flows *FlowSet, paths map[FlowID]Path, m PowerModel) (*DCFSResult, error) {
-	return core.SolveDCFS(core.DCFSInput{Graph: g, Flows: flows, Paths: paths, Model: m})
+	return core.SolveDCFSCtx(context.Background(), core.DCFSInput{Graph: g, Flows: flows, Paths: paths, Model: m})
 }
 
 // SolveDCFSR jointly routes and schedules flows with the Random-Schedule
 // approximation.
+//
+// Deprecated: build an Instance and run the registered "dcfsr" solver via
+// Solve(ctx, "dcfsr", inst, WithSeed(opts.Seed), ...); this shim delegates
+// to the same engine with a background context and produces bit-identical
+// output.
 func SolveDCFSR(g *Graph, flows *FlowSet, m PowerModel, opts DCFSROptions) (*DCFSRResult, error) {
-	return core.SolveDCFSR(core.DCFSRInput{Graph: g, Flows: flows, Model: m, Opts: opts})
+	return core.SolveDCFSRCtx(context.Background(), core.DCFSRInput{Graph: g, Flows: flows, Model: m, Opts: opts})
 }
 
 // LowerBound computes the fractional relaxation bound used to normalise the
-// paper's Fig. 2.
+// paper's Fig. 2. It is the LowerBound field of the "dcfsr" solver's
+// Solution, computable without the rounding step.
 func LowerBound(g *Graph, flows *FlowSet, m PowerModel, opts DCFSROptions) (float64, error) {
-	return core.LowerBound(g, flows, m, opts)
+	return core.LowerBoundCtx(context.Background(), g, flows, m, opts)
 }
 
 // SolveDCFSRExact computes the exact DCFSR optimum for small instances by
 // exhaustive path enumeration with optimal per-assignment scheduling — a
 // verification tool for the approximation algorithms.
+//
+// Deprecated: run the registered "exact" solver (WithExactOptions); this
+// shim delegates to the same engine and produces bit-identical output.
 func SolveDCFSRExact(g *Graph, flows *FlowSet, m PowerModel, opts ExactOptions) (*ExactResult, error) {
-	return core.SolveDCFSRExact(core.DCFSRInput{Graph: g, Flows: flows, Model: m}, opts)
+	return core.SolveDCFSRExactCtx(context.Background(), core.DCFSRInput{Graph: g, Flows: flows, Model: m}, opts)
 }
 
 // ShortestPathRouting assigns every flow its deterministic minimum-hop
@@ -363,18 +415,28 @@ func ShortestPathRouting(g *Graph, flows *FlowSet) (map[FlowID]Path, error) {
 
 // SPMCF runs the paper's comparison baseline: shortest-path routing
 // followed by the optimal Most-Critical-First schedule.
+//
+// Deprecated: run the registered "sp-mcf" solver; this shim delegates to
+// the same engine and produces bit-identical output.
 func SPMCF(g *Graph, flows *FlowSet, m PowerModel) (*DCFSResult, error) {
 	return baseline.SPMCF(g, flows, m)
 }
 
 // ECMPMCF is SPMCF with randomised equal-cost multi-path routing over up to
 // k shortest paths.
+//
+// Deprecated: run the registered "ecmp-mcf" solver (WithECMPWidth,
+// WithSeed); this shim delegates to the same engine and produces
+// bit-identical output.
 func ECMPMCF(g *Graph, flows *FlowSet, m PowerModel, k int, seed int64) (*DCFSResult, error) {
 	return baseline.ECMPMCF(g, flows, m, k, seed)
 }
 
 // AlwaysOnFullRate is the no-energy-management baseline: shortest paths,
 // full-rate transmission, every link powered for the whole horizon.
+//
+// Deprecated: run the registered "always-on" solver; this shim delegates to
+// the same engine and produces bit-identical output.
 func AlwaysOnFullRate(g *Graph, flows *FlowSet, m PowerModel) (*AlwaysOnResult, error) {
 	return baseline.AlwaysOnFullRate(g, flows, m)
 }

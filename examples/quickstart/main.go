@@ -1,10 +1,12 @@
-// Command quickstart is the smallest end-to-end use of dcnflow: build a
-// fat-tree, draw a random deadline-constrained workload, jointly route and
-// schedule it with Random-Schedule, and compare the energy against the
-// shortest-path baseline and the fractional lower bound.
+// Command quickstart is the smallest end-to-end use of dcnflow's
+// Scenario/Solver API: build a fat-tree, draw a random deadline-constrained
+// workload, package both as a validated Instance, and fan it across two
+// registered solvers — Random-Schedule and the shortest-path baseline —
+// comparing energies against the fractional lower bound.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,24 +43,28 @@ func run() error {
 	// idle energy — the combined model of Section II-A.
 	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1000}
 
+	// One validated instance, fanned across interchangeable solvers.
+	inst, err := dcnflow.NewInstance(ft.Graph, flows, model)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
 	// Joint scheduling and routing (the paper's Random-Schedule).
-	rs, err := dcnflow.SolveDCFSR(ft.Graph, flows, model, dcnflow.DCFSROptions{Seed: 1})
+	rs, err := dcnflow.Solve(ctx, dcnflow.SolverDCFSR, inst, dcnflow.WithSeed(1))
 	if err != nil {
 		return err
 	}
 	// The SP+MCF comparison scheme: shortest paths + optimal scheduling.
-	sp, err := dcnflow.SPMCF(ft.Graph, flows, model)
+	sp, err := dcnflow.Solve(ctx, dcnflow.SolverSPMCF, inst)
 	if err != nil {
 		return err
 	}
 
-	rsEnergy := rs.Schedule.EnergyTotal(model)
-	spEnergy := sp.Schedule.EnergyTotal(model)
 	fmt.Printf("fractional lower bound:  %10.1f\n", rs.LowerBound)
-	fmt.Printf("Random-Schedule energy:  %10.1f  (%.2fx LB, %d links on)\n",
-		rsEnergy, rsEnergy/rs.LowerBound, len(rs.Schedule.ActiveLinks()))
-	fmt.Printf("SP+MCF baseline energy:  %10.1f  (%.2fx LB, %d links on)\n",
-		spEnergy, spEnergy/rs.LowerBound, len(sp.Schedule.ActiveLinks()))
+	fmt.Printf("Random-Schedule energy:  %10.1f  (%.2fx LB, %.0f links on)\n",
+		rs.Energy, rs.Energy/rs.LowerBound, rs.Stats["links_on"])
+	fmt.Printf("SP+MCF baseline energy:  %10.1f  (%.2fx LB, %.0f links on)\n",
+		sp.Energy, sp.Energy/rs.LowerBound, sp.Stats["links_on"])
 
 	// Independent verification with the discrete-event simulator.
 	simRes, err := dcnflow.Simulate(ft.Graph, flows, rs.Schedule, model, dcnflow.SimOptions{})

@@ -27,6 +27,12 @@ func TestExamplesBuildAndRun(t *testing.T) {
 			continue
 		}
 		name := e.Name()
+		// Data-only example directories (examples/scenarios holds JSON
+		// scenario specs, exercised by `make scenarios` and the CLI tests)
+		// are not Go programs.
+		if matches, _ := filepath.Glob(filepath.Join("examples", name, "*.go")); len(matches) == 0 {
+			continue
+		}
 		t.Run(name, func(t *testing.T) {
 			exe := filepath.Join(bin, name)
 			build := exec.Command("go", "build", "-o", exe, "./examples/"+name)

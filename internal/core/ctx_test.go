@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/power"
+	"dcnflow/internal/topology"
+)
+
+// TestSolveDCFSRCtxPreCancelled: an ended context aborts before any
+// relaxation work and surfaces the wrapped context error.
+func TestSolveDCFSRCtxPreCancelled(t *testing.T) {
+	ft, err := topology.FatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := flow.Uniform(flow.GenConfig{
+		N: 10, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3, Hosts: ft.Hosts, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 1e9}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveDCFSRCtx(ctx, DCFSRInput{Graph: ft.Graph, Flows: fs, Model: m})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve returned %v, %v", res, err)
+	}
+	if _, err := LowerBoundCtx(ctx, ft.Graph, fs, m, DCFSROptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("LowerBoundCtx error: %v", err)
+	}
+}
+
+// TestSolveDCFSRPartialCtxCancelled: the epoch re-solve primitive obeys the
+// same contract.
+func TestSolveDCFSRPartialCtxCancelled(t *testing.T) {
+	ft, err := topology.FatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := flow.Uniform(flow.GenConfig{
+		N: 8, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3, Hosts: ft.Hosts, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveDCFSRPartialCtx(ctx, DCFSRPartialInput{
+		Graph: ft.Graph,
+		Flows: fs.Flows(),
+		Model: power.Model{Mu: 1, Alpha: 2, C: 1e9},
+		Now:   0,
+	})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled partial solve returned %v, %v", res, err)
+	}
+}
+
+// TestSolveDCFSRExactCtxCancelled: the enumeration checks between
+// assignments.
+func TestSolveDCFSRExactCtxCancelled(t *testing.T) {
+	top, src, dst, err := topology.ParallelLinks(2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := flow.NewSet([]flow.Flow{
+		{Src: src, Dst: dst, Release: 0, Deadline: 5, Size: 4},
+		{Src: src, Dst: dst, Release: 1, Deadline: 6, Size: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveDCFSRExactCtx(ctx, DCFSRInput{
+		Graph: top.Graph, Flows: fs, Model: power.Model{Mu: 1, Alpha: 2, C: 1e9},
+	}, ExactOptions{})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled exact solve returned %v, %v", res, err)
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -106,6 +107,16 @@ func (in DCFSInput) validate() error {
 // (Corollary 1). The maximum-rate constraint is relaxed, as justified in
 // Section III-A.
 func SolveDCFS(in DCFSInput) (*DCFSResult, error) {
+	return SolveDCFSCtx(context.Background(), in)
+}
+
+// SolveDCFSCtx is SolveDCFS under a context: cancellation is checked between
+// Most-Critical-First rounds and the wrapped context error is returned
+// instead of a partial schedule.
+func SolveDCFSCtx(ctx context.Context, in DCFSInput) (*DCFSResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -145,6 +156,9 @@ func SolveDCFS(in DCFSInput) (*DCFSResult, error) {
 	}
 
 	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: MCF interrupted with %d flows pending: %w", len(pending), err)
+		}
 		round, err := findCritical(pending, linkFlows, vweight, blockedOn)
 		if errors.Is(err, errNoCandidate) {
 			// Every remaining flow's span is fully blocked on all its

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +16,27 @@ import (
 	"dcnflow/internal/schedule"
 	"dcnflow/internal/timeline"
 )
+
+// ProgressEvent is one observation of a running solve, delivered through
+// DCFSROptions.Progress.
+type ProgressEvent struct {
+	// Stage is "interval" (one per-interval relaxation solve finished) or
+	// "epoch" (one rolling-horizon re-plan finished).
+	Stage string
+	// Index counts this event's unit within Total: the interval index within
+	// the decomposition, or the 1-based epoch number (Total 0: unknown).
+	Index, Total int
+	// FWIters is the Frank–Wolfe iteration count of the finished unit.
+	FWIters int
+	// Time is the epoch boundary instant; zero for interval events.
+	Time float64
+}
+
+// ProgressFunc observes solve progress. Interval events are emitted from the
+// concurrent fan-out workers — calls are serialised by the solver, but
+// interval indices arrive in completion order, not ascending order. The
+// callback must not block for long: it runs on the solving goroutines.
+type ProgressFunc func(ProgressEvent)
 
 // DCFSROptions tunes the Random-Schedule approximation.
 type DCFSROptions struct {
@@ -41,6 +63,10 @@ type DCFSROptions struct {
 	// exists for workloads with long chains of near-identical intervals,
 	// where reusing the neighbour's routing does pay.
 	WarmStart bool
+	// Progress, when non-nil, receives one event per finished interval solve
+	// (and, under the rolling-horizon scheduler, one per epoch re-plan). It
+	// never affects results.
+	Progress ProgressFunc
 }
 
 func (o DCFSROptions) withDefaults() DCFSROptions {
@@ -111,7 +137,7 @@ type relaxation struct {
 
 // solveRelaxation decomposes the horizon at flow release/deadline
 // breakpoints and solves one F-MCF per interval (concurrently).
-func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (*relaxation, error) {
+func solveRelaxation(ctx context.Context, g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (*relaxation, error) {
 	var times []float64
 	for _, f := range flows.Flows() {
 		times = append(times, f.Release, f.Deadline)
@@ -135,7 +161,7 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 		}
 	}
 
-	if err := solveIntervalRelaxation(g, m, opts, rel, nil); err != nil {
+	if err := solveIntervalRelaxation(ctx, g, m, opts, rel, nil); err != nil {
 		return nil, err
 	}
 	return rel, nil
@@ -164,7 +190,10 @@ func solveRelaxation(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSRO
 // top of it would drag unconverged neighbour mass back in (Frank–Wolfe has
 // no away-steps, so a bad start drains only geometrically). A zero-valued
 // seed means "no seed for this interval".
-func solveIntervalRelaxation(g *graph.Graph, m power.Model, opts DCFSROptions, rel *relaxation, seeds []mcfsolve.WarmStart) error {
+func solveIntervalRelaxation(ctx context.Context, g *graph.Graph, m power.Model, opts DCFSROptions, rel *relaxation, seeds []mcfsolve.WarmStart) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	intervals := rel.intervals
 	chain := opts.WarmStart && seeds == nil
 	blockSize := warmBlockSize
@@ -179,6 +208,7 @@ func solveIntervalRelaxation(g *graph.Graph, m power.Model, opts DCFSROptions, r
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
+		progMu   sync.Mutex
 		firstErr error
 	)
 	sem := make(chan struct{}, opts.Parallelism)
@@ -207,11 +237,23 @@ func solveIntervalRelaxation(g *graph.Graph, m power.Model, opts DCFSROptions, r
 					warm = mcfsolve.WarmStart{}
 					continue
 				}
+				// Cancellation boundary for the fan-out: a worker abandons
+				// its remaining intervals as soon as the context ends; the
+				// per-iteration check inside SolveWarmCtx bounds the latency
+				// of the solve already in flight.
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: relaxation interrupted: %w", err)
+					}
+					mu.Unlock()
+					return
+				}
 				use := warm
 				if seeds != nil {
 					use = seeds[k]
 				}
-				res, err := solver.SolveWarm(rel.comms[k], use)
+				res, err := solver.SolveWarmCtx(ctx, rel.comms[k], use)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -223,6 +265,13 @@ func solveIntervalRelaxation(g *graph.Graph, m power.Model, opts DCFSROptions, r
 				rel.results[k] = res
 				if chain {
 					warm = mcfsolve.WarmStart{Commodities: rel.comms[k], Result: res}
+				}
+				if opts.Progress != nil {
+					progMu.Lock()
+					opts.Progress(ProgressEvent{
+						Stage: "interval", Index: k, Total: len(intervals), FWIters: res.Iters,
+					})
+					progMu.Unlock()
 				}
 			}
 		}(lo, hi)
@@ -242,13 +291,20 @@ func solveIntervalRelaxation(g *graph.Graph, m power.Model, opts DCFSROptions, r
 // LowerBound computes the fractional relaxation value on its own — the
 // normalisation denominator of Fig. 2 — without running the rounding.
 func LowerBound(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (float64, error) {
+	return LowerBoundCtx(context.Background(), g, flows, m, opts)
+}
+
+// LowerBoundCtx is LowerBound under a context: the per-interval relaxation
+// fan-out stops within one Frank–Wolfe iteration of the context ending and
+// the wrapped context error is returned instead of a partial bound.
+func LowerBoundCtx(ctx context.Context, g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (float64, error) {
 	if g == nil || flows == nil {
 		return 0, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
 	}
 	if err := m.Validate(); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
-	rel, err := solveRelaxation(g, flows, m, opts.withDefaults())
+	rel, err := solveRelaxation(ctx, g, flows, m, opts.withDefaults())
 	if err != nil {
 		return 0, err
 	}
@@ -269,6 +325,14 @@ func LowerBound(g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROption
 //     path (per-interval link rate sum_j D_j, EDF time-shared at the
 //     packet level — Theorem 4 guarantees every deadline is met).
 func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
+	return SolveDCFSRCtx(context.Background(), in)
+}
+
+// SolveDCFSRCtx is SolveDCFSR under a context: cancellation is observed at
+// every Frank–Wolfe iteration of every per-interval relaxation solve, so the
+// call returns the wrapped context error within one iteration of the context
+// ending — never a partial result.
+func SolveDCFSRCtx(ctx context.Context, in DCFSRInput) (*DCFSRResult, error) {
 	if in.Graph == nil || in.Flows == nil {
 		return nil, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
 	}
@@ -283,7 +347,7 @@ func SolveDCFSR(in DCFSRInput) (*DCFSRResult, error) {
 		return &DCFSRResult{Schedule: schedule.New(horizon), CapacityFeasible: true}, nil
 	}
 
-	rel, err := solveRelaxation(in.Graph, in.Flows, in.Model, opts)
+	rel, err := solveRelaxation(ctx, in.Graph, in.Flows, in.Model, opts)
 	if err != nil {
 		return nil, err
 	}

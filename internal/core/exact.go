@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -52,6 +53,17 @@ type ExactResult struct {
 // It exists to validate Random-Schedule empirically; its cost is
 // exponential in the number of flows.
 func SolveDCFSRExact(in DCFSRInput, opts ExactOptions) (*ExactResult, error) {
+	return SolveDCFSRExactCtx(context.Background(), in, opts)
+}
+
+// SolveDCFSRExactCtx is SolveDCFSRExact under a context: cancellation is
+// checked between path assignments, so the enumeration stops within one
+// Most-Critical-First schedule of the context ending and returns the wrapped
+// context error instead of the best-so-far assignment.
+func SolveDCFSRExactCtx(ctx context.Context, in DCFSRInput, opts ExactOptions) (*ExactResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if in.Graph == nil || in.Flows == nil {
 		return nil, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
 	}
@@ -89,6 +101,9 @@ func SolveDCFSRExact(in DCFSRInput, opts ExactOptions) (*ExactResult, error) {
 
 	idx := make([]int, len(flows))
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: exact enumeration interrupted after %d assignments: %w", best.Assignments, err)
+		}
 		assignment := make(map[flow.ID]graph.Path, len(flows))
 		for i, f := range flows {
 			assignment[f.ID] = candidates[i][idx[i]]

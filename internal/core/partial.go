@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -188,6 +189,14 @@ type DCFSRPartialResult struct {
 // pinning only removes options, it also lower-bounds the pinned
 // continuation the caller will actually execute.
 func SolveDCFSRPartial(in DCFSRPartialInput) (*DCFSRPartialResult, error) {
+	return SolveDCFSRPartialCtx(context.Background(), in)
+}
+
+// SolveDCFSRPartialCtx is SolveDCFSRPartial under a context: the residual
+// relaxation's Frank–Wolfe solves observe cancellation at every iteration
+// boundary and the wrapped context error is returned instead of a partial
+// plan.
+func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPartialResult, error) {
 	if in.Graph == nil {
 		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
 	}
@@ -303,7 +312,7 @@ func SolveDCFSRPartial(in DCFSRPartialInput) (*DCFSRPartialResult, error) {
 			}
 		}
 	}
-	if err := solveIntervalRelaxation(in.Graph, in.Model, opts, rel, seeds); err != nil {
+	if err := solveIntervalRelaxation(ctx, in.Graph, in.Model, opts, rel, seeds); err != nil {
 		return nil, err
 	}
 	for _, r := range rel.results {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestWarmStartMatchesColdWithinTolerance(t *testing.T) {
 			Solver:    mcfsolve.Options{MaxIters: 25},
 			WarmStart: warm,
 		}.withDefaults()
-		rel, err := solveRelaxation(ft.Graph, fs, m, opts)
+		rel, err := solveRelaxation(context.Background(), ft.Graph, fs, m, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func TestWarmStartDeterministicAcrossParallelism(t *testing.T) {
 				Parallelism: par,
 				WarmStart:   warm,
 			}.withDefaults()
-			rel, err := solveRelaxation(ft.Graph, fs, m, opts)
+			rel, err := solveRelaxation(context.Background(), ft.Graph, fs, m, opts)
 			if err != nil {
 				t.Fatal(err)
 			}

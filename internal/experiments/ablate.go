@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcnflow"
 	"dcnflow/internal/core"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/mcfsolve"
@@ -91,20 +92,18 @@ func RunAblationLambda(cfg AblateConfig, quanta []float64) (*LambdaResult, error
 				return nil, fmt.Errorf("experiments: %w", err)
 			}
 			model := ablateModel(cfg, fs)
-			res, err := core.SolveDCFSR(core.DCFSRInput{
-				Graph: ft.Graph, Flows: fs, Model: model,
-				Opts: core.DCFSROptions{
+			res, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
+				dcnflow.WithDCFSROptions(core.DCFSROptions{
 					Seed:   cfg.Seed + int64(run),
 					Solver: mcfsolve.Options{MaxIters: cfg.SolverIters},
-				},
-			})
+				}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: lambda ablation: %w", err)
 			}
 			if res.LowerBound > 0 {
-				ratios = append(ratios, res.Schedule.EnergyTotal(model)/res.LowerBound)
+				ratios = append(ratios, res.Energy/res.LowerBound)
 			}
-			lambdas = append(lambdas, res.Lambda)
+			lambdas = append(lambdas, res.Stats["lambda"])
 		}
 		out.Points = append(out.Points, LambdaPoint{
 			Quantum: q,
@@ -166,20 +165,18 @@ func RunAblationRounding(cfg AblateConfig, attempts []int) (*RoundingResult, err
 		var feasible int
 		var energies []float64
 		for run := 0; run < cfg.Runs; run++ {
-			res, err := core.SolveDCFSR(core.DCFSRInput{
-				Graph: top.Graph, Flows: fs, Model: model,
-				Opts: core.DCFSROptions{
+			res, err := solve(dcnflow.SolverDCFSR, top.Graph, fs, model,
+				dcnflow.WithDCFSROptions(core.DCFSROptions{
 					Seed:                cfg.Seed + int64(run),
 					MaxRoundingAttempts: att,
-				},
-			})
+				}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rounding ablation: %w", err)
 			}
-			if res.CapacityFeasible {
+			if res.Stats["capacity_feasible"] == 1 {
 				feasible++
 			}
-			energies = append(energies, res.Schedule.EnergyTotal(model))
+			energies = append(energies, res.Energy)
 		}
 		out.Points = append(out.Points, RoundingPoint{
 			Attempts:     att,
@@ -242,18 +239,16 @@ func RunAblationSurrogate(cfg AblateConfig) (*SurrogateResult, error) {
 				return nil, fmt.Errorf("experiments: %w", err)
 			}
 			model := ablateModel(cfg, fs)
-			res, err := core.SolveDCFSR(core.DCFSRInput{
-				Graph: ft.Graph, Flows: fs, Model: model,
-				Opts: core.DCFSROptions{
+			res, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
+				dcnflow.WithDCFSROptions(core.DCFSROptions{
 					Seed:   cfg.Seed + int64(run),
 					Solver: mcfsolve.Options{Cost: kind.cost, MaxIters: cfg.SolverIters},
-				},
-			})
+				}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: surrogate ablation: %w", err)
 			}
-			energies = append(energies, res.Schedule.EnergyTotal(model))
-			links = append(links, float64(len(res.Schedule.ActiveLinks())))
+			energies = append(energies, res.Energy)
+			links = append(links, res.Stats["links_on"])
 		}
 		out.Points = append(out.Points, SurrogatePoint{
 			Cost:        kind.name,

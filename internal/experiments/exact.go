@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dcnflow"
 	"dcnflow/internal/core"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/power"
@@ -75,20 +76,18 @@ func RunExactComparison(seed int64, runs int, flowCounts []int) (*ExactResult, e
 				Sigma: power.SigmaForRopt(1, 2, 2*fs.MeanDensity()),
 				Mu:    1, Alpha: 2, C: 1e12,
 			}
-			in := core.DCFSRInput{
-				Graph: top.Graph, Flows: fs, Model: model,
-				Opts: core.DCFSROptions{Seed: seed + int64(run)},
-			}
-			exact, err := core.SolveDCFSRExact(in, core.ExactOptions{PathsPerFlow: 4})
+			exact, err := solve(dcnflow.SolverExact, top.Graph, fs, model,
+				dcnflow.WithExactOptions(core.ExactOptions{PathsPerFlow: 4}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: exact n=%d run=%d: %w", n, run, err)
 			}
-			rs, err := core.SolveDCFSR(in)
+			rs, err := solve(dcnflow.SolverDCFSR, top.Graph, fs, model,
+				dcnflow.WithSeed(seed+int64(run)))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rs n=%d run=%d: %w", n, run, err)
 			}
 			if exact.Energy > 0 {
-				rsRatios = append(rsRatios, rs.Schedule.EnergyTotal(model)/exact.Energy)
+				rsRatios = append(rsRatios, rs.Energy/exact.Energy)
 				lbRatios = append(lbRatios, rs.LowerBound/exact.Energy)
 			}
 		}

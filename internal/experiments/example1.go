@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"dcnflow/internal/core"
+	"dcnflow"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/graph"
 	"dcnflow/internal/power"
@@ -66,7 +67,12 @@ func RunExample1() (*Example1Result, error) {
 		paths[f.ID] = p
 	}
 	model := power.Model{Sigma: 0, Mu: 1, Alpha: 2, C: 1e9}
-	res, err := core.SolveDCFS(core.DCFSInput{Graph: line.Graph, Flows: fs, Paths: paths, Model: model})
+	inst, err := dcnflow.NewInstanceBuilder().
+		Graph(line.Graph).Flows(fs).Model(model).Routing(paths).Build()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	sol, err := dcnflow.Solve(context.Background(), dcnflow.SolverDCFSMCF, inst)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -74,11 +80,11 @@ func RunExample1() (*Example1Result, error) {
 	wantS2 := (8 + 6*math.Sqrt2) / 3
 	wantS1 := wantS2 / math.Sqrt2
 	out := &Example1Result{
-		S1:         res.Schedule.FlowSchedule(0).MaxRate(),
-		S2:         res.Schedule.FlowSchedule(1).MaxRate(),
+		S1:         sol.Schedule.FlowSchedule(0).MaxRate(),
+		S2:         sol.Schedule.FlowSchedule(1).MaxRate(),
 		WantS1:     wantS1,
 		WantS2:     wantS2,
-		Energy:     res.Schedule.EnergyDynamic(model),
+		Energy:     sol.Schedule.EnergyDynamic(model),
 		WantEnergy: 12*wantS1 + 8*wantS2,
 	}
 	for _, pair := range [][2]float64{{out.WantS1, out.S1}, {out.WantS2, out.S2}, {out.WantEnergy, out.Energy}} {

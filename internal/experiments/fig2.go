@@ -7,7 +7,7 @@ package experiments
 import (
 	"fmt"
 
-	"dcnflow/internal/baseline"
+	"dcnflow"
 	"dcnflow/internal/core"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/mcfsolve"
@@ -113,20 +113,16 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 				return nil, fmt.Errorf("experiments: workload n=%d run=%d: %w", n, run, err)
 			}
 			model := fig2Model(cfg, fs)
-			rs, err := core.SolveDCFSR(core.DCFSRInput{
-				Graph: ft.Graph,
-				Flows: fs,
-				Model: model,
-				Opts: core.DCFSROptions{
+			rs, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
+				dcnflow.WithDCFSROptions(core.DCFSROptions{
 					Seed:        seed,
 					Solver:      mcfsolve.Options{MaxIters: cfg.SolverIters},
 					Parallelism: cfg.Parallelism,
-				},
-			})
+				}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: RS n=%d run=%d: %w", n, run, err)
 			}
-			sp, err := baseline.SPMCF(ft.Graph, fs, model)
+			sp, err := solve(dcnflow.SolverSPMCF, ft.Graph, fs, model)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: SP+MCF n=%d run=%d: %w", n, run, err)
 			}
@@ -134,8 +130,8 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 			if lb <= 0 {
 				return nil, fmt.Errorf("experiments: nonpositive lower bound n=%d run=%d", n, run)
 			}
-			rsRatios = append(rsRatios, rs.Schedule.EnergyTotal(model)/lb)
-			spRatios = append(spRatios, sp.Schedule.EnergyTotal(model)/lb)
+			rsRatios = append(rsRatios, rs.Energy/lb)
+			spRatios = append(spRatios, sp.Energy/lb)
 			lbs = append(lbs, lb)
 		}
 		out.Points = append(out.Points, Fig2Point{

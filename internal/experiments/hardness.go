@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 
-	"dcnflow/internal/core"
+	"dcnflow"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/power"
 	"dcnflow/internal/stats"
@@ -132,15 +132,13 @@ func RunHardness(cfg HardnessConfig) (*HardnessResult, error) {
 	var energies, activeLinks []float64
 	var lb float64
 	for run := 0; run < cfg.Runs; run++ {
-		res, err := core.SolveDCFSR(core.DCFSRInput{
-			Graph: top.Graph, Flows: fs, Model: model,
-			Opts: core.DCFSROptions{Seed: cfg.Seed + int64(run)},
-		})
+		res, err := solve(dcnflow.SolverDCFSR, top.Graph, fs, model,
+			dcnflow.WithSeed(cfg.Seed+int64(run)))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: hardness run %d: %w", run, err)
 		}
-		energies = append(energies, res.Schedule.EnergyTotal(model))
-		activeLinks = append(activeLinks, float64(len(res.Schedule.ActiveLinks())))
+		energies = append(energies, res.Energy)
+		activeLinks = append(activeLinks, res.Stats["links_on"])
 		lb = res.LowerBound
 	}
 	mean := stats.Mean(energies)

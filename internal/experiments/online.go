@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcnflow"
 	"dcnflow/internal/core"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/mcfsolve"
@@ -133,17 +134,15 @@ func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, err
 			}
 			model := ablateModel(cfg.AblateConfig, fs)
 			model.Sigma = 0 // match the paper's evaluation power function
-			off, err := core.SolveDCFSR(core.DCFSRInput{
-				Graph: ft.Graph, Flows: fs, Model: model,
-				Opts: core.DCFSROptions{
+			off, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
+				dcnflow.WithDCFSROptions(core.DCFSROptions{
 					Seed:   cfg.Seed + int64(run),
 					Solver: mcfsolve.Options{MaxIters: cfg.SolverIters},
-				},
-			})
+				}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: online comparison offline leg: %w", err)
 			}
-			greedy, err := online.Run(ft.Graph, fs, model, online.Options{})
+			greedy, err := solve(dcnflow.SolverGreedyOnline, ft.Graph, fs, model)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: online comparison greedy leg: %w", err)
 			}
@@ -151,22 +150,24 @@ func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, err
 			if cfg.Epoch > 0 {
 				policy = online.FixedPeriod{Period: cfg.Epoch}
 			}
-			roll, rollRep, err := online.RunRolling(ft.Graph, fs, model, online.RollingOptions{
-				Policy: policy,
-				DCFSR: core.DCFSROptions{
-					Seed:      cfg.Seed + int64(run),
-					Solver:    mcfsolve.Options{MaxIters: cfg.SolverIters},
-					WarmStart: true,
-				},
-			})
+			roll, err := solve(dcnflow.SolverRollingOnline, ft.Graph, fs, model,
+				dcnflow.WithRollingOptions(online.RollingOptions{
+					Policy: policy,
+					DCFSR: core.DCFSROptions{
+						Seed:      cfg.Seed + int64(run),
+						Solver:    mcfsolve.Options{MaxIters: cfg.SolverIters},
+						WarmStart: true,
+					},
+				}))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: online comparison rolling leg: %w", err)
 			}
 			// Deadline feasibility of every scheme on every run is part of
-			// the experiment's contract, not a soft statistic.
-			if rollRep.DeadlineViolations != 0 || rollRep.Rejected != 0 {
-				return nil, fmt.Errorf("experiments: rolling schedule infeasible (n=%d run=%d): %d violations, %d rejected",
-					n, run, rollRep.DeadlineViolations, rollRep.Rejected)
+			// the experiment's contract, not a soft statistic. The rolling
+			// solver's replay validation surfaces in its Solution stats.
+			if roll.Stats["deadline_violations"] != 0 || roll.Stats["rejected"] != 0 {
+				return nil, fmt.Errorf("experiments: rolling schedule infeasible (n=%d run=%d): %g violations, %g rejected",
+					n, run, roll.Stats["deadline_violations"], roll.Stats["rejected"])
 			}
 			gSim, err := sim.Run(ft.Graph, fs, greedy.Schedule, model, sim.Options{})
 			if err != nil {
@@ -181,9 +182,9 @@ func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, err
 					n, run, gSim.DeadlinesMissed, oSim.DeadlinesMissed)
 			}
 			if off.LowerBound > 0 {
-				gRatios = append(gRatios, greedy.Schedule.EnergyTotal(model)/off.LowerBound)
-				rRatios = append(rRatios, roll.Schedule.EnergyTotal(model)/off.LowerBound)
-				offRatios = append(offRatios, off.Schedule.EnergyTotal(model)/off.LowerBound)
+				gRatios = append(gRatios, greedy.Energy/off.LowerBound)
+				rRatios = append(rRatios, roll.Energy/off.LowerBound)
+				offRatios = append(offRatios, off.Energy/off.LowerBound)
 			}
 		}
 		out.Points = append(out.Points, OnlinePoint{

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"dcnflow"
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+)
+
+// solve runs one registered solver of the unified Scenario/Solver API on an
+// ad-hoc (graph, flows, model) triple. The experiments harness consumes the
+// same registry as the CLI, so every runner exercises the public solving
+// surface — one instance fanned across interchangeable algorithms — instead
+// of re-wiring internal engines by hand.
+func solve(name string, g *graph.Graph, fs *flow.Set, m power.Model, opts ...dcnflow.SolveOption) (*dcnflow.Solution, error) {
+	inst, err := dcnflow.NewInstance(g, fs, m)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building instance: %w", err)
+	}
+	return dcnflow.Solve(context.Background(), name, inst, opts...)
+}

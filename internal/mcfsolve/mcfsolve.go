@@ -24,6 +24,7 @@
 package mcfsolve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -333,7 +334,15 @@ type WarmStart struct {
 // demand from Src to Dst (fractionally, multi-path), starting from
 // hop-count shortest paths.
 func (s *Solver) Solve(commodities []Commodity) (*Result, error) {
-	return s.SolveWarm(commodities, WarmStart{})
+	return s.SolveWarmCtx(context.Background(), commodities, WarmStart{})
+}
+
+// SolveCtx is Solve under a context: cancellation is checked before the
+// first Frank–Wolfe iteration and at every iteration boundary, so a solve
+// stops within one iteration of the context ending and returns the wrapped
+// context error instead of a partial result.
+func (s *Solver) SolveCtx(ctx context.Context, commodities []Commodity) (*Result, error) {
+	return s.SolveWarmCtx(ctx, commodities, WarmStart{})
 }
 
 // Solve is the one-shot entry point: it builds a throwaway Solver and runs
@@ -350,6 +359,15 @@ func Solve(g *graph.Graph, commodities []Commodity, m power.Model, opts Options)
 // SolveWarm is Solve with a warm start (see WarmStart). A zero WarmStart
 // degenerates to the cold start.
 func (s *Solver) SolveWarm(commodities []Commodity, warm WarmStart) (*Result, error) {
+	return s.SolveWarmCtx(context.Background(), commodities, warm)
+}
+
+// SolveWarmCtx is SolveWarm under a context (see SolveCtx for the
+// cancellation contract). A nil ctx is treated as context.Background().
+func (s *Solver) SolveWarmCtx(ctx context.Context, commodities []Commodity, warm WarmStart) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i, c := range commodities {
 		if c.Demand <= 0 || math.IsNaN(c.Demand) {
 			return nil, fmt.Errorf("%w: commodity %d demand %v", ErrBadInput, i, c.Demand)
@@ -443,6 +461,12 @@ func (s *Solver) SolveWarm(commodities []Commodity, warm WarmStart) (*Result, er
 	var gap float64
 	iters := 0
 	for iters = 0; iters < s.opts.MaxIters; iters++ {
+		// Cancellation boundary: one Frank–Wolfe iteration is the promised
+		// response granularity. A cancelled solve surfaces the context error
+		// rather than the (valid but unconverged) iterate.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mcfsolve: solve interrupted at iteration %d: %w", iters, err)
+		}
 		// Marginal-cost weights (tiny hop bias keeps zero-gradient regions
 		// deterministic and hop-minimal), computed straight into the
 		// oracle's slot-ordered buffer: each edge owns exactly one

@@ -25,6 +25,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -302,11 +303,27 @@ func (s *Scheduler) Rejected() int { return s.rejected }
 // Run replays a whole flow set in release order through the online
 // scheduler — the offline-comparable entry point.
 func Run(g *graph.Graph, flows *flow.Set, model power.Model, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), g, flows, model, nil, opts)
+}
+
+// RunCtx is Run under a context: cancellation is checked before each
+// admission, so the replay stops within one flow of the context ending and
+// returns the wrapped context error instead of a partial schedule. A
+// non-nil horizon overrides the run window (it must contain the flow
+// span); nil derives it from the flows as Run does.
+func RunCtx(ctx context.Context, g *graph.Graph, flows *flow.Set, model power.Model, horizon *timeline.Interval, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if flows == nil {
 		return nil, fmt.Errorf("%w: nil flows", ErrBadInput)
 	}
 	t0, t1 := flows.Horizon()
-	s, err := New(g, model, timeline.Interval{Start: t0, End: t1}, opts)
+	window := timeline.Interval{Start: t0, End: t1}
+	if horizon != nil {
+		window = *horizon
+	}
+	s, err := New(g, model, window, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -319,6 +336,9 @@ func Run(g *graph.Graph, flows *flow.Set, model power.Model, opts Options) (*Res
 	})
 	admitted := 0
 	for _, f := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("online: greedy replay interrupted at flow %d: %w", f.ID, err)
+		}
 		if err := s.Admit(f); err != nil {
 			if errors.Is(err, ErrOverCapacity) {
 				continue

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -207,6 +208,12 @@ type RollingScheduler struct {
 	model   power.Model
 	horizon timeline.Interval
 	opts    RollingOptions
+	// ctx bounds the run: every epoch re-solve checks it first and the
+	// Frank–Wolfe solves inside observe it per iteration. The engine stores
+	// it (against the usual convention) because the sim.OnlineEngine methods
+	// Arrive/AdvanceTo/Finish — where re-plans actually fire — carry no
+	// context of their own.
+	ctx context.Context
 
 	now          float64
 	nextBoundary float64
@@ -226,6 +233,17 @@ type RollingScheduler struct {
 
 // NewRolling creates a rolling-horizon scheduler over the given horizon.
 func NewRolling(g *graph.Graph, model power.Model, horizon timeline.Interval, opts RollingOptions) (*RollingScheduler, error) {
+	return NewRollingCtx(context.Background(), g, model, horizon, opts)
+}
+
+// NewRollingCtx is NewRolling under a context: once ctx ends, the next epoch
+// boundary (and every Frank–Wolfe iteration of a re-solve already in flight)
+// aborts the run with the wrapped context error. A nil ctx is treated as
+// context.Background().
+func NewRollingCtx(ctx context.Context, g *graph.Graph, model power.Model, horizon timeline.Interval, opts RollingOptions) (*RollingScheduler, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if g == nil {
 		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
 	}
@@ -244,6 +262,7 @@ func NewRolling(g *graph.Graph, model power.Model, horizon timeline.Interval, op
 		model:        model,
 		horizon:      horizon,
 		opts:         opts,
+		ctx:          ctx,
 		now:          horizon.Start,
 		nextBoundary: opts.Policy.NextBoundary(horizon.Start),
 		urgent:       math.Inf(1),
@@ -407,6 +426,12 @@ func (s *RollingScheduler) Result() (*RollingResult, error) {
 // with frozen commitments, then admit the queued arrivals on the resulting
 // paths.
 func (s *RollingScheduler) replan(tau float64) error {
+	// Cancellation boundary: one epoch is the promised response granularity
+	// of a rolling run; the Frank–Wolfe iteration checks inside the partial
+	// solve bound the latency within an epoch already solving.
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("online: epoch re-solve at %v interrupted: %w", tau, err)
+	}
 	s.now = tau
 	s.nextBoundary = s.opts.Policy.NextBoundary(tau)
 	if !math.IsInf(s.nextBoundary, 1) && s.nextBoundary <= tau {
@@ -453,7 +478,7 @@ func (s *RollingScheduler) replan(tau float64) error {
 	s.bset.Prune(tau)
 	intervals := s.bset.IntervalsFrom(tau)
 
-	res, err := core.SolveDCFSRPartial(core.DCFSRPartialInput{
+	res, err := core.SolveDCFSRPartialCtx(s.ctx, core.DCFSRPartialInput{
 		Graph:     s.g,
 		Flows:     flows,
 		Model:     s.model,
@@ -474,6 +499,11 @@ func (s *RollingScheduler) replan(tau float64) error {
 	s.stats.SolvedIntervals += res.Intervals
 	if s.stats.Epochs == 1 {
 		s.stats.FirstResidualLB = res.ResidualLowerBound
+	}
+	if s.opts.DCFSR.Progress != nil {
+		s.opts.DCFSR.Progress(core.ProgressEvent{
+			Stage: "epoch", Index: s.stats.Epochs, FWIters: res.FWIters, Time: tau,
+		})
 	}
 
 	// Admit the queued arrivals on their planned paths, most urgent first.
@@ -837,11 +867,26 @@ func (s *RollingScheduler) bestPath(f flow.Flow, d float64, cands []core.Candida
 // via the event-driven simulator and returns the validated outcome — the
 // offline-comparable entry point, mirroring Run for the greedy scheduler.
 func RunRolling(g *graph.Graph, flows *flow.Set, model power.Model, opts RollingOptions) (*RollingResult, *sim.ReplayResult, error) {
+	return RunRollingCtx(context.Background(), g, flows, model, nil, opts)
+}
+
+// RunRollingCtx is RunRolling under a context: the replay aborts with the
+// wrapped context error at the first epoch boundary after ctx ends (or
+// within one Frank–Wolfe iteration of a re-solve already in flight). A
+// non-nil horizon overrides the run window (it must contain the flow span
+// — a wider window changes the default FixedPeriod replan cadence and the
+// idle-energy accounting span); nil derives it from the flows as
+// RunRolling does.
+func RunRollingCtx(ctx context.Context, g *graph.Graph, flows *flow.Set, model power.Model, horizon *timeline.Interval, opts RollingOptions) (*RollingResult, *sim.ReplayResult, error) {
 	if flows == nil {
 		return nil, nil, fmt.Errorf("%w: nil flows", ErrBadInput)
 	}
 	t0, t1 := flows.Horizon()
-	rs, err := NewRolling(g, model, timeline.Interval{Start: t0, End: t1}, opts)
+	window := timeline.Interval{Start: t0, End: t1}
+	if horizon != nil {
+		window = *horizon
+	}
+	rs, err := NewRollingCtx(ctx, g, model, window, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -165,10 +165,16 @@ type linkEvent struct {
 
 // LinkRates aggregates the per-link transmission rate x_e(t) as a
 // piecewise-constant function. A flow transmitting at rate s occupies every
-// link of its path at rate s simultaneously (fluid view).
+// link of its path at rate s simultaneously (fluid view). Flows are swept
+// in ascending id order (and coincident rate changes accumulated in that
+// order — see sweep), so the floating-point rate values are deterministic;
+// iterating the flow map directly would let three or more coincident
+// segment boundaries on one link sum in map order and change the last bits
+// of x_e(t) from run to run.
 func (s *Schedule) LinkRates() map[graph.EdgeID][]RateSegment {
 	events := make(map[graph.EdgeID][]linkEvent)
-	for _, fs := range s.flows {
+	for _, id := range s.FlowIDs() {
+		fs := s.flows[id]
 		for _, eid := range fs.Path.Edges {
 			for _, seg := range fs.Segments {
 				events[eid] = append(events[eid],
@@ -186,9 +192,11 @@ func (s *Schedule) LinkRates() map[graph.EdgeID][]RateSegment {
 }
 
 // sweep converts rate-change events into disjoint constant-rate segments
-// (zero-rate gaps omitted).
+// (zero-rate gaps omitted). The sort must be stable: events at equal times
+// keep their insertion order, so coincident deltas accumulate in a
+// reproducible sequence.
 func sweep(evs []linkEvent) []RateSegment {
-	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
 	var (
 		out  []RateSegment
 		rate float64

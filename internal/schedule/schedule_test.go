@@ -336,3 +336,43 @@ func TestFlowIDsSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestEnergyDeterministicUnderMapOrder guards the determinism contract of
+// LinkRates/EnergyDynamic: with several flows sharing segment boundaries on
+// one link, the per-link rate accumulation must not depend on the flow
+// map's iteration order. Before flows were swept in id order (and sweep
+// made stable), three-plus coincident deltas summed in map order and the
+// energy drifted in its last bits from run to run.
+func TestEnergyDeterministicUnderMapOrder(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("A", graph.KindHost)
+	b := g.AddNode("B", graph.KindHost)
+	ab, _, err := g.AddBiEdge(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 100}
+	build := func() *Schedule {
+		s := New(timeline.Interval{Start: 0, End: 10})
+		// Rates chosen so the sum's low bits depend on association order.
+		for i, rate := range []float64{0.1, 0.2, 0.3, 0.7, 1e-9, 3.3333333333333335} {
+			if err := s.SetFlow(&FlowSchedule{
+				FlowID: flow.ID(i),
+				Path:   graph.Path{Edges: []graph.EdgeID{ab}},
+				Segments: []RateSegment{{
+					Interval: timeline.Interval{Start: 1, End: 9},
+					Rate:     rate,
+				}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	want := build().EnergyDynamic(m)
+	for i := 0; i < 100; i++ {
+		if got := build().EnergyDynamic(m); got != want {
+			t.Fatalf("EnergyDynamic nondeterministic: %v != %v (iteration %d)", got, want, i)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package dcnflow
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/topology"
+)
+
+// ErrBadScenario reports a scenario spec that failed strict decoding or
+// validation; the wrapped message names the offending field.
+var ErrBadScenario = errors.New("dcnflow: invalid scenario spec")
+
+// Scenario kind vocabularies, in the order they are documented.
+var (
+	// TopologyKinds lists the TopologySpec.Kind values LoadScenario accepts.
+	TopologyKinds = []string{"fattree", "bcube", "leafspine", "vl2", "jellyfish", "line", "star"}
+	// WorkloadKinds lists the WorkloadSpec.Kind values LoadScenario accepts.
+	WorkloadKinds = []string{"uniform", "diurnal", "incast", "partition-aggregate", "shuffle"}
+)
+
+// TopologySpec declares a generated topology by kind and parameters. Only
+// the fields of the selected kind are consulted; Capacity is shared by all
+// kinds (it is the per-link rate cap C's physical counterpart).
+//
+//	fattree:   k (arity; 8 = the paper's 80 switches / 128 servers)
+//	bcube:     k (port count n), l (level)
+//	leafspine: spines, leaves, hosts_per_leaf
+//	vl2:       di, da, tors, hosts_per_tor
+//	jellyfish: switches, degree, hosts_per_switch, seed
+//	line:      k (switch count)
+//	star:      k (leaf count)
+type TopologySpec struct {
+	// Kind selects the generator; see TopologyKinds.
+	Kind string `json:"kind"`
+	// K is the fat-tree arity, BCube port count, line length or star size.
+	K int `json:"k,omitempty"`
+	// L is the BCube level.
+	L int `json:"l,omitempty"`
+	// Spines, Leaves and HostsPerLeaf shape a leaf-spine Clos.
+	Spines       int `json:"spines,omitempty"`
+	Leaves       int `json:"leaves,omitempty"`
+	HostsPerLeaf int `json:"hosts_per_leaf,omitempty"`
+	// Di, Da, Tors and HostsPerTor shape a VL2 folded Clos.
+	Di          int `json:"di,omitempty"`
+	Da          int `json:"da,omitempty"`
+	Tors        int `json:"tors,omitempty"`
+	HostsPerTor int `json:"hosts_per_tor,omitempty"`
+	// Switches, Degree and HostsPerSwitch shape a Jellyfish random graph.
+	Switches       int `json:"switches,omitempty"`
+	Degree         int `json:"degree,omitempty"`
+	HostsPerSwitch int `json:"hosts_per_switch,omitempty"`
+	// Seed drives the Jellyfish random wiring.
+	Seed int64 `json:"seed,omitempty"`
+	// Capacity is the per-link capacity every generated link carries.
+	Capacity float64 `json:"capacity"`
+}
+
+// Build generates the declared topology.
+func (t TopologySpec) Build() (*Topology, error) {
+	if t.Capacity <= 0 {
+		return nil, fmt.Errorf("%w: topology capacity must be positive, got %v", ErrBadScenario, t.Capacity)
+	}
+	var (
+		top *Topology
+		err error
+	)
+	switch t.Kind {
+	case "fattree":
+		top, err = topology.FatTree(t.K, t.Capacity)
+	case "bcube":
+		top, err = topology.BCube(t.K, t.L, t.Capacity)
+	case "leafspine":
+		top, err = topology.LeafSpine(t.Spines, t.Leaves, t.HostsPerLeaf, t.Capacity)
+	case "vl2":
+		top, err = topology.VL2(t.Di, t.Da, t.Tors, t.HostsPerTor, t.Capacity)
+	case "jellyfish":
+		top, err = topology.Jellyfish(t.Switches, t.Degree, t.HostsPerSwitch, t.Capacity, t.Seed)
+	case "line":
+		top, err = topology.Line(t.K, t.Capacity)
+	case "star":
+		top, err = topology.Star(t.K, t.Capacity)
+	default:
+		return nil, fmt.Errorf("%w: unknown topology kind %q (want one of %s)",
+			ErrBadScenario, t.Kind, strings.Join(TopologyKinds, ", "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: topology %s: %v", ErrBadScenario, t.Kind, err)
+	}
+	return top, nil
+}
+
+// WorkloadSpec declares a generated flow set by kind and parameters.
+//
+//	uniform:             n, t0, t1, size_mean, size_stddev, min_span,
+//	                     time_quantum, seed — the paper's evaluation workload
+//	diurnal:             n, t0, t1, peak_factor, size_mean, size_stddev,
+//	                     span_mean, seed — sinusoidal arrival intensity
+//	incast:              hosts (senders + 1), release, deadline, size — the
+//	                     first topology host receives from the next hosts-1
+//	partition-aggregate: like incast (the aggregator is the first host)
+//	shuffle:             hosts, release, deadline, size — all-to-all among
+//	                     the first hosts topology hosts
+type WorkloadSpec struct {
+	// Kind selects the generator; see WorkloadKinds.
+	Kind string `json:"kind"`
+	// N is the flow count of the random generators.
+	N int `json:"n,omitempty"`
+	// T0 and T1 delimit the horizon of the random generators.
+	T0 float64 `json:"t0,omitempty"`
+	T1 float64 `json:"t1,omitempty"`
+	// SizeMean and SizeStddev parameterise the truncated-normal sizes.
+	SizeMean   float64 `json:"size_mean,omitempty"`
+	SizeStddev float64 `json:"size_stddev,omitempty"`
+	// MinSpan and TimeQuantum tune the uniform generator (see
+	// WorkloadConfig).
+	MinSpan     float64 `json:"min_span,omitempty"`
+	TimeQuantum float64 `json:"time_quantum,omitempty"`
+	// PeakFactor and SpanMean tune the diurnal generator (see
+	// DiurnalConfig).
+	PeakFactor float64 `json:"peak_factor,omitempty"`
+	SpanMean   float64 `json:"span_mean,omitempty"`
+	// Hosts is the participant count of the deterministic patterns (incast,
+	// partition-aggregate, shuffle), drawn from the front of the topology's
+	// host list.
+	Hosts int `json:"hosts,omitempty"`
+	// Release, Deadline and Size shape the deterministic patterns' shared
+	// window and per-flow size.
+	Release  float64 `json:"release,omitempty"`
+	Deadline float64 `json:"deadline,omitempty"`
+	Size     float64 `json:"size,omitempty"`
+	// Seed drives the random generators.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Build generates the declared flow set on the topology's hosts.
+func (w WorkloadSpec) Build(top *Topology) (*FlowSet, error) {
+	if top == nil {
+		return nil, fmt.Errorf("%w: workload needs a topology", ErrBadScenario)
+	}
+	var (
+		fs  *FlowSet
+		err error
+	)
+	switch w.Kind {
+	case "uniform":
+		fs, err = flow.Uniform(flow.GenConfig{
+			N: w.N, T0: w.T0, T1: w.T1,
+			SizeMean: w.SizeMean, SizeStddev: w.SizeStddev,
+			MinSpan: w.MinSpan, TimeQuantum: w.TimeQuantum,
+			Hosts: top.Hosts, Seed: w.Seed,
+		})
+	case "diurnal":
+		fs, err = flow.Diurnal(flow.DiurnalConfig{
+			N: w.N, T0: w.T0, T1: w.T1, PeakFactor: w.PeakFactor,
+			SizeMean: w.SizeMean, SizeStddev: w.SizeStddev, SpanMean: w.SpanMean,
+			Hosts: top.Hosts, Seed: w.Seed,
+		})
+	case "incast", "partition-aggregate":
+		if w.Hosts < 2 || w.Hosts > len(top.Hosts) {
+			return nil, fmt.Errorf("%w: %s workload needs 2..%d hosts, got %d",
+				ErrBadScenario, w.Kind, len(top.Hosts), w.Hosts)
+		}
+		fs, err = flow.PartitionAggregate(top.Hosts[0], top.Hosts[1:w.Hosts], w.Release, w.Deadline, w.Size)
+	case "shuffle":
+		if w.Hosts < 2 || w.Hosts > len(top.Hosts) {
+			return nil, fmt.Errorf("%w: shuffle workload needs 2..%d hosts, got %d",
+				ErrBadScenario, len(top.Hosts), w.Hosts)
+		}
+		fs, err = flow.Shuffle(top.Hosts[:w.Hosts], w.Release, w.Deadline, w.Size)
+	default:
+		return nil, fmt.Errorf("%w: unknown workload kind %q (want one of %s)",
+			ErrBadScenario, w.Kind, strings.Join(WorkloadKinds, ", "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: workload %s: %v", ErrBadScenario, w.Kind, err)
+	}
+	return fs, nil
+}
+
+// ModelSpec declares the link power model f(x) = sigma + mu*x^alpha for
+// 0 < x <= c, f(0) = 0. A zero C means uncapped.
+type ModelSpec struct {
+	// Sigma is the idle (leakage) power charged while a link is on.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Mu scales the dynamic (speed-scaling) term.
+	Mu float64 `json:"mu"`
+	// Alpha is the power exponent (the paper evaluates 2 and 4).
+	Alpha float64 `json:"alpha"`
+	// C is the link rate cap; zero leaves the model uncapped.
+	C float64 `json:"c,omitempty"`
+}
+
+// Model converts the spec to the internal power model.
+func (m ModelSpec) Model() PowerModel {
+	return PowerModel{Sigma: m.Sigma, Mu: m.Mu, Alpha: m.Alpha, C: m.C}
+}
+
+// ScenarioSpec is a declarative, JSON-serializable problem description:
+// topology kind + parameters, workload kind + parameters, power model and
+// seeds. A spec plus a solver name reproduces a run exactly —
+// LoadScenario/SaveScenario round-trip bit-identically, so experiments
+// become data (see examples/scenarios/ and `dcnflow run`).
+type ScenarioSpec struct {
+	// Name labels the scenario in reports; free-form.
+	Name string `json:"name,omitempty"`
+	// Topology declares the network.
+	Topology TopologySpec `json:"topology"`
+	// Workload declares the flow set, generated on the topology's hosts.
+	Workload WorkloadSpec `json:"workload"`
+	// Model declares the link power function.
+	Model ModelSpec `json:"model"`
+	// Seed is the solver seed (randomized rounding, ECMP draws); workload
+	// and topology randomness have their own seeds in their specs.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Validate checks the spec without generating anything expensive: kinds are
+// known, the model is well-formed and the obviously-broken parameter
+// combinations are rejected with field-naming errors.
+func (s *ScenarioSpec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("%w: nil spec", ErrBadScenario)
+	}
+	knownTopo := false
+	for _, k := range TopologyKinds {
+		knownTopo = knownTopo || s.Topology.Kind == k
+	}
+	if !knownTopo {
+		return fmt.Errorf("%w: unknown topology kind %q (want one of %s)",
+			ErrBadScenario, s.Topology.Kind, strings.Join(TopologyKinds, ", "))
+	}
+	knownWl := false
+	for _, k := range WorkloadKinds {
+		knownWl = knownWl || s.Workload.Kind == k
+	}
+	if !knownWl {
+		return fmt.Errorf("%w: unknown workload kind %q (want one of %s)",
+			ErrBadScenario, s.Workload.Kind, strings.Join(WorkloadKinds, ", "))
+	}
+	if s.Topology.Capacity <= 0 {
+		return fmt.Errorf("%w: topology capacity must be positive, got %v", ErrBadScenario, s.Topology.Capacity)
+	}
+	if err := s.Model.Model().Validate(); err != nil {
+		return fmt.Errorf("%w: model: %v", ErrBadScenario, err)
+	}
+	switch s.Workload.Kind {
+	case "uniform", "diurnal":
+		if s.Workload.N <= 0 {
+			return fmt.Errorf("%w: workload n must be positive, got %d", ErrBadScenario, s.Workload.N)
+		}
+		if s.Workload.T1 <= s.Workload.T0 {
+			return fmt.Errorf("%w: workload horizon [%v, %v] is empty", ErrBadScenario, s.Workload.T0, s.Workload.T1)
+		}
+		if s.Workload.SizeMean <= 0 {
+			return fmt.Errorf("%w: workload size_mean must be positive, got %v", ErrBadScenario, s.Workload.SizeMean)
+		}
+	default:
+		if s.Workload.Hosts < 2 {
+			return fmt.Errorf("%w: workload hosts must be at least 2, got %d", ErrBadScenario, s.Workload.Hosts)
+		}
+		if s.Workload.Deadline <= s.Workload.Release {
+			return fmt.Errorf("%w: workload window [%v, %v] is empty", ErrBadScenario, s.Workload.Release, s.Workload.Deadline)
+		}
+		if s.Workload.Size <= 0 {
+			return fmt.Errorf("%w: workload size must be positive, got %v", ErrBadScenario, s.Workload.Size)
+		}
+	}
+	return nil
+}
+
+// Instance generates the topology and workload and packages them as a
+// validated Instance (with the topology attached for host-list access).
+func (s *ScenarioSpec) Instance() (*Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	top, err := s.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	fs, err := s.Workload.Build(top)
+	if err != nil {
+		return nil, err
+	}
+	return NewInstanceBuilder().Topology(top).Flows(fs).Model(s.Model.Model()).Build()
+}
+
+// LoadScenario strictly decodes one JSON scenario spec: unknown fields,
+// trailing garbage and invalid parameter combinations are all rejected with
+// errors wrapping ErrBadScenario that name the problem.
+func LoadScenario(r io.Reader) (*ScenarioSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after the spec object", ErrBadScenario)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// LoadScenarioFile is LoadScenario on a file path.
+func LoadScenarioFile(path string) (*ScenarioSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dcnflow: %w", err)
+	}
+	defer f.Close()
+	spec, err := LoadScenario(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// SaveScenario validates the spec and writes it as canonical indented JSON
+// (two-space indent, trailing newline) — the byte format the golden-file
+// tests and examples/scenarios/ pin. SaveScenario(LoadScenario(x)) is
+// byte-identical for canonical x.
+func SaveScenario(w io.Writer, spec *ScenarioSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dcnflow: encoding scenario: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// SaveScenarioFile is SaveScenario on a file path.
+func SaveScenarioFile(path string, spec *ScenarioSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dcnflow: %w", err)
+	}
+	if err := SaveScenario(f, spec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,155 @@
+package dcnflow_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"dcnflow"
+)
+
+// TestScenarioGoldenRoundTrip pins the serialized spec format and the
+// reproducibility contract: the canonical golden file re-serializes
+// byte-identically, and two independent load → build → solve cycles of the
+// same spec produce bit-identical energies and lower bounds.
+func TestScenarioGoldenRoundTrip(t *testing.T) {
+	const golden = "testdata/golden_scenario.json"
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := dcnflow.LoadScenarioFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dcnflow.SaveScenario(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("save(load(golden)) is not byte-identical to the golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	solve := func(s *dcnflow.ScenarioSpec) (energy, lb float64) {
+		t.Helper()
+		inst, err := s.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := dcnflow.Solve(context.Background(), dcnflow.SolverDCFSR, inst, dcnflow.WithSeed(s.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Energy, sol.LowerBound
+	}
+	e1, lb1 := solve(spec)
+	if e1 <= 0 || lb1 <= 0 {
+		t.Fatalf("golden solve degenerate: energy %v, LB %v", e1, lb1)
+	}
+	// Round-trip through the saved bytes and solve again.
+	reloaded, err := dcnflow.LoadScenario(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, lb2 := solve(reloaded)
+	if e1 != e2 || lb1 != lb2 {
+		t.Errorf("save/load changed the solve: energy %v -> %v, LB %v -> %v", e1, e2, lb1, lb2)
+	}
+}
+
+// TestSaveScenarioFileRoundTrip exercises the file-path variants.
+func TestSaveScenarioFileRoundTrip(t *testing.T) {
+	spec, err := dcnflow.LoadScenarioFile("testdata/golden_scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/spec.json"
+	if err := dcnflow.SaveScenarioFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dcnflow.LoadScenarioFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *spec {
+		t.Errorf("file round-trip changed the spec: %+v != %+v", back, spec)
+	}
+}
+
+// TestLoadScenarioRejectsMalformed guards the error surface: every broken
+// spec is rejected with ErrBadScenario and a message naming the problem.
+func TestLoadScenarioRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, input, wantMsg string
+	}{
+		{"not json", `{{`, ""},
+		{"unknown field", `{"bogus": 1, "topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "uniform", "n": 1, "t1": 9, "size_mean": 1}, "model": {"mu": 1, "alpha": 2}}`, "bogus"},
+		{"unknown topology", `{"topology": {"kind": "torus", "capacity": 1}, "workload": {"kind": "uniform", "n": 1, "t1": 9, "size_mean": 1}, "model": {"mu": 1, "alpha": 2}}`, "topology kind"},
+		{"unknown workload", `{"topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "poisson"}, "model": {"mu": 1, "alpha": 2}}`, "workload kind"},
+		{"no capacity", `{"topology": {"kind": "fattree", "k": 4}, "workload": {"kind": "uniform", "n": 1, "t1": 9, "size_mean": 1}, "model": {"mu": 1, "alpha": 2}}`, "capacity"},
+		{"bad model", `{"topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "uniform", "n": 1, "t1": 9, "size_mean": 1}, "model": {"mu": -1, "alpha": 2}}`, "model"},
+		{"empty horizon", `{"topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "uniform", "n": 1, "t0": 9, "t1": 9, "size_mean": 1}, "model": {"mu": 1, "alpha": 2}}`, "horizon"},
+		{"zero flows", `{"topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "uniform", "t1": 9, "size_mean": 1}, "model": {"mu": 1, "alpha": 2}}`, "n must be positive"},
+		{"incast one host", `{"topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "incast", "hosts": 1, "deadline": 5, "size": 1}, "model": {"mu": 1, "alpha": 2}}`, "hosts"},
+		{"trailing garbage", `{"topology": {"kind": "fattree", "k": 4, "capacity": 1}, "workload": {"kind": "uniform", "n": 1, "t1": 9, "size_mean": 1}, "model": {"mu": 1, "alpha": 2}} {"again": true}`, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := dcnflow.LoadScenario(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("malformed spec accepted: %s", tc.input)
+			}
+			if !errors.Is(err, dcnflow.ErrBadScenario) {
+				t.Errorf("error does not wrap ErrBadScenario: %v", err)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// FuzzLoadScenario asserts LoadScenario is total: arbitrary input either
+// yields a spec that validates and round-trips, or an ErrBadScenario-class
+// error — never a panic, never a silently invalid spec.
+func FuzzLoadScenario(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"topology": {"kind": "fattree", "k": 4, "capacity": 1000}, "workload": {"kind": "uniform", "n": 4, "t1": 10, "size_mean": 2}, "model": {"mu": 1, "alpha": 2}}`,
+		`{"topology": {"kind": "line", "k": 3, "capacity": 5}, "workload": {"kind": "shuffle", "hosts": 2, "deadline": 4, "size": 1}, "model": {"sigma": 1, "mu": 1, "alpha": 4, "c": 5}}`,
+		`{"bogus": true}`,
+		`[1, 2, 3]`,
+		`{"topology": {"kind": "torus"}}`,
+		"null",
+		"",
+	}
+	if data, err := os.ReadFile("testdata/golden_scenario.json"); err == nil {
+		seeds = append(seeds, string(data))
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := dcnflow.LoadScenario(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("LoadScenario accepted a spec that fails Validate: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := dcnflow.SaveScenario(&buf, spec); err != nil {
+			t.Fatalf("accepted spec does not save: %v", err)
+		}
+		back, err := dcnflow.LoadScenario(&buf)
+		if err != nil {
+			t.Fatalf("saved spec does not load back: %v", err)
+		}
+		if *back != *spec {
+			t.Fatalf("round-trip changed the spec: %+v != %+v", back, spec)
+		}
+	})
+}

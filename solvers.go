@@ -1,0 +1,263 @@
+package dcnflow
+
+import (
+	"context"
+	"fmt"
+
+	"dcnflow/internal/baseline"
+	"dcnflow/internal/core"
+	"dcnflow/internal/online"
+)
+
+// Built-in solver names, as registered in the package-level registry. The
+// constants exist so callers and the CLI can reference families without
+// string literals; SolverNames() returns the same set.
+const (
+	// SolverDCFSR is the Random-Schedule relaxation/rounding approximation
+	// for joint routing and scheduling (Algorithm 2).
+	SolverDCFSR = "dcfsr"
+	// SolverDCFSMCF schedules with Most-Critical-First on the instance's
+	// fixed routing (Instance.Routing), falling back to shortest paths when
+	// the instance fixes none.
+	SolverDCFSMCF = "dcfs-mcf"
+	// SolverSPMCF is the paper's comparison baseline: deterministic
+	// shortest-path routing plus the optimal Most-Critical-First schedule.
+	SolverSPMCF = "sp-mcf"
+	// SolverECMPMCF is SP+MCF with randomised equal-cost multi-path routing.
+	SolverECMPMCF = "ecmp-mcf"
+	// SolverAlwaysOn is the no-energy-management baseline: full-rate
+	// shortest-path transmission, every link powered the whole horizon.
+	SolverAlwaysOn = "always-on"
+	// SolverExact is the brute-force small-instance optimum (path
+	// enumeration with optimal per-assignment scheduling).
+	SolverExact = "exact"
+	// SolverGreedyOnline is the irrevocable marginal-cost greedy online
+	// scheduler.
+	SolverGreedyOnline = "greedy-online"
+	// SolverRollingOnline is the rolling-horizon online re-optimizer.
+	SolverRollingOnline = "rolling-online"
+)
+
+// solverFunc adapts a closure to the Solver interface with the shared
+// entry checks (nil instance, nil context).
+type solverFunc struct {
+	name string
+	run  func(ctx context.Context, in *Instance) (*Solution, error)
+}
+
+// Name implements Solver.
+func (s *solverFunc) Name() string { return s.name }
+
+// Solve implements Solver.
+func (s *solverFunc) Solve(ctx context.Context, in *Instance) (*Solution, error) {
+	if in == nil {
+		return nil, fmt.Errorf("%w: nil instance", ErrBadInstance)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.run(ctx, in)
+}
+
+func boolStat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mcfSolution packages a Most-Critical-First result uniformly.
+func mcfSolution(name string, in *Instance, res *core.DCFSResult) *Solution {
+	return &Solution{
+		Solver:   name,
+		Schedule: res.Schedule,
+		Energy:   res.Schedule.EnergyTotal(in.model),
+		Stats: map[string]float64{
+			"rounds":    float64(len(res.Rounds)),
+			"conflicts": float64(res.Conflicts),
+			"links_on":  float64(len(res.Schedule.ActiveLinks())),
+		},
+	}
+}
+
+// registerBuiltins populates the package-level registry with the eight
+// solver families. It runs once at init; a registration failure here is a
+// programming error, hence the panic.
+func registerBuiltins() {
+	mustRegister := func(name string, f SolverFactory) {
+		if err := Register(name, f); err != nil {
+			panic(err)
+		}
+	}
+
+	mustRegister(SolverDCFSR, func(cfg SolverConfig) (Solver, error) {
+		return &solverFunc{name: SolverDCFSR, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			res, err := core.SolveDCFSRCtx(ctx, core.DCFSRInput{
+				Graph: in.graph, Flows: in.flows, Model: in.model, Opts: cfg.DCFSR,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &Solution{
+				Solver:     SolverDCFSR,
+				Schedule:   res.Schedule,
+				Energy:     res.Schedule.EnergyTotal(in.model),
+				LowerBound: res.LowerBound,
+				Stats: map[string]float64{
+					"attempts":          float64(res.Attempts),
+					"intervals":         float64(res.Intervals),
+					"lambda":            res.Lambda,
+					"max_rate":          res.MaxRate,
+					"capacity_feasible": boolStat(res.CapacityFeasible),
+					"links_on":          float64(len(res.Schedule.ActiveLinks())),
+				},
+			}, nil
+		}}, nil
+	})
+
+	mustRegister(SolverDCFSMCF, func(cfg SolverConfig) (Solver, error) {
+		return &solverFunc{name: SolverDCFSMCF, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			paths := in.paths
+			if paths == nil {
+				var err error
+				if paths, err = baseline.ShortestPaths(in.graph, in.flows); err != nil {
+					return nil, err
+				}
+			}
+			res, err := core.SolveDCFSCtx(ctx, core.DCFSInput{
+				Graph: in.graph, Flows: in.flows, Paths: paths, Model: in.model,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return mcfSolution(SolverDCFSMCF, in, res), nil
+		}}, nil
+	})
+
+	mustRegister(SolverSPMCF, func(cfg SolverConfig) (Solver, error) {
+		return &solverFunc{name: SolverSPMCF, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			paths, err := baseline.ShortestPaths(in.graph, in.flows)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.SolveDCFSCtx(ctx, core.DCFSInput{
+				Graph: in.graph, Flows: in.flows, Paths: paths, Model: in.model,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return mcfSolution(SolverSPMCF, in, res), nil
+		}}, nil
+	})
+
+	mustRegister(SolverECMPMCF, func(cfg SolverConfig) (Solver, error) {
+		width := cfg.ECMPWidth
+		if width <= 0 {
+			width = 8
+		}
+		return &solverFunc{name: SolverECMPMCF, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			paths, err := baseline.ECMPPaths(in.graph, in.flows, width, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.SolveDCFSCtx(ctx, core.DCFSInput{
+				Graph: in.graph, Flows: in.flows, Paths: paths, Model: in.model,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sol := mcfSolution(SolverECMPMCF, in, res)
+			sol.Stats["ecmp_width"] = float64(width)
+			return sol, nil
+		}}, nil
+	})
+
+	mustRegister(SolverAlwaysOn, func(cfg SolverConfig) (Solver, error) {
+		return &solverFunc{name: SolverAlwaysOn, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			res, err := baseline.AlwaysOnFullRate(in.graph, in.flows, in.model)
+			if err != nil {
+				return nil, err
+			}
+			return &Solution{
+				Solver:   SolverAlwaysOn,
+				Schedule: res.Schedule,
+				Energy:   res.Energy,
+				Stats: map[string]float64{
+					"links_on": float64(in.graph.NumEdges()),
+				},
+			}, nil
+		}}, nil
+	})
+
+	mustRegister(SolverExact, func(cfg SolverConfig) (Solver, error) {
+		return &solverFunc{name: SolverExact, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			res, err := core.SolveDCFSRExactCtx(ctx, core.DCFSRInput{
+				Graph: in.graph, Flows: in.flows, Model: in.model,
+			}, cfg.Exact)
+			if err != nil {
+				return nil, err
+			}
+			return &Solution{
+				Solver:   SolverExact,
+				Schedule: res.Result.Schedule,
+				Energy:   res.Energy,
+				Stats: map[string]float64{
+					"assignments": float64(res.Assignments),
+					"links_on":    float64(len(res.Result.Schedule.ActiveLinks())),
+				},
+			}, nil
+		}}, nil
+	})
+
+	mustRegister(SolverGreedyOnline, func(cfg SolverConfig) (Solver, error) {
+		return &solverFunc{name: SolverGreedyOnline, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			horizon := in.horizon
+			res, err := online.RunCtx(ctx, in.graph, in.flows, in.model, &horizon, cfg.Online)
+			if err != nil {
+				return nil, err
+			}
+			return &Solution{
+				Solver:   SolverGreedyOnline,
+				Schedule: res.Schedule,
+				Energy:   res.Schedule.EnergyTotal(in.model),
+				Stats: map[string]float64{
+					"admitted":  float64(res.Admitted),
+					"rejected":  float64(in.flows.Len() - res.Admitted),
+					"peak_rate": res.PeakRate,
+					"links_on":  float64(len(res.Schedule.ActiveLinks())),
+				},
+			}, nil
+		}}, nil
+	})
+
+	mustRegister(SolverRollingOnline, func(cfg SolverConfig) (Solver, error) {
+		ropts := cfg.Rolling
+		ropts.DCFSR = cfg.DCFSR
+		return &solverFunc{name: SolverRollingOnline, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			horizon := in.horizon
+			res, rep, err := online.RunRollingCtx(ctx, in.graph, in.flows, in.model, &horizon, ropts)
+			if err != nil {
+				return nil, err
+			}
+			return &Solution{
+				Solver:   SolverRollingOnline,
+				Schedule: res.Schedule,
+				Energy:   res.Schedule.EnergyTotal(in.model),
+				Stats: map[string]float64{
+					"epochs":              float64(res.Stats.Epochs),
+					"fw_iters":            float64(res.Stats.FWIters),
+					"seeded_intervals":    float64(res.Stats.SeededIntervals),
+					"solved_intervals":    float64(res.Stats.SolvedIntervals),
+					"admitted":            float64(rep.Admitted),
+					"rejected":            float64(rep.Rejected),
+					"deadline_violations": float64(rep.DeadlineViolations),
+					"capacity_violations": float64(rep.CapacityViolations),
+					"first_residual_lb":   res.Stats.FirstResidualLB,
+					"links_on":            float64(len(res.Schedule.ActiveLinks())),
+				},
+			}, nil
+		}}, nil
+	})
+}
+
+func init() { registerBuiltins() }
