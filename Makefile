@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-smoke examples scenarios doccheck
+.PHONY: build test test-race-online vet fmt bench bench-smoke examples scenarios sweep-smoke doccheck
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,15 @@ scenarios:
 		$(GO) run ./cmd/dcnflow run $$f -solver dcfsr,sp-mcf,greedy-online,rolling-online || exit 1; \
 	done
 
+# sweep-smoke runs the tiny all-solver sweep grid through the CLI — every
+# registered solver family on a 32-cell grid, JSONL discarded, aggregate
+# printed. CI runs the same command.
+sweep-smoke:
+	$(GO) run ./cmd/dcnflow sweep examples/sweeps/smoke.json -workers 4
+
 # doccheck fails when an exported symbol of the public facade (root
 # package) is missing a doc comment, or when a registered solver name is
-# absent from README.md, DESIGN.md or `dcnflow run -h`.
+# absent from README.md, DESIGN.md, `dcnflow run -h` or `dcnflow sweep -h`.
 doccheck:
 	$(GO) run ./cmd/doccheck
 
@@ -32,10 +38,14 @@ test:
 	$(GO) test ./...
 
 # test-race-online runs the packages with cross-goroutine state (the online
-# schedulers and the concurrent relaxation fan-out they drive) under the
-# race detector; CI runs the same job.
+# schedulers, the concurrent relaxation fan-out they drive, and the sweep
+# worker pool) under the race detector, plus the root-package conformance
+# corpus and sweep determinism tests (the engine's cross-worker sharing —
+# scenario groups, solver caches, ordered emission — lives there); CI runs
+# the same job.
 test-race-online:
-	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/...
+	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/...
+	$(GO) test -race -run 'TestConformance|TestSweep' .
 
 vet:
 	$(GO) vet ./...

@@ -11,24 +11,27 @@
 //	dcnflow online -mode compare     # O1: greedy vs rolling vs offline RS
 //	dcnflow online -mode rolling     # one rolling-horizon run with stats
 //	dcnflow run scenario.json -solver dcfsr,sp-mcf   # solve a JSON scenario spec
+//	dcnflow sweep grid.json -workers 8 -out out.jsonl  # run a scenario-sweep grid
 //	dcnflow workload -n 100          # dump a generated workload as CSV
 //	dcnflow topo -kind fattree -k 4  # emit a topology in Graphviz DOT
 //
 // Run `dcnflow <command> -h` for any command's flags. The experiment IDs
 // (E1, F2, T2/T3, A1-A3, O1) are defined in DESIGN.md's per-experiment
 // index, which maps each one to its runner, benchmark and CLI entry.
-// Scheme-running commands (run, compare, trace) dispatch through the
-// Scenario/Solver registry of the dcnflow package, so every registered
+// Scheme-running commands (run, sweep, compare, trace) dispatch through
+// the Scenario/Solver registry of the dcnflow package, so every registered
 // solver is reachable from the command line.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -73,6 +76,7 @@ func commands() []command {
 		{"ablate", "run an ablation study: lambda | rounding | surrogate | online | exact", "A1 A2 A3", runAblate},
 		{"online", "run the online extension: greedy, rolling-horizon, or the O1 comparison", "O1", runOnline},
 		{"run", "solve a JSON scenario spec with registered solvers (see examples/scenarios/)", "", runScenario},
+		{"sweep", "run a JSON sweep spec: a scenario grid crossed with solvers, on a worker pool (see examples/sweeps/)", "", runSweep},
 		{"workload", "generate and print a random workload as CSV", "", runWorkload},
 		{"compare", "run every registered solver (and the fractional LB) on one workload", "", runCompare},
 		{"trace", "schedule a CSV flow trace (id,src,dst,release,deadline,size) on a chosen topology", "", runTrace},
@@ -164,6 +168,7 @@ func runFig2(args []string) error {
 	counts := fs.String("n", "40,80,120,160,200", "comma-separated flow counts")
 	idleMult := fs.Float64("idle-mult", 0, "idle-power extension: Ropt at this multiple of mean density (0 = paper's sigma=0)")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
+	workers := fs.Int("workers", 1, "concurrent (n, run) grid cells on the sweep pool; never affects results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,6 +184,7 @@ func runFig2(args []string) error {
 		Seed:             *seed,
 		SolverIters:      *iters,
 		IdleRoptMultiple: *idleMult,
+		Workers:          *workers,
 	})
 	if err != nil {
 		return err
@@ -229,11 +235,12 @@ func runAblate(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed")
 	alpha := fs.Float64("alpha", 2, "power exponent")
 	iters := fs.Int("iters", 40, "Frank-Wolfe iterations")
+	workers := fs.Int("workers", 1, "concurrent grid cells on the sweep pool; never affects results")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	cfg := experiments.AblateConfig{
-		N: *n, Runs: *runs, Seed: *seed, Alpha: *alpha, SolverIters: *iters,
+		N: *n, Runs: *runs, Seed: *seed, Alpha: *alpha, SolverIters: *iters, Workers: *workers,
 	}
 	switch which {
 	case "lambda":
@@ -291,12 +298,14 @@ func runOnline(args []string) error {
 	epoch := fs.Float64("epoch", 0, "fixed re-plan period for rolling (0 = re-plan per arrival)")
 	warm := fs.Bool("warm", true, "warm-start epoch re-solves from the previous epoch")
 	reject := fs.Bool("reject", false, "admission control: reject flows that cannot fit under capacity")
+	workers := fs.Int("workers", 1, "concurrent grid cells on the sweep pool (compare mode); never affects results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.OnlineConfig{
 		AblateConfig: experiments.AblateConfig{
 			FatTreeK: *k, N: *n, Runs: *runs, Seed: *seed, Alpha: *alpha, SolverIters: *iters,
+			Workers: *workers,
 		},
 		Workload: *workload,
 		Epoch:    *epoch,
@@ -521,6 +530,127 @@ func runScenario(args []string) error {
 		sols = append(sols, sol)
 	}
 	fmt.Print(solutionTable(sols, lb).String())
+	return nil
+}
+
+// runSweep is the CLI face of the sweep engine: expand a SweepSpec grid,
+// solve every cell on a bounded worker pool, stream per-cell JSONL and
+// print the per-solver aggregate. JSONL bodies and aggregates are
+// byte-identical for every -workers value (runtime fields aside) — the
+// engine orders cells by index and derives every seed from the spec.
+func runSweep(args []string) error {
+	fs := newFlagSet("sweep <sweep.json>")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"worker pool size; a pure wall-clock lever — results are identical for every value")
+	out := fs.String("out", "", "write per-cell results as JSONL to this file (\"-\" = stdout)")
+	solvers := fs.String("solver", "",
+		"override the spec's solver list: comma-separated names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
+	iters := fs.Int("iters", 0, "cap Frank-Wolfe iterations sweep-wide (0 = solver default)")
+	timeout := fs.Duration("timeout", 0, "cancel the sweep after this long (0 = no limit)")
+	progress := fs.Bool("progress", false, "stream per-cell progress to stderr")
+	noLB := fs.Bool("no-lb", false, "skip the shared per-scenario relaxation bound (lb/lb_ratio then only on cells whose solver reports its own bound)")
+	// The spec path may come before or after the flags, like `dcnflow run`.
+	path := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		if fs.NArg() == 0 {
+			fs.Usage()
+			return errors.New("sweep: missing sweep file")
+		}
+		path = fs.Arg(0)
+		if fs.NArg() > 1 {
+			return fmt.Errorf("sweep: unexpected arguments %q", fs.Args()[1:])
+		}
+	} else if fs.NArg() > 0 {
+		return fmt.Errorf("sweep: unexpected arguments %q", fs.Args())
+	}
+
+	spec, err := dcnflow.LoadSweepFile(path)
+	if err != nil {
+		return err
+	}
+	if *solvers != "" {
+		names, err := solverList(*solvers)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		spec.Solvers = names
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var (
+		enc      *json.Encoder
+		jsonlErr error
+		outFile  *os.File
+	)
+	if *out == "-" {
+		enc = json.NewEncoder(os.Stdout)
+	} else if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		outFile = f
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+
+	opts := dcnflow.SweepOptions{
+		Workers: *workers,
+		SkipLB:  *noLB,
+		OnCell: func(c dcnflow.SweepCellResult) {
+			if enc != nil {
+				// A failed write must fail the command — a truncated JSONL
+				// file that exits 0 reads as a complete grid downstream.
+				if err := enc.Encode(c); err != nil && jsonlErr == nil {
+					jsonlErr = err
+				}
+			}
+			if *progress {
+				status := fmt.Sprintf("energy %.6g", c.Energy)
+				if c.Err != "" {
+					status = "error: " + c.Err
+				}
+				fmt.Fprintf(os.Stderr, "  cell %d/%d %s %s: %s (%.0f ms)\n",
+					c.Cell+1, spec.CellCount(), c.Scenario, c.Solver, status, c.RuntimeMS)
+			}
+		},
+	}
+	if *iters > 0 {
+		opts.Options = append(opts.Options, dcnflow.WithSolverOptions(mcfsolve.Options{MaxIters: *iters}))
+	}
+
+	label := spec.Name
+	if label == "" {
+		label = path
+	}
+	fmt.Printf("sweep %q: %d cells (%d topologies x %d workloads x %d tightness x %d seeds x %d solvers), %d workers\n",
+		label, spec.CellCount(), len(spec.Topologies), len(spec.Workloads),
+		max(1, len(spec.Tightness)), max(1, len(spec.Seeds)), len(spec.Solvers), *workers)
+	res, err := dcnflow.Sweep(ctx, spec, opts)
+	if err != nil {
+		return err
+	}
+	if jsonlErr != nil {
+		return fmt.Errorf("sweep: writing %s: %w", *out, jsonlErr)
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return fmt.Errorf("sweep: closing %s: %w", *out, err)
+		}
+	}
+	fmt.Print(res.AggregateTable())
 	return nil
 }
 

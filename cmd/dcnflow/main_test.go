@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -310,5 +311,107 @@ func TestParseInts(t *testing.T) {
 	}
 	if !strings.Contains(usage(), "fig2") {
 		t.Fatal("usage missing fig2")
+	}
+}
+
+// TestRunSweepCommand exercises the sweep runner end to end: spec loading,
+// worker pool, JSONL output, solver override, and the error paths.
+func TestRunSweepCommand(t *testing.T) {
+	const spec = "../../examples/sweeps/smoke.json"
+	dir := t.TempDir()
+	if err := run([]string{"sweep", spec, "-workers", "2", "-solver", "sp-mcf,always-on", "-out", dir + "/out.jsonl"}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	data, err := os.ReadFile(dir + "/out.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 8 {
+		t.Fatalf("JSONL lines = %d, want 8 (2 topologies x 2 seeds x 2 solvers)", got)
+	}
+	// Flags-before-path order works too.
+	if err := run([]string{"sweep", "-workers", "2", "-solver", "sp-mcf", spec}); err != nil {
+		t.Fatalf("sweep (flags first): %v", err)
+	}
+	if err := run([]string{"sweep"}); err == nil {
+		t.Fatal("missing spec path accepted")
+	}
+	if err := run([]string{"sweep", spec, "-solver", "bogus"}); err == nil {
+		t.Fatal("unknown solver override accepted")
+	}
+	if err := run([]string{"sweep", spec, "extra-arg"}); err == nil {
+		t.Fatal("extra positional argument accepted")
+	}
+	if err := run([]string{"sweep", "../../testdata/missing.json"}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	err = run([]string{"sweep", spec, "-timeout", "1ns"})
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("expired -timeout returned %v, want context deadline exceeded", err)
+	}
+}
+
+// TestRunSweepCommandDeterministicAcrossWorkers is the CLI half of the
+// byte-determinism acceptance criterion: a >= 24-cell grid solved at
+// -workers 1 and -workers 8 writes identical JSONL bodies once the
+// runtime_ms field is normalised away.
+func TestRunSweepCommandDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	spec := dir + "/grid.json"
+	if err := os.WriteFile(spec, []byte(`{
+  "topologies": [{"kind": "line", "k": 4, "capacity": 1000}, {"kind": "star", "k": 4, "capacity": 1000}],
+  "workloads": [{"kind": "uniform", "n": 4, "t0": 1, "t1": 30, "size_mean": 3, "size_stddev": 1}],
+  "model": {"mu": 1, "alpha": 2, "c": 1000},
+  "seeds": [1, 2, 3],
+  "solvers": ["dcfsr", "sp-mcf", "ecmp-mcf", "always-on"]
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runtimeMS := regexp.MustCompile(`"runtime_ms":[0-9eE.+-]+`)
+	out := func(workers string) string {
+		t.Helper()
+		path := dir + "/out-" + workers + ".jsonl"
+		if err := run([]string{"sweep", spec, "-workers", workers, "-iters", "15", "-out", path}); err != nil {
+			t.Fatalf("sweep -workers %s: %v", workers, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runtimeMS.ReplaceAllString(string(data), `"runtime_ms":0`)
+	}
+	one, eight := out("1"), out("8")
+	if got := strings.Count(one, "\n"); got != 24 {
+		t.Fatalf("JSONL lines = %d, want 24", got)
+	}
+	if one != eight {
+		t.Errorf("sweep JSONL differs between -workers 1 and -workers 8:\n%s\nvs\n%s", one, eight)
+	}
+}
+
+// TestSweepUsageListsEverySolver guards the self-documentation contract of
+// the sweep runner: `dcnflow sweep -h` must name every registered solver
+// (cmd/doccheck enforces the same by executing the binary).
+func TestSweepUsageListsEverySolver(t *testing.T) {
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := run([]string{"sweep", "-h"})
+	w.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("sweep -h: %v", runErr)
+	}
+	for _, name := range dcnflow.SolverNames() {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("sweep -h missing solver %q:\n%s", name, out)
+		}
 	}
 }

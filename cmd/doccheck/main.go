@@ -63,8 +63,8 @@ func main() {
 
 // solverDocs verifies that every registered solver name appears in the
 // repository's README.md and DESIGN.md and — when cli is set — in the
-// generated `dcnflow run -h` usage (obtained by running the command, so the
-// check covers exactly what a user sees).
+// generated `dcnflow run -h` and `dcnflow sweep -h` usages (obtained by
+// running the command, so the check covers exactly what a user sees).
 func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 	var missing []string
 	for _, fname := range []string{"README.md", "DESIGN.md"} {
@@ -75,13 +75,15 @@ func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 		missing = append(missing, missingNames(fname, string(data), names)...)
 	}
 	if cli {
-		cmd := exec.Command("go", "run", "./cmd/dcnflow", "run", "-h")
-		cmd.Dir = repo
-		out, err := cmd.CombinedOutput()
-		if err != nil {
-			return nil, fmt.Errorf("dcnflow run -h: %v\n%s", err, out)
+		for _, sub := range []string{"run", "sweep"} {
+			cmd := exec.Command("go", "run", "./cmd/dcnflow", sub, "-h")
+			cmd.Dir = repo
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				return nil, fmt.Errorf("dcnflow %s -h: %v\n%s", sub, err, out)
+			}
+			missing = append(missing, missingNames("dcnflow "+sub+" -h", string(out), names)...)
 		}
-		missing = append(missing, missingNames("dcnflow run -h", string(out), names)...)
 	}
 	return missing, nil
 }

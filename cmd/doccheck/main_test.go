@@ -120,3 +120,32 @@ func TestSolverDocsRepoClean(t *testing.T) {
 		t.Fatalf("solver docs gaps:\n%s", strings.Join(missing, "\n"))
 	}
 }
+
+// TestSolverDocsChecksBothCLIUsages: the CLI half of the gate executes both
+// `dcnflow run -h` and `dcnflow sweep -h` against the real repository, so a
+// solver cannot register without surfacing in either runner's usage.
+func TestSolverDocsChecksBothCLIUsages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes go run twice")
+	}
+	missing, err := solverDocs("../..", dcnflow.SolverNames(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("solver docs gaps:\n%s", strings.Join(missing, "\n"))
+	}
+	// An unregistered name must be reported once per CLI usage source.
+	missing, err = solverDocs("../..", []string{"no-such-solver"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runGap, sweepGap bool
+	for _, m := range missing {
+		runGap = runGap || strings.Contains(m, "dcnflow run -h")
+		sweepGap = sweepGap || strings.Contains(m, "dcnflow sweep -h")
+	}
+	if !runGap || !sweepGap {
+		t.Errorf("missing gaps for both usages, got: %v", missing)
+	}
+}

@@ -46,6 +46,13 @@
 // context — cancellation is observed at Frank–Wolfe iteration and epoch
 // boundaries — and an optional progress callback (WithProgress).
 //
+// Whole evaluation campaigns are data too: a SweepSpec crosses topology,
+// workload, deadline-tightness and seed axes with a solver list, and Sweep
+// executes the grid on a bounded worker pool with byte-deterministic
+// output — results ordered by cell, every seed derived from the spec, so
+// the worker count is a pure wall-clock lever (`dcnflow sweep grid.json
+// -workers 8 -out results.jsonl`; see DESIGN.md's "Sweep engine" chapter).
+//
 // The free functions below (SolveDCFSR, SPMCF, SolveOnline, ...) predate
 // this API; they remain as thin shims over the same engines and produce
 // bit-identical output, but new code should prefer the registry.

@@ -1,0 +1,40 @@
+package dcnflow_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dcnflow"
+)
+
+// ExampleSweep runs a tiny two-axis grid — one topology, one workload, two
+// seeds, two solvers — on the sweep engine and prints the per-solver
+// aggregate. The output is identical for every Workers value: cells are
+// collected in expansion order and all randomness derives from the spec.
+func ExampleSweep() {
+	spec := &dcnflow.SweepSpec{
+		Name: "quickstart",
+		Topologies: []dcnflow.TopologySpec{
+			{Kind: "line", K: 4, Capacity: 10},
+		},
+		Workloads: []dcnflow.WorkloadSpec{
+			{Kind: "shuffle", Hosts: 2, Release: 0, Deadline: 8, Size: 4},
+		},
+		Model:   dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 10},
+		Seeds:   []int64{1, 2},
+		Solvers: []string{"sp-mcf", "always-on"},
+	}
+	res, err := dcnflow.Sweep(context.Background(), spec, dcnflow.SweepOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d cells solved\n", len(res.Cells))
+	for _, a := range res.Aggregate() {
+		fmt.Printf("%s: %d cells, mean E/LB %.2f\n", a.Solver, a.Cells, a.MeanRatio)
+	}
+	// Output:
+	// 4 cells solved
+	// sp-mcf: 2 cells, mean E/LB 1.00
+	// always-on: 2 cells, mean E/LB 20.00
+}

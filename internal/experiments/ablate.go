@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dcnflow"
@@ -9,6 +10,7 @@ import (
 	"dcnflow/internal/mcfsolve"
 	"dcnflow/internal/power"
 	"dcnflow/internal/stats"
+	"dcnflow/internal/sweep"
 	"dcnflow/internal/topology"
 )
 
@@ -21,6 +23,9 @@ type AblateConfig struct {
 	Seed        int64
 	Alpha       float64 // default 2
 	SolverIters int     // default 40
+	// Workers bounds concurrent grid cells on the sweep pool; default 1
+	// and never affects results (see gridWorkers).
+	Workers int
 }
 
 func (c AblateConfig) withDefaults() AblateConfig {
@@ -80,16 +85,19 @@ func RunAblationLambda(cfg AblateConfig, quanta []float64) (*LambdaResult, error
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	out := &LambdaResult{Config: cfg}
-	for _, q := range quanta {
-		var ratios, lambdas []float64
-		for run := 0; run < cfg.Runs; run++ {
+	type cellResult struct {
+		ratio, lambda float64
+		haveLB        bool
+	}
+	results, err := sweep.Map(context.Background(), len(quanta)*cfg.Runs, gridWorkers(cfg.Workers),
+		func(_ context.Context, i, _ int) (cellResult, error) {
+			q, run := quanta[i/cfg.Runs], i%cfg.Runs
 			fs, err := flow.Uniform(flow.GenConfig{
 				N: cfg.N, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
 				TimeQuantum: q, Hosts: ft.Hosts, Seed: cfg.Seed + int64(run),
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: %w", err)
 			}
 			model := ablateModel(cfg, fs)
 			res, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
@@ -98,12 +106,26 @@ func RunAblationLambda(cfg AblateConfig, quanta []float64) (*LambdaResult, error
 					Solver: mcfsolve.Options{MaxIters: cfg.SolverIters},
 				}))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: lambda ablation: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: lambda ablation: %w", err)
 			}
+			out := cellResult{lambda: res.Stats["lambda"]}
 			if res.LowerBound > 0 {
-				ratios = append(ratios, res.Energy/res.LowerBound)
+				out.ratio, out.haveLB = res.Energy/res.LowerBound, true
 			}
-			lambdas = append(lambdas, res.Stats["lambda"])
+			return out, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &LambdaResult{Config: cfg}
+	for qi, q := range quanta {
+		var ratios, lambdas []float64
+		for run := 0; run < cfg.Runs; run++ {
+			c := results[qi*cfg.Runs+run]
+			if c.haveLB {
+				ratios = append(ratios, c.ratio)
+			}
+			lambdas = append(lambdas, c.lambda)
 		}
 		out.Points = append(out.Points, LambdaPoint{
 			Quantum: q,
@@ -160,23 +182,37 @@ func RunAblationRounding(cfg AblateConfig, attempts []int) (*RoundingResult, err
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	model := power.Model{Sigma: 1, Mu: 1, Alpha: cfg.Alpha, C: 2}
-	out := &RoundingResult{Config: cfg}
-	for _, att := range attempts {
-		var feasible int
-		var energies []float64
-		for run := 0; run < cfg.Runs; run++ {
+	type cellResult struct {
+		energy   float64
+		feasible bool
+	}
+	grid := newGrid(attempts, cfg.Runs)
+	results, err := sweep.Map(context.Background(), grid.size(), gridWorkers(cfg.Workers),
+		func(_ context.Context, i, _ int) (cellResult, error) {
+			att, run := grid.cell(i)
 			res, err := solve(dcnflow.SolverDCFSR, top.Graph, fs, model,
 				dcnflow.WithDCFSROptions(core.DCFSROptions{
 					Seed:                cfg.Seed + int64(run),
 					MaxRoundingAttempts: att,
 				}))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: rounding ablation: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: rounding ablation: %w", err)
 			}
-			if res.Stats["capacity_feasible"] == 1 {
+			return cellResult{energy: res.Energy, feasible: res.Stats["capacity_feasible"] == 1}, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &RoundingResult{Config: cfg}
+	for ai, att := range attempts {
+		var feasible int
+		var energies []float64
+		for run := 0; run < cfg.Runs; run++ {
+			c := results[ai*cfg.Runs+run]
+			if c.feasible {
 				feasible++
 			}
-			energies = append(energies, res.Energy)
+			energies = append(energies, c.energy)
 		}
 		out.Points = append(out.Points, RoundingPoint{
 			Attempts:     att,
@@ -227,16 +263,18 @@ func RunAblationSurrogate(cfg AblateConfig) (*SurrogateResult, error) {
 		{"dynamic (mu*x^a)", mcfsolve.CostDynamic},
 		{"envelope of f", mcfsolve.CostEnvelope},
 	}
-	out := &SurrogateResult{Config: cfg}
-	for _, kind := range kinds {
-		var energies, links []float64
-		for run := 0; run < cfg.Runs; run++ {
+	type cellResult struct {
+		energy, links float64
+	}
+	results, err := sweep.Map(context.Background(), len(kinds)*cfg.Runs, gridWorkers(cfg.Workers),
+		func(_ context.Context, i, _ int) (cellResult, error) {
+			kind, run := kinds[i/cfg.Runs], i%cfg.Runs
 			fs, err := flow.Uniform(flow.GenConfig{
 				N: cfg.N, T0: 1, T1: 100, SizeMean: 10, SizeStddev: 3,
 				Hosts: ft.Hosts, Seed: cfg.Seed + int64(run),
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: %w", err)
 			}
 			model := ablateModel(cfg, fs)
 			res, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
@@ -245,10 +283,20 @@ func RunAblationSurrogate(cfg AblateConfig) (*SurrogateResult, error) {
 					Solver: mcfsolve.Options{Cost: kind.cost, MaxIters: cfg.SolverIters},
 				}))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: surrogate ablation: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: surrogate ablation: %w", err)
 			}
-			energies = append(energies, res.Energy)
-			links = append(links, res.Stats["links_on"])
+			return cellResult{energy: res.Energy, links: res.Stats["links_on"]}, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &SurrogateResult{Config: cfg}
+	for ki, kind := range kinds {
+		var energies, links []float64
+		for run := 0; run < cfg.Runs; run++ {
+			c := results[ki*cfg.Runs+run]
+			energies = append(energies, c.energy)
+			links = append(links, c.links)
 		}
 		out.Points = append(out.Points, SurrogatePoint{
 			Cost:        kind.name,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -307,5 +308,52 @@ func TestHardnessDefaultsAndCustomLinks(t *testing.T) {
 	}
 	if res.Config.Links != 5 {
 		t.Fatalf("custom links not honoured: %+v", res.Config)
+	}
+}
+
+// TestGridWorkersDoNotAffectResults pins the rebased grids' contract: the
+// sweep pool under the experiment runners is a pure wall-clock lever, so
+// Workers=4 must reproduce the sequential results bit for bit.
+func TestGridWorkersDoNotAffectResults(t *testing.T) {
+	fig := Fig2Config{Alpha: 2, FlowCounts: []int{6, 10}, Runs: 2, FatTreeK: 4, Seed: 1, SolverIters: 10}
+	seq, err := RunFig2(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig.Workers = 4
+	par, err := RunFig2(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		t.Errorf("fig2 points differ across worker counts:\n%+v\n%+v", seq.Points, par.Points)
+	}
+
+	onl := OnlineConfig{AblateConfig: AblateConfig{N: 8, Runs: 2, Seed: 9, SolverIters: 10}, Workload: "uniform"}
+	oseq, err := RunOnlineComparison(onl, []int{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onl.Workers = 4
+	opar, err := RunOnlineComparison(onl, []int{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oseq.Points, opar.Points) {
+		t.Errorf("online points differ across worker counts:\n%+v\n%+v", oseq.Points, opar.Points)
+	}
+
+	lam := AblateConfig{N: 8, Runs: 2, Seed: 3, SolverIters: 10}
+	lseq, err := RunAblationLambda(lam, []float64{10, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam.Workers = 4
+	lpar, err := RunAblationLambda(lam, []float64{10, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lseq.Points, lpar.Points) {
+		t.Errorf("lambda points differ across worker counts:\n%+v\n%+v", lseq.Points, lpar.Points)
 	}
 }

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dcnflow"
@@ -13,6 +14,7 @@ import (
 	"dcnflow/internal/mcfsolve"
 	"dcnflow/internal/power"
 	"dcnflow/internal/stats"
+	"dcnflow/internal/sweep"
 	"dcnflow/internal/topology"
 )
 
@@ -44,6 +46,11 @@ type Fig2Config struct {
 	IdleRoptMultiple float64
 	// Parallelism bounds concurrent interval solves.
 	Parallelism int
+	// Workers bounds concurrent (n, run) grid cells on the sweep pool.
+	// Default 1 (the relaxation already parallelises across intervals);
+	// the value never affects results — cell seeds derive from grid
+	// coordinates and the pool collects by index.
+	Workers int
 }
 
 func (c Fig2Config) withDefaults() Fig2Config {
@@ -92,17 +99,23 @@ func (r *Fig2Result) Table() string {
 	return tb.String()
 }
 
-// RunFig2 reproduces Fig. 2 for one power function x^alpha.
+// RunFig2 reproduces Fig. 2 for one power function x^alpha. The (n, run)
+// grid executes on the shared sweep pool (internal/sweep): per-cell seeds
+// derive from grid coordinates and results are collected in cell order, so
+// Workers is a pure wall-clock lever.
 func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	ft, err := topology.FatTree(cfg.FatTreeK, 1e12)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	out := &Fig2Result{Config: cfg}
-	for _, n := range cfg.FlowCounts {
-		var rsRatios, spRatios, lbs []float64
-		for run := 0; run < cfg.Runs; run++ {
+	type cellResult struct {
+		rs, sp, lb float64
+	}
+	grid := newGrid(cfg.FlowCounts, cfg.Runs)
+	results, err := sweep.Map(context.Background(), grid.size(), gridWorkers(cfg.Workers),
+		func(_ context.Context, i, _ int) (cellResult, error) {
+			n, run := grid.cell(i)
 			seed := cfg.Seed + int64(1000*n+run)
 			fs, err := flow.Uniform(flow.GenConfig{
 				N: n, T0: 1, T1: 100,
@@ -110,7 +123,7 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 				Hosts: ft.Hosts, Seed: seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: workload n=%d run=%d: %w", n, run, err)
+				return cellResult{}, fmt.Errorf("experiments: workload n=%d run=%d: %w", n, run, err)
 			}
 			model := fig2Model(cfg, fs)
 			rs, err := solve(dcnflow.SolverDCFSR, ft.Graph, fs, model,
@@ -120,19 +133,29 @@ func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 					Parallelism: cfg.Parallelism,
 				}))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: RS n=%d run=%d: %w", n, run, err)
+				return cellResult{}, fmt.Errorf("experiments: RS n=%d run=%d: %w", n, run, err)
 			}
 			sp, err := solve(dcnflow.SolverSPMCF, ft.Graph, fs, model)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: SP+MCF n=%d run=%d: %w", n, run, err)
+				return cellResult{}, fmt.Errorf("experiments: SP+MCF n=%d run=%d: %w", n, run, err)
 			}
 			lb := rs.LowerBound
 			if lb <= 0 {
-				return nil, fmt.Errorf("experiments: nonpositive lower bound n=%d run=%d", n, run)
+				return cellResult{}, fmt.Errorf("experiments: nonpositive lower bound n=%d run=%d", n, run)
 			}
-			rsRatios = append(rsRatios, rs.Energy/lb)
-			spRatios = append(spRatios, sp.Energy/lb)
-			lbs = append(lbs, lb)
+			return cellResult{rs: rs.Energy / lb, sp: sp.Energy / lb, lb: lb}, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{Config: cfg}
+	for pi, n := range cfg.FlowCounts {
+		var rsRatios, spRatios, lbs []float64
+		for run := 0; run < cfg.Runs; run++ {
+			c := results[pi*cfg.Runs+run]
+			rsRatios = append(rsRatios, c.rs)
+			spRatios = append(spRatios, c.sp)
+			lbs = append(lbs, c.lb)
 		}
 		out.Points = append(out.Points, Fig2Point{
 			N:        n,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dcnflow"
@@ -10,6 +11,7 @@ import (
 	"dcnflow/internal/online"
 	"dcnflow/internal/sim"
 	"dcnflow/internal/stats"
+	"dcnflow/internal/sweep"
 	"dcnflow/internal/topology"
 )
 
@@ -114,7 +116,9 @@ func OnlineWorkloadInstance(cfg OnlineConfig, ft *topology.Topology, n int, seed
 // the rolling-horizon re-optimizer and the offline Random-Schedule on
 // identical workloads, each normalised by the offline fractional lower
 // bound; every schedule is validated by the simulator before its energy is
-// recorded.
+// recorded. The (n, run) grid executes on the shared sweep pool
+// (internal/sweep) — Workers in the embedded AblateConfig is a pure
+// wall-clock lever.
 func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, error) {
 	cfg = cfg.withDefaults()
 	if len(flowCounts) == 0 {
@@ -124,13 +128,17 @@ func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, err
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	out := &OnlineResult{Config: cfg}
-	for _, n := range flowCounts {
-		var gRatios, rRatios, offRatios []float64
-		for run := 0; run < cfg.Runs; run++ {
+	type cellResult struct {
+		greedy, rolling, offline float64
+		haveLB                   bool
+	}
+	grid := newGrid(flowCounts, cfg.Runs)
+	results, err := sweep.Map(context.Background(), grid.size(), gridWorkers(cfg.Workers),
+		func(_ context.Context, i, _ int) (cellResult, error) {
+			n, run := grid.cell(i)
 			fs, err := OnlineWorkloadInstance(cfg, ft, n, cfg.Seed+int64(1000*n+run))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: %w", err)
 			}
 			model := ablateModel(cfg.AblateConfig, fs)
 			model.Sigma = 0 // match the paper's evaluation power function
@@ -140,11 +148,11 @@ func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, err
 					Solver: mcfsolve.Options{MaxIters: cfg.SolverIters},
 				}))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: online comparison offline leg: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: online comparison offline leg: %w", err)
 			}
 			greedy, err := solve(dcnflow.SolverGreedyOnline, ft.Graph, fs, model)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: online comparison greedy leg: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: online comparison greedy leg: %w", err)
 			}
 			var policy online.ReplanPolicy = online.ArrivalCount{N: 1}
 			if cfg.Epoch > 0 {
@@ -160,32 +168,51 @@ func RunOnlineComparison(cfg OnlineConfig, flowCounts []int) (*OnlineResult, err
 					},
 				}))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: online comparison rolling leg: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: online comparison rolling leg: %w", err)
 			}
 			// Deadline feasibility of every scheme on every run is part of
 			// the experiment's contract, not a soft statistic. The rolling
 			// solver's replay validation surfaces in its Solution stats.
 			if roll.Stats["deadline_violations"] != 0 || roll.Stats["rejected"] != 0 {
-				return nil, fmt.Errorf("experiments: rolling schedule infeasible (n=%d run=%d): %g violations, %g rejected",
+				return cellResult{}, fmt.Errorf("experiments: rolling schedule infeasible (n=%d run=%d): %g violations, %g rejected",
 					n, run, roll.Stats["deadline_violations"], roll.Stats["rejected"])
 			}
 			gSim, err := sim.Run(ft.Graph, fs, greedy.Schedule, model, sim.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: greedy simulation: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: greedy simulation: %w", err)
 			}
 			oSim, err := sim.Run(ft.Graph, fs, off.Schedule, model, sim.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: offline simulation: %w", err)
+				return cellResult{}, fmt.Errorf("experiments: offline simulation: %w", err)
 			}
 			if gSim.DeadlinesMissed != 0 || oSim.DeadlinesMissed != 0 {
-				return nil, fmt.Errorf("experiments: deadline miss (n=%d run=%d): greedy %d, offline %d",
+				return cellResult{}, fmt.Errorf("experiments: deadline miss (n=%d run=%d): greedy %d, offline %d",
 					n, run, gSim.DeadlinesMissed, oSim.DeadlinesMissed)
 			}
-			if off.LowerBound > 0 {
-				gRatios = append(gRatios, greedy.Energy/off.LowerBound)
-				rRatios = append(rRatios, roll.Energy/off.LowerBound)
-				offRatios = append(offRatios, off.Energy/off.LowerBound)
+			if off.LowerBound <= 0 {
+				return cellResult{}, nil
 			}
+			return cellResult{
+				greedy:  greedy.Energy / off.LowerBound,
+				rolling: roll.Energy / off.LowerBound,
+				offline: off.Energy / off.LowerBound,
+				haveLB:  true,
+			}, nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &OnlineResult{Config: cfg}
+	for pi, n := range flowCounts {
+		var gRatios, rRatios, offRatios []float64
+		for run := 0; run < cfg.Runs; run++ {
+			c := results[pi*cfg.Runs+run]
+			if !c.haveLB {
+				continue
+			}
+			gRatios = append(gRatios, c.greedy)
+			rRatios = append(rRatios, c.rolling)
+			offRatios = append(offRatios, c.offline)
 		}
 		out.Points = append(out.Points, OnlinePoint{
 			N:       n,

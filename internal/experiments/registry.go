@@ -22,3 +22,32 @@ func solve(name string, g *graph.Graph, fs *flow.Set, m power.Model, opts ...dcn
 	}
 	return dcnflow.Solve(context.Background(), name, inst, opts...)
 }
+
+// grid maps a (point, run) experiment lattice onto the flat index range of
+// the sweep pool (internal/sweep.Map), runs innermost — the layout every
+// runner in this package shares since the grids were rebased onto the sweep
+// engine. Cell seeds derive from the coordinates the cell method returns,
+// so execution order never leaks into results.
+type grid struct {
+	points []int
+	runs   int
+}
+
+func newGrid(points []int, runs int) grid { return grid{points: points, runs: runs} }
+
+// size returns the number of cells.
+func (g grid) size() int { return len(g.points) * g.runs }
+
+// cell maps a flat pool index back to its (point value, run) coordinates.
+func (g grid) cell(i int) (point, run int) { return g.points[i/g.runs], i % g.runs }
+
+// gridWorkers resolves a config's Workers field: experiments default to one
+// pool worker because the relaxation underneath already fans out across
+// intervals (DCFSROptions.Parallelism), so outer parallelism mostly
+// oversubscribes; any positive value is honoured and never affects results.
+func gridWorkers(w int) int {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}

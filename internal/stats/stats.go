@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -70,6 +71,30 @@ func Max(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Percentile returns the p-quantile of xs (0 <= p <= 1) by the
+// nearest-rank method on a sorted copy: the smallest value v such that at
+// least a p fraction of the samples are <= v. Deterministic (no
+// interpolation, no randomness) so sweep aggregates are reproducible;
+// returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
 }
 
 // Table renders rows as an aligned plain-text table with a header.

@@ -73,3 +73,30 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV = %q, want %q", csv, want)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if got := Percentile(nil, 0.95); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.95, 5}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated (sort happens on a copy).
+	if xs[0] != 5 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+	// 20 samples: p95 by nearest rank is the 19th order statistic.
+	var big []float64
+	for i := 20; i >= 1; i-- {
+		big = append(big, float64(i))
+	}
+	if got := Percentile(big, 0.95); got != 19 {
+		t.Fatalf("p95 of 1..20 = %v, want 19", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package sweep implements the deterministic bounded worker pool under the
+// scenario-sweep engine (the root package's Sweep facade) and the
+// experiment grids in internal/experiments. Its one primitive, Map, fans a
+// fixed index range out over a worker pool while guaranteeing that the
+// collected results — and the order of the streaming emit callback — are
+// pure functions of the per-index work, never of the worker count or of
+// scheduling timing. That guarantee is what lets `dcnflow sweep` promise
+// byte-identical output at -workers 1 and -workers 8, and it is enforced by
+// tests at this level and again at the CLI level.
+//
+// Determinism rules callers must follow:
+//
+//   - the work function must be a pure function of its index (derive any
+//     seeds from the index or from per-cell spec data, never from a shared
+//     RNG or from completion order), and
+//   - per-worker mutable scratch is fine (the worker id is handed to the
+//     work function for exactly that purpose), as long as the scratch never
+//     changes results — only speed.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(ctx, i, worker) for every index i in [0, n) on a pool of at
+// most workers goroutines (workers <= 0 selects GOMAXPROCS; the pool never
+// exceeds n) and returns the n results in index order.
+//
+// The worker argument passed to fn is a stable id in [0, workers): a worker
+// processes many indices sequentially, so callers can key reusable scratch
+// (solver state, buffers) by it. Indices are handed out by an atomic
+// counter — distribution across workers is timing-dependent, but because
+// results are collected by index the returned slice is identical for every
+// worker count.
+//
+// When emit is non-nil it is called as emit(i, result) for every index
+// whose fn returned nil, serialized and in strictly increasing index order
+// (a reorder buffer holds completed results until their predecessors
+// finish). This is the streaming hook: JSONL writers and progress callbacks
+// attach here and observe one deterministic sequence.
+//
+// Cancellation: fn receives a context derived from ctx that is cancelled as
+// soon as any fn returns an error. Workers stop pulling new indices once
+// the context ends, so Map returns promptly — within one in-flight cell per
+// worker. The returned error is ctx's error when the parent context ended,
+// otherwise the lowest-index non-cancellation error (falling back to the
+// lowest-index error of any kind). The result slice is still returned so
+// callers can salvage completed prefixes, but it is complete only when the
+// error is nil.
+func Map[R any](ctx context.Context, n, workers int, fn func(ctx context.Context, index, worker int) (R, error), emit func(index int, r R)) ([]R, error) {
+	results := make([]R, n)
+	if n <= 0 {
+		return results, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errs     = make([]error, n)
+		done     = make([]bool, n)
+		frontier int
+		emitting bool
+		wg       sync.WaitGroup
+	)
+	// flush advances the emission frontier: every completed index whose
+	// predecessors are all resolved is emitted, in order (erroring indices
+	// are skipped). Only one goroutine emits at a time (the `emitting`
+	// flag), and the callbacks run with mu released — a slow consumer (a
+	// JSONL writer on a slow disk) delays emission, never the other
+	// workers' solves. Called with mu held; returns with mu held.
+	flush := func() {
+		if emit == nil || emitting {
+			return
+		}
+		emitting = true
+		for {
+			start := frontier
+			for frontier < n && (done[frontier] || errs[frontier] != nil) {
+				frontier++
+			}
+			batch := frontier
+			if batch == start {
+				break
+			}
+			mu.Unlock()
+			for i := start; i < batch; i++ {
+				if done[i] {
+					emit(i, results[i])
+				}
+			}
+			mu.Lock()
+		}
+		emitting = false
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if poolCtx.Err() != nil {
+					mu.Lock()
+					errs[i] = poolCtx.Err()
+					flush()
+					mu.Unlock()
+					continue
+				}
+				r, err := fn(poolCtx, i, worker)
+				mu.Lock()
+				if err != nil {
+					errs[i] = err
+					cancel()
+				} else {
+					results[i] = r
+					done[i] = true
+				}
+				flush()
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return results, err
+		}
+	}
+	return results, first
+}

@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMapOrderedAcrossWorkerCounts is the pool-level determinism contract:
+// identical results and identical emit sequences for every worker count,
+// even when per-index latency is adversarially shuffled.
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	run := func(workers int) ([]int, []int) {
+		var emitted []int
+		res, err := Map(context.Background(), n, workers,
+			func(_ context.Context, i, _ int) (int, error) {
+				time.Sleep(delays[i])
+				return i * i, nil
+			},
+			func(i, _ int) { emitted = append(emitted, i) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, emitted
+	}
+	want, wantEmit := run(1)
+	for i, v := range want {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+	for _, workers := range []int{2, 8, 64, 0} {
+		got, emitted := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+		if len(emitted) != len(wantEmit) {
+			t.Fatalf("workers=%d: %d emits, want %d", workers, len(emitted), len(wantEmit))
+		}
+		for i := range emitted {
+			if emitted[i] != i {
+				t.Fatalf("workers=%d: emit %d fired for index %d, want strictly increasing order", workers, i, emitted[i])
+			}
+		}
+	}
+}
+
+// TestMapWorkerIDsStable checks the per-worker scratch contract: worker ids
+// stay in [0, workers) and a given worker never runs two indices at once.
+func TestMapWorkerIDsStable(t *testing.T) {
+	const n, workers = 40, 4
+	var mu sync.Mutex
+	busy := make([]bool, workers)
+	_, err := Map(context.Background(), n, workers, func(_ context.Context, i, w int) (int, error) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		mu.Lock()
+		if busy[w] {
+			t.Errorf("worker %d re-entered concurrently", w)
+		}
+		busy[w] = true
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		busy[w] = false
+		mu.Unlock()
+		return i, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapError: a failing index cancels the pool context, in-flight and
+// later indices see the cancellation, and the reported error is the
+// failure, not a secondary context.Canceled.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled int32
+	var mu sync.Mutex
+	_, err := Map(context.Background(), 32, 4, func(ctx context.Context, i, _ int) (int, error) {
+		if i == 5 {
+			return 0, fmt.Errorf("cell 5: %w", boom)
+		}
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			cancelled++
+			mu.Unlock()
+			return 0, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+			return i, nil
+		}
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped boom", err)
+	}
+}
+
+// TestMapParentCancellation: cancelling the parent context stops the pool
+// within the in-flight cells and surfaces the context error.
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, 1000, 4, func(ctx context.Context, i, _ int) (int, error) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Millisecond):
+				return i, nil
+			}
+		}, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error = %v, want context.Canceled", err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after parent cancellation")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= 1000 {
+		t.Fatalf("pool ran all %d cells despite cancellation", ran)
+	}
+}
+
+// TestMapEmptyAndSmall covers the degenerate shapes.
+func TestMapEmptyAndSmall(t *testing.T) {
+	res, err := Map(context.Background(), 0, 8, func(context.Context, int, int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	}, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("n=0: res=%v err=%v", res, err)
+	}
+	res, err = Map(context.Background(), 1, 8, func(_ context.Context, i, w int) (int, error) {
+		if w != 0 {
+			t.Errorf("single-cell pool used worker %d", w)
+		}
+		return 41 + i, nil
+	}, nil)
+	if err != nil || len(res) != 1 || res[0] != 41 {
+		t.Fatalf("n=1: res=%v err=%v", res, err)
+	}
+}

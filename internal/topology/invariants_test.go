@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"testing"
+
+	"dcnflow/internal/graph"
+)
+
+// TestGeneratorInvariants is the table-driven invariant suite over the five
+// data-center generators: exact node/physical-link/host counts (closed
+// forms from the defining papers), capacity symmetry (every directed edge
+// has a reverse twin with the same capacity — the paper's bidirectional
+// identical-link assumption) and full host-pair connectivity.
+func TestGeneratorInvariants(t *testing.T) {
+	const capacity = 7.5
+	cases := []struct {
+		name                string
+		build               func() (*Topology, error)
+		nodes, links, hosts int
+		// exactLinks is false for the randomized Jellyfish wiring, whose
+		// link count may fall short of the regular-graph closed form when
+		// the stub matching dead-ends; links is then a lower bound from
+		// the guaranteed spanning ring.
+		exactLinks bool
+	}{
+		{
+			// k=4: (k/2)^2 = 4 core + 4 pods x (2 agg + 2 edge) = 20
+			// switches, k^3/4 = 16 hosts; links: 16 core-agg + 16
+			// agg-edge + 16 edge-host.
+			name:  "fattree-k4",
+			build: func() (*Topology, error) { return FatTree(4, capacity) },
+			nodes: 36, links: 48, hosts: 16, exactLinks: true,
+		},
+		{
+			// k=8 is the paper's evaluation topology: 80 switches and
+			// 128 servers.
+			name:  "fattree-k8",
+			build: func() (*Topology, error) { return FatTree(8, capacity) },
+			nodes: 208, links: 384, hosts: 128, exactLinks: true,
+		},
+		{
+			// BCube(2,1): n^(l+1) = 4 servers, (l+1)*n^l = 4 switches,
+			// each switch wired to n servers: 8 links.
+			name:  "bcube-2-1",
+			build: func() (*Topology, error) { return BCube(2, 1, capacity) },
+			nodes: 8, links: 8, hosts: 4, exactLinks: true,
+		},
+		{
+			// VL2(2,2,3,2): 2 intermediate + 2 aggregation + 3 ToR + 6
+			// hosts; links: 4 int-agg + 2 per ToR + 6 tor-host.
+			name:  "vl2-2-2-3-2",
+			build: func() (*Topology, error) { return VL2(2, 2, 3, 2, capacity) },
+			nodes: 13, links: 16, hosts: 6, exactLinks: true,
+		},
+		{
+			// LeafSpine(2,3,2): full spine-leaf bipartite (6) plus 2
+			// hosts per leaf (6).
+			name:  "leafspine-2-3-2",
+			build: func() (*Topology, error) { return LeafSpine(2, 3, 2, capacity) },
+			nodes: 11, links: 12, hosts: 6, exactLinks: true,
+		},
+		{
+			// Jellyfish(6,3,1): 6 switches + 6 hosts; the spanning ring
+			// guarantees >= 6 switch links, plus one host link each.
+			name:  "jellyfish-6-3-1",
+			build: func() (*Topology, error) { return Jellyfish(6, 3, 1, capacity, 11) },
+			nodes: 12, links: 12, hosts: 6, exactLinks: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			top, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := top.Graph
+			if got := g.NumNodes(); got != tc.nodes {
+				t.Errorf("nodes = %d, want %d", got, tc.nodes)
+			}
+			if got := top.NumPhysicalLinks(); (tc.exactLinks && got != tc.links) || (!tc.exactLinks && got < tc.links) {
+				t.Errorf("physical links = %d, want %d (exact=%v)", got, tc.links, tc.exactLinks)
+			}
+			if got := len(top.Hosts); got != tc.hosts {
+				t.Errorf("hosts = %d, want %d", got, tc.hosts)
+			}
+			if len(top.Hosts)+len(top.Switches) != g.NumNodes() {
+				t.Errorf("hosts (%d) + switches (%d) != nodes (%d)", len(top.Hosts), len(top.Switches), g.NumNodes())
+			}
+			hostSet := make(map[graph.NodeID]bool)
+			for _, h := range top.Hosts {
+				if hostSet[h] {
+					t.Errorf("host %d listed twice", h)
+				}
+				hostSet[h] = true
+				n, err := g.Node(h)
+				if err != nil || n.Kind != graph.KindHost {
+					t.Errorf("host %d has kind %v", h, n.Kind)
+				}
+			}
+			for _, s := range top.Switches {
+				if hostSet[s] {
+					t.Errorf("node %d listed as both host and switch", s)
+				}
+			}
+
+			// Capacity symmetry: every directed edge carries the uniform
+			// capacity and has a reverse twin with the same endpoints and
+			// capacity.
+			for _, e := range g.Edges() {
+				if e.Capacity != capacity {
+					t.Errorf("edge %d capacity %v, want %v", e.ID, e.Capacity, capacity)
+				}
+				rid, ok := g.Reverse(e.ID)
+				if !ok {
+					t.Errorf("edge %d (%d->%d) has no reverse", e.ID, e.From, e.To)
+					continue
+				}
+				r := g.MustEdge(rid)
+				if r.From != e.To || r.To != e.From || r.Capacity != e.Capacity {
+					t.Errorf("edge %d reverse mismatch: %+v vs %+v", e.ID, e, r)
+				}
+			}
+
+			// Connectivity between every ordered host pair.
+			for _, src := range top.Hosts {
+				for _, dst := range top.Hosts {
+					if src == dst {
+						continue
+					}
+					if !g.Connected(src, dst) {
+						t.Errorf("hosts %d and %d are not connected", src, dst)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestJellyfishSeedsDiffer complements TestJellyfishDeterministicPerSeed
+// (extra_test.go): distinct seeds must (almost surely) produce distinct
+// wirings, otherwise the sweep engine's topology seed field is inert.
+func TestJellyfishSeedsDiffer(t *testing.T) {
+	a, err := Jellyfish(8, 3, 1, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Jellyfish(8, 3, 1, 1, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.DOT() == c.Graph.DOT() {
+		t.Error("different seeds produced identical jellyfish wirings")
+	}
+}

@@ -61,6 +61,43 @@ type TopologySpec struct {
 	Capacity float64 `json:"capacity"`
 }
 
+// Validate checks the cheap, generator-independent invariants: the kind is
+// known and the shared capacity is positive. (Kind-specific dimension
+// errors surface from Build, wrapped in ErrBadScenario.) Shared by
+// ScenarioSpec.Validate and SweepSpec.Validate.
+func (t TopologySpec) Validate() error {
+	known := false
+	for _, k := range TopologyKinds {
+		known = known || t.Kind == k
+	}
+	if !known {
+		return fmt.Errorf("%w: unknown topology kind %q (want one of %s)",
+			ErrBadScenario, t.Kind, strings.Join(TopologyKinds, ", "))
+	}
+	if t.Capacity <= 0 {
+		return fmt.Errorf("%w: topology capacity must be positive, got %v", ErrBadScenario, t.Capacity)
+	}
+	return nil
+}
+
+// Label is a compact deterministic tag for reports and sweep JSONL rows,
+// e.g. "fattree-k8" or "leafspine-2x4x8".
+func (t TopologySpec) Label() string {
+	switch t.Kind {
+	case "fattree", "line", "star":
+		return fmt.Sprintf("%s-k%d", t.Kind, t.K)
+	case "bcube":
+		return fmt.Sprintf("bcube-n%d-l%d", t.K, t.L)
+	case "leafspine":
+		return fmt.Sprintf("leafspine-%dx%dx%d", t.Spines, t.Leaves, t.HostsPerLeaf)
+	case "vl2":
+		return fmt.Sprintf("vl2-%d.%d.%d.%d", t.Di, t.Da, t.Tors, t.HostsPerTor)
+	case "jellyfish":
+		return fmt.Sprintf("jellyfish-%d.%d.%d", t.Switches, t.Degree, t.HostsPerSwitch)
+	}
+	return t.Kind
+}
+
 // Build generates the declared topology.
 func (t TopologySpec) Build() (*Topology, error) {
 	if t.Capacity <= 0 {
@@ -136,12 +173,72 @@ type WorkloadSpec struct {
 	Size     float64 `json:"size,omitempty"`
 	// Seed drives the random generators.
 	Seed int64 `json:"seed,omitempty"`
+	// Tightness is the deadline-tightness override hook: after generation,
+	// every flow's window is rescaled to
+	// [Release, Release + Tightness*(Deadline-Release)], so values below 1
+	// tighten deadlines and values above 1 relax them. Zero (the default)
+	// leaves the generated windows untouched. The sweep engine crosses its
+	// tightness axis through this field.
+	Tightness float64 `json:"tightness,omitempty"`
+}
+
+// Validate checks the generator-independent invariants: the kind is known,
+// the kind's mandatory parameters are present, and the tightness override
+// is non-negative. Shared by ScenarioSpec.Validate and SweepSpec.Validate.
+func (w WorkloadSpec) Validate() error {
+	known := false
+	for _, k := range WorkloadKinds {
+		known = known || w.Kind == k
+	}
+	if !known {
+		return fmt.Errorf("%w: unknown workload kind %q (want one of %s)",
+			ErrBadScenario, w.Kind, strings.Join(WorkloadKinds, ", "))
+	}
+	if w.Tightness < 0 {
+		return fmt.Errorf("%w: workload tightness must be positive, got %v", ErrBadScenario, w.Tightness)
+	}
+	switch w.Kind {
+	case "uniform", "diurnal":
+		if w.N <= 0 {
+			return fmt.Errorf("%w: workload n must be positive, got %d", ErrBadScenario, w.N)
+		}
+		if w.T1 <= w.T0 {
+			return fmt.Errorf("%w: workload horizon [%v, %v] is empty", ErrBadScenario, w.T0, w.T1)
+		}
+		if w.SizeMean <= 0 {
+			return fmt.Errorf("%w: workload size_mean must be positive, got %v", ErrBadScenario, w.SizeMean)
+		}
+	default:
+		if w.Hosts < 2 {
+			return fmt.Errorf("%w: workload hosts must be at least 2, got %d", ErrBadScenario, w.Hosts)
+		}
+		if w.Deadline <= w.Release {
+			return fmt.Errorf("%w: workload window [%v, %v] is empty", ErrBadScenario, w.Release, w.Deadline)
+		}
+		if w.Size <= 0 {
+			return fmt.Errorf("%w: workload size must be positive, got %v", ErrBadScenario, w.Size)
+		}
+	}
+	return nil
+}
+
+// Label is a compact deterministic tag for reports and sweep JSONL rows,
+// e.g. "uniform-n40" or "incast-h8".
+func (w WorkloadSpec) Label() string {
+	switch w.Kind {
+	case "uniform", "diurnal":
+		return fmt.Sprintf("%s-n%d", w.Kind, w.N)
+	}
+	return fmt.Sprintf("%s-h%d", w.Kind, w.Hosts)
 }
 
 // Build generates the declared flow set on the topology's hosts.
 func (w WorkloadSpec) Build(top *Topology) (*FlowSet, error) {
 	if top == nil {
 		return nil, fmt.Errorf("%w: workload needs a topology", ErrBadScenario)
+	}
+	if w.Tightness < 0 {
+		return nil, fmt.Errorf("%w: workload tightness must be positive, got %v", ErrBadScenario, w.Tightness)
 	}
 	var (
 		fs  *FlowSet
@@ -180,7 +277,25 @@ func (w WorkloadSpec) Build(top *Topology) (*FlowSet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: workload %s: %v", ErrBadScenario, w.Kind, err)
 	}
+	if w.Tightness > 0 && w.Tightness != 1 {
+		if fs, err = tightenDeadlines(fs, w.Tightness); err != nil {
+			return nil, fmt.Errorf("%w: workload %s: tightness %v: %v", ErrBadScenario, w.Kind, w.Tightness, err)
+		}
+	}
 	return fs, nil
+}
+
+// tightenDeadlines rescales every flow's window to
+// [Release, Release + scale*(Deadline-Release)] — the deadline-tightness
+// axis of the sweep engine. NewSet re-validates, so a scale that collapses
+// a window below the representable span is rejected rather than silently
+// producing an infeasible flow.
+func tightenDeadlines(fs *FlowSet, scale float64) (*FlowSet, error) {
+	flows := fs.Flows()
+	for i := range flows {
+		flows[i].Deadline = flows[i].Release + scale*(flows[i].Deadline-flows[i].Release)
+	}
+	return NewFlowSet(flows)
 }
 
 // ModelSpec declares the link power model f(x) = sigma + mu*x^alpha for
@@ -227,49 +342,14 @@ func (s *ScenarioSpec) Validate() error {
 	if s == nil {
 		return fmt.Errorf("%w: nil spec", ErrBadScenario)
 	}
-	knownTopo := false
-	for _, k := range TopologyKinds {
-		knownTopo = knownTopo || s.Topology.Kind == k
+	if err := s.Topology.Validate(); err != nil {
+		return err
 	}
-	if !knownTopo {
-		return fmt.Errorf("%w: unknown topology kind %q (want one of %s)",
-			ErrBadScenario, s.Topology.Kind, strings.Join(TopologyKinds, ", "))
-	}
-	knownWl := false
-	for _, k := range WorkloadKinds {
-		knownWl = knownWl || s.Workload.Kind == k
-	}
-	if !knownWl {
-		return fmt.Errorf("%w: unknown workload kind %q (want one of %s)",
-			ErrBadScenario, s.Workload.Kind, strings.Join(WorkloadKinds, ", "))
-	}
-	if s.Topology.Capacity <= 0 {
-		return fmt.Errorf("%w: topology capacity must be positive, got %v", ErrBadScenario, s.Topology.Capacity)
+	if err := s.Workload.Validate(); err != nil {
+		return err
 	}
 	if err := s.Model.Model().Validate(); err != nil {
 		return fmt.Errorf("%w: model: %v", ErrBadScenario, err)
-	}
-	switch s.Workload.Kind {
-	case "uniform", "diurnal":
-		if s.Workload.N <= 0 {
-			return fmt.Errorf("%w: workload n must be positive, got %d", ErrBadScenario, s.Workload.N)
-		}
-		if s.Workload.T1 <= s.Workload.T0 {
-			return fmt.Errorf("%w: workload horizon [%v, %v] is empty", ErrBadScenario, s.Workload.T0, s.Workload.T1)
-		}
-		if s.Workload.SizeMean <= 0 {
-			return fmt.Errorf("%w: workload size_mean must be positive, got %v", ErrBadScenario, s.Workload.SizeMean)
-		}
-	default:
-		if s.Workload.Hosts < 2 {
-			return fmt.Errorf("%w: workload hosts must be at least 2, got %d", ErrBadScenario, s.Workload.Hosts)
-		}
-		if s.Workload.Deadline <= s.Workload.Release {
-			return fmt.Errorf("%w: workload window [%v, %v] is empty", ErrBadScenario, s.Workload.Release, s.Workload.Deadline)
-		}
-		if s.Workload.Size <= 0 {
-			return fmt.Errorf("%w: workload size must be positive, got %v", ErrBadScenario, s.Workload.Size)
-		}
 	}
 	return nil
 }

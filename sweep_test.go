@@ -1,0 +1,401 @@
+package dcnflow_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dcnflow"
+)
+
+// testSweepSpec is the shared 3-topology × 4-solver × 3-seed grid (36
+// cells) of the determinism regression — big enough to keep 8 workers busy
+// and cover randomized (ecmp-mcf, dcfsr) and deterministic solver families.
+func testSweepSpec() *dcnflow.SweepSpec {
+	return &dcnflow.SweepSpec{
+		Name: "determinism-regression",
+		Topologies: []dcnflow.TopologySpec{
+			{Kind: "line", K: 5, Capacity: 1e6},
+			{Kind: "star", K: 5, Capacity: 1e6},
+			{Kind: "leafspine", Spines: 2, Leaves: 2, HostsPerLeaf: 2, Capacity: 1e6},
+		},
+		Workloads: []dcnflow.WorkloadSpec{
+			{Kind: "uniform", N: 6, T0: 1, T1: 40, SizeMean: 5, SizeStddev: 2},
+		},
+		Model:   dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 1e6},
+		Seeds:   []int64{1, 2, 3},
+		Solvers: []string{"dcfsr", "sp-mcf", "ecmp-mcf", "always-on"},
+	}
+}
+
+// runtimeMS matches the one nondeterministic JSONL field; the determinism
+// tests normalise it away before comparing bytes.
+var runtimeMS = regexp.MustCompile(`"runtime_ms":[0-9eE.+-]+`)
+
+func normalizeJSONL(b []byte) string {
+	return runtimeMS.ReplaceAllString(string(b), `"runtime_ms":0`)
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the engine's headline
+// contract (and an ISSUE acceptance criterion): a 36-cell grid solved at
+// -workers 1 and -workers 8 produces identical JSONL bodies (modulo the
+// runtime field), an identical streamed cell order, and identical
+// aggregates (runtime columns zeroed).
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := testSweepSpec()
+	iters := dcnflow.WithSolverOptions(dcnflow.SolverOptions{MaxIters: 20})
+	run := func(workers int) (jsonl string, streamed []int, aggs []dcnflow.SweepAggregate) {
+		t.Helper()
+		res, err := dcnflow.Sweep(context.Background(), spec, dcnflow.SweepOptions{
+			Workers: workers,
+			Options: []dcnflow.SolveOption{iters},
+			OnCell:  func(c dcnflow.SweepCellResult) { streamed = append(streamed, c.Cell) },
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Cells) != spec.CellCount() {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(res.Cells), spec.CellCount())
+		}
+		for _, c := range res.Cells {
+			if c.Err != "" {
+				t.Fatalf("workers=%d: cell %d (%s/%s) failed: %s", workers, c.Cell, c.Scenario, c.Solver, c.Err)
+			}
+			// The shared LB is the Fig. 2 normalizer: scheduling-optimal
+			// solvers may dip slightly below it, but a ratio far from 1
+			// means the plumbing (shared instance, shared bound) broke.
+			if c.LBRatio < 0.5 {
+				t.Fatalf("workers=%d: cell %d energy %v implausibly far below normalizer %v", workers, c.Cell, c.Energy, c.LB)
+			}
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		aggs = res.Aggregate()
+		for i := range aggs {
+			aggs[i].MeanMS, aggs[i].TotalMS = 0, 0
+		}
+		return normalizeJSONL(buf.Bytes()), streamed, aggs
+	}
+	jsonl1, streamed1, aggs1 := run(1)
+	jsonl8, streamed8, aggs8 := run(8)
+	if jsonl1 != jsonl8 {
+		t.Errorf("JSONL bodies differ between workers 1 and 8:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", jsonl1, jsonl8)
+	}
+	if !reflect.DeepEqual(streamed1, streamed8) {
+		t.Errorf("streamed cell order differs: %v vs %v", streamed1, streamed8)
+	}
+	for i, c := range streamed1 {
+		if c != i {
+			t.Fatalf("streamed order not the expansion order: position %d got cell %d", i, c)
+		}
+	}
+	if !reflect.DeepEqual(aggs1, aggs8) {
+		t.Errorf("aggregates differ:\nworkers=1: %+v\nworkers=8: %+v", aggs1, aggs8)
+	}
+	if len(aggs1) != 4 {
+		t.Fatalf("aggregate rows = %d, want one per solver", len(aggs1))
+	}
+	table := (&dcnflow.SweepResult{Spec: spec}).AggregateTable()
+	if !strings.Contains(table, "mean E/LB") {
+		t.Fatalf("aggregate table missing header:\n%s", table)
+	}
+}
+
+// TestSweepTightnessAxis: tightening deadlines must not loosen the
+// energy-vs-bound picture arbitrarily — tighter windows force higher rates,
+// so the scenario lower bound must strictly grow as tightness shrinks.
+func TestSweepTightnessAxis(t *testing.T) {
+	spec := &dcnflow.SweepSpec{
+		Topologies: []dcnflow.TopologySpec{{Kind: "line", K: 4, Capacity: 1e6}},
+		Workloads:  []dcnflow.WorkloadSpec{{Kind: "uniform", N: 5, T0: 1, T1: 30, SizeMean: 4, SizeStddev: 1}},
+		Model:      dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 1e6},
+		Tightness:  []float64{1, 0.5},
+		Solvers:    []string{"sp-mcf"},
+	}
+	res, err := dcnflow.Sweep(context.Background(), spec, dcnflow.SweepOptions{
+		Workers: 2,
+		Options: []dcnflow.SolveOption{dcnflow.WithSolverOptions(dcnflow.SolverOptions{MaxIters: 20})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	loose, tight := res.Cells[0], res.Cells[1]
+	if loose.Tightness != 1 || tight.Tightness != 0.5 {
+		t.Fatalf("tightness coordinates wrong: %v, %v", loose.Tightness, tight.Tightness)
+	}
+	if tight.LB <= loose.LB {
+		t.Errorf("halving every deadline window did not raise the lower bound: %v -> %v", loose.LB, tight.LB)
+	}
+	if tight.Energy <= loose.Energy {
+		t.Errorf("halving every deadline window did not raise the schedule energy: %v -> %v", loose.Energy, tight.Energy)
+	}
+}
+
+// TestSweepCancellation: a cancelled context aborts the run with the
+// context error instead of a partial result — the cancellation-safe pooling
+// half of the acceptance criterion.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := dcnflow.Sweep(ctx, testSweepSpec(), dcnflow.SweepOptions{Workers: 4})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// TestSweepPerCellErrorsDoNotAbort: a solver that refuses an instance (the
+// exact enumerator past its assignment bound) is recorded in that cell and
+// counted in the aggregate; the rest of the grid still completes.
+func TestSweepPerCellErrorsDoNotAbort(t *testing.T) {
+	spec := &dcnflow.SweepSpec{
+		Topologies: []dcnflow.TopologySpec{{Kind: "fattree", K: 4, Capacity: 1e6}},
+		Workloads:  []dcnflow.WorkloadSpec{{Kind: "uniform", N: 12, T0: 1, T1: 30, SizeMean: 4, SizeStddev: 1}},
+		Model:      dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 1e6},
+		Solvers:    []string{"exact", "sp-mcf"},
+	}
+	res, err := dcnflow.Sweep(context.Background(), spec, dcnflow.SweepOptions{
+		Workers: 2,
+		Options: []dcnflow.SolveOption{
+			dcnflow.WithSolverOptions(dcnflow.SolverOptions{MaxIters: 10}),
+			// 12 flows with up to 4 candidate paths each overflow a bound
+			// of 16 assignments, so the exact cell must fail.
+			dcnflow.WithExactOptions(dcnflow.ExactOptions{MaxAssignments: 16}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0].Err == "" {
+		t.Error("exact cell unexpectedly succeeded past its assignment bound")
+	}
+	if res.Cells[1].Err != "" || res.Cells[1].Energy <= 0 {
+		t.Errorf("sp-mcf cell should have completed: %+v", res.Cells[1])
+	}
+	aggs := res.Aggregate()
+	if aggs[0].Errors != 1 || aggs[1].Errors != 0 {
+		t.Errorf("aggregate error counts wrong: %+v", aggs)
+	}
+}
+
+// TestLoadSweepRejectsMalformed guards the strict-loading error surface,
+// mirroring TestLoadScenarioRejectsMalformed.
+func TestLoadSweepRejectsMalformed(t *testing.T) {
+	valid := `{
+  "topologies": [{"kind": "line", "k": 3, "capacity": 10}],
+  "workloads": [{"kind": "shuffle", "hosts": 2, "deadline": 5, "size": 1}],
+  "model": {"mu": 1, "alpha": 2},
+  "solvers": ["sp-mcf"]
+}`
+	if _, err := dcnflow.LoadSweep(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct{ name, input, wantMsg string }{
+		{"not json", `{{`, ""},
+		{"unknown field", strings.Replace(valid, `"model"`, `"bogus": 1, "model"`, 1), "bogus"},
+		{"no topologies", strings.Replace(valid, `[{"kind": "line", "k": 3, "capacity": 10}]`, `[]`, 1), "topologies"},
+		{"bad topology", strings.Replace(valid, `"kind": "line"`, `"kind": "torus"`, 1), "topology kind"},
+		{"no workloads", strings.Replace(valid, `[{"kind": "shuffle", "hosts": 2, "deadline": 5, "size": 1}]`, `[]`, 1), "workloads"},
+		{"bad workload", strings.Replace(valid, `"hosts": 2`, `"hosts": 1`, 1), "hosts"},
+		{"bad model", strings.Replace(valid, `"mu": 1`, `"mu": -1`, 1), "model"},
+		{"bad tightness", strings.Replace(valid, `"solvers"`, `"tightness": [1, -0.5], "solvers"`, 1), "tightness"},
+		{"no solvers", strings.Replace(valid, `["sp-mcf"]`, `[]`, 1), "solvers"},
+		{"unknown solver", strings.Replace(valid, `"sp-mcf"`, `"simplex"`, 1), "simplex"},
+		{"trailing garbage", valid + ` {"again": true}`, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := dcnflow.LoadSweep(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("malformed spec accepted: %s", tc.input)
+			}
+			if !errors.Is(err, dcnflow.ErrBadSweep) {
+				t.Errorf("error does not wrap ErrBadSweep: %v", err)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestSweepCellsExpansion pins the fixed nested-loop expansion order
+// (solvers innermost) and the per-cell seed/tightness overrides.
+func TestSweepCellsExpansion(t *testing.T) {
+	spec := &dcnflow.SweepSpec{
+		Topologies: []dcnflow.TopologySpec{{Kind: "line", K: 3, Capacity: 1}},
+		Workloads:  []dcnflow.WorkloadSpec{{Kind: "shuffle", Hosts: 2, Deadline: 5, Size: 1, Seed: 999}},
+		Model:      dcnflow.ModelSpec{Mu: 1, Alpha: 2},
+		Tightness:  []float64{1, 0.5},
+		Seeds:      []int64{7, 8},
+		Solvers:    []string{"sp-mcf", "always-on"},
+	}
+	if got, want := spec.CellCount(), 8; got != want {
+		t.Fatalf("CellCount = %d, want %d", got, want)
+	}
+	cells := spec.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	// Solvers innermost: consecutive cells share a scenario.
+	if cells[0].Solver != "sp-mcf" || cells[1].Solver != "always-on" {
+		t.Errorf("solver order wrong: %s, %s", cells[0].Solver, cells[1].Solver)
+	}
+	if cells[0].Scenario != cells[1].Scenario {
+		t.Error("cells differing only in solver must share a bit-identical scenario")
+	}
+	// Then seeds, then tightness.
+	if cells[2].Seed != 8 || cells[2].Tightness != 1 {
+		t.Errorf("cell 2 coordinates = seed %d tightness %v", cells[2].Seed, cells[2].Tightness)
+	}
+	if cells[4].Tightness != 0.5 {
+		t.Errorf("cell 4 tightness = %v, want 0.5", cells[4].Tightness)
+	}
+	for _, c := range cells {
+		if c.Index != cells[c.Index].Index {
+			t.Fatalf("cell index %d out of order", c.Index)
+		}
+		if c.Scenario.Workload.Seed != c.Seed {
+			t.Errorf("cell %d: authored workload seed not overridden by axis seed %d", c.Index, c.Seed)
+		}
+		if c.Scenario.Workload.Tightness != c.Tightness {
+			t.Errorf("cell %d: workload tightness %v != axis %v", c.Index, c.Scenario.Workload.Tightness, c.Tightness)
+		}
+	}
+}
+
+// TestSweepLabelsDisambiguated: axis entries whose compact labels collide
+// (two uniform workloads differing only in size_mean) get a "#index"
+// suffix, so scenario names and JSONL coordinates stay unique.
+func TestSweepLabelsDisambiguated(t *testing.T) {
+	spec := &dcnflow.SweepSpec{
+		Topologies: []dcnflow.TopologySpec{{Kind: "line", K: 3, Capacity: 1}},
+		Workloads: []dcnflow.WorkloadSpec{
+			{Kind: "uniform", N: 4, T0: 1, T1: 20, SizeMean: 2, SizeStddev: 1},
+			{Kind: "uniform", N: 4, T0: 1, T1: 20, SizeMean: 8, SizeStddev: 1},
+		},
+		Model:   dcnflow.ModelSpec{Mu: 1, Alpha: 2},
+		Solvers: []string{"sp-mcf"},
+	}
+	cells := spec.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	if cells[0].WorkloadLabel == cells[1].WorkloadLabel {
+		t.Errorf("colliding workload labels not disambiguated: %q", cells[0].WorkloadLabel)
+	}
+	if cells[0].Scenario.Name == cells[1].Scenario.Name {
+		t.Errorf("distinct scenarios share a name: %q", cells[0].Scenario.Name)
+	}
+	// Distinct labels stay clean — no suffix.
+	if cells[0].TopologyLabel != "line-k3" {
+		t.Errorf("unique topology label mangled: %q", cells[0].TopologyLabel)
+	}
+}
+
+// TestSweepSkipLB: without the shared normalizer, only solvers reporting
+// their own bound get LB/LBRatio columns.
+func TestSweepSkipLB(t *testing.T) {
+	spec := &dcnflow.SweepSpec{
+		Topologies: []dcnflow.TopologySpec{{Kind: "line", K: 4, Capacity: 1e6}},
+		Workloads:  []dcnflow.WorkloadSpec{{Kind: "uniform", N: 4, T0: 1, T1: 20, SizeMean: 3, SizeStddev: 1}},
+		Model:      dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 1e6},
+		Solvers:    []string{"dcfsr", "sp-mcf"},
+	}
+	res, err := dcnflow.Sweep(context.Background(), spec, dcnflow.SweepOptions{
+		Workers: 2,
+		SkipLB:  true,
+		Options: []dcnflow.SolveOption{dcnflow.WithSolverOptions(dcnflow.SolverOptions{MaxIters: 15})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0].LB <= 0 || res.Cells[0].LBRatio <= 0 {
+		t.Errorf("dcfsr cell should carry its own bound under SkipLB: %+v", res.Cells[0])
+	}
+	if res.Cells[1].LB != 0 || res.Cells[1].LBRatio != 0 {
+		t.Errorf("sp-mcf cell should carry no bound under SkipLB: %+v", res.Cells[1])
+	}
+}
+
+// FuzzLoadSweep asserts LoadSweep is total, mirroring FuzzLoadScenario:
+// arbitrary input either yields a spec that validates, expands to a finite
+// positive cell count and round-trips byte-identically through SaveSweep,
+// or an ErrBadSweep-class error — never a panic.
+func FuzzLoadSweep(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"topologies": [{"kind": "line", "k": 3, "capacity": 10}], "workloads": [{"kind": "shuffle", "hosts": 2, "deadline": 5, "size": 1}], "model": {"mu": 1, "alpha": 2}, "solvers": ["sp-mcf"]}`,
+		`{"name": "g", "topologies": [{"kind": "fattree", "k": 4, "capacity": 100}, {"kind": "star", "k": 3, "capacity": 2}], "workloads": [{"kind": "uniform", "n": 4, "t1": 9, "size_mean": 1}], "model": {"sigma": 1, "mu": 1, "alpha": 4, "c": 100}, "tightness": [1, 0.5], "seeds": [1, 2, 3], "solvers": ["dcfsr", "always-on"]}`,
+		`{"topologies": [], "solvers": []}`,
+		`{"solvers": ["bogus"]}`,
+		`{"topologies": [{"kind": "line", "k": 3, "capacity": 10}], "workloads": [{"kind": "shuffle", "hosts": 2, "deadline": 5, "size": 1}], "model": {"mu": 1, "alpha": 2}, "tightness": [], "seeds": [], "solvers": ["sp-mcf"]}`,
+		`[4]`,
+		"null",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := dcnflow.LoadSweep(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("LoadSweep accepted a spec that fails Validate: %v", verr)
+		}
+		n := spec.CellCount()
+		if n <= 0 || n > dcnflow.MaxSweepCells {
+			t.Fatalf("accepted spec expands to %d cells", n)
+		}
+		if cells := spec.Cells(); len(cells) != n {
+			t.Fatalf("Cells() returned %d cells, CellCount promised %d", len(cells), n)
+		}
+		var buf bytes.Buffer
+		if err := dcnflow.SaveSweep(&buf, spec); err != nil {
+			t.Fatalf("accepted spec does not save: %v", err)
+		}
+		back, err := dcnflow.LoadSweep(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("saved spec does not load back: %v", err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("round-trip changed the spec: %+v != %+v", back, spec)
+		}
+		var again bytes.Buffer
+		if err := dcnflow.SaveSweep(&again, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("SaveSweep is not canonical:\n%s\nvs\n%s", buf.Bytes(), again.Bytes())
+		}
+	})
+}
+
+// TestSweepFileRoundTrip exercises the file-path variants.
+func TestSweepFileRoundTrip(t *testing.T) {
+	spec := testSweepSpec()
+	path := t.TempDir() + "/sweep.json"
+	if err := dcnflow.SaveSweepFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dcnflow.LoadSweepFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Fatalf("file round-trip changed the spec:\n%+v\n%+v", back, spec)
+	}
+	if _, err := dcnflow.LoadSweepFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
