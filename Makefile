@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-smoke examples scenarios sweep-smoke doccheck
+.PHONY: build test test-race-online vet fmt bench bench-smoke examples scenarios sweep-smoke serve-smoke doccheck
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ scenarios:
 sweep-smoke:
 	$(GO) run ./cmd/dcnflow sweep examples/sweeps/smoke.json -workers 4
 
+# serve-smoke boots `dcnflow serve` as a real subprocess, fires a
+# 3-request batch through the Go client, asserts every energy is
+# bit-identical to the engine solve `dcnflow run` prints, and requires a
+# graceful SIGTERM shutdown. CI runs the same command.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
+
 # doccheck fails when an exported symbol of the public facade (root
 # package) is missing a doc comment, or when a registered solver name is
 # absent from README.md, DESIGN.md, `dcnflow run -h` or `dcnflow sweep -h`.
@@ -38,14 +45,14 @@ test:
 	$(GO) test ./...
 
 # test-race-online runs the packages with cross-goroutine state (the online
-# schedulers, the concurrent relaxation fan-out they drive, and the sweep
-# worker pool) under the race detector, plus the root-package conformance
-# corpus and sweep determinism tests (the engine's cross-worker sharing —
-# scenario groups, solver caches, ordered emission — lives there); CI runs
-# the same job.
+# schedulers, the concurrent relaxation fan-out they drive, the solver
+# pools, the compiled-graph scratch pools, and the sweep worker pool) under
+# the race detector, plus the root-package conformance corpus, sweep
+# determinism tests and the shared-Engine concurrency tests (cache LRU,
+# pooled scratch, batch pool, serve handler); CI runs the same job.
 test-race-online:
-	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/...
-	$(GO) test -race -run 'TestConformance|TestSweep' .
+	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
+	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe' .
 
 vet:
 	$(GO) vet ./...

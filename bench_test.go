@@ -9,6 +9,7 @@
 package dcnflow_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -364,4 +365,58 @@ func BenchmarkSimulator(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchEngineSolve runs one engine request of the compile-once/solve-many
+// benchmark scenario (fat-tree k=8 under a small flow batch — the
+// cache-win shape: compilation dominates a cold solve).
+func benchEngineSolve(b *testing.B, eng *dcnflow.Engine) {
+	b.Helper()
+	r := eng.Solve(context.Background(), dcnflow.Request{
+		Scenario: engineBenchScenario(),
+		Solver:   dcnflow.SolverDCFSR,
+		Options:  engineBenchOptions(),
+	})
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+}
+
+// BenchmarkEngineRepeatedSolve measures the warm path of the Engine: one
+// shared engine solving the same scenario repeatedly, every request served
+// from the compiled-instance cache and pooled solver scratch. Compare
+// against BenchmarkEngineColdVsWarm/cold for the cache win
+// (TestEngineWarmCacheAllocWin pins allocs-warm <= allocs-cold/2).
+func BenchmarkEngineRepeatedSolve(b *testing.B) {
+	eng := dcnflow.NewEngine(dcnflow.EngineOptions{})
+	benchEngineSolve(b, eng) // prime the caches
+	hits0 := eng.Stats().Hits
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEngineSolve(b, eng)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Stats().Hits-hits0)/float64(b.N), "cache-hits/op")
+}
+
+// BenchmarkEngineColdVsWarm contrasts a fresh engine per solve (topology
+// generation + graph compilation + scratch allocation every time) with one
+// warm shared engine on the identical request.
+func BenchmarkEngineColdVsWarm(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchEngineSolve(b, dcnflow.NewEngine(dcnflow.EngineOptions{}))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := dcnflow.NewEngine(dcnflow.EngineOptions{})
+		benchEngineSolve(b, eng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchEngineSolve(b, eng)
+		}
+	})
 }

@@ -1,0 +1,126 @@
+package dcnflow
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Client is the Go client of the serve API (`dcnflow serve` /
+// NewServeHandler): thin typed wrappers over POST /v1/solve, POST
+// /v1/batch and GET /healthz. The zero value is not usable; set BaseURL
+// (e.g. "http://127.0.0.1:8080"). A Client is safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, without a trailing slash requirement.
+	BaseURL string
+	// HTTPClient overrides the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) (string, error) {
+	if c.BaseURL == "" {
+		return "", errServeNoBase
+	}
+	return strings.TrimRight(c.BaseURL, "/") + path, nil
+}
+
+// post sends body as JSON and decodes a 2xx reply into out; non-2xx
+// replies come back as errors carrying the server's error message (a 422
+// or 504 solve reply is a full ServeResponse, whose "error" field decodes
+// the same way).
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	u, err := c.url(path)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("dcnflow: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return decodeServeError(resp.StatusCode, resp.Body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Solve runs one request on the server. A solver-level failure (422/504)
+// is returned as an error carrying the server's message; transport and
+// decoding failures likewise.
+func (c *Client) Solve(ctx context.Context, req ServeRequest) (*ServeResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var out ServeResponse
+	if err := c.post(ctx, "/v1/solve", &req, &out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("dcnflow: server: %s", out.Error)
+	}
+	return &out, nil
+}
+
+// SolveBatch runs a batch on the server and returns one response per
+// request, in request order. Per-request failures stay in their item's
+// Error field — only transport-level problems error here.
+func (c *Client) SolveBatch(ctx context.Context, reqs []ServeRequest) ([]ServeResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var out ServeBatchResponse
+	if err := c.post(ctx, "/v1/batch", &ServeBatchRequest{Requests: reqs}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("dcnflow: server answered %d results for %d requests", len(out.Results), len(reqs))
+	}
+	return out.Results, nil
+}
+
+// Health fetches the server's health document.
+func (c *Client) Health(ctx context.Context) (*ServeHealth, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	u, err := c.url("/healthz")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeServeError(resp.StatusCode, resp.Body)
+	}
+	var out ServeHealth
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -29,7 +29,7 @@ import (
 
 // defaultBench selects the component micro-benchmarks (not the full-figure
 // regenerations, which take minutes at paper scale).
-const defaultBench = "BenchmarkFrankWolfe|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkSimulator|BenchmarkExactSmall"
+const defaultBench = "BenchmarkFrankWolfe|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
 
 // Result is one benchmark's measurement.
 type Result struct {

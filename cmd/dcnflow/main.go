@@ -30,10 +30,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"dcnflow"
@@ -76,6 +81,7 @@ func commands() []command {
 		{"ablate", "run an ablation study: lambda | rounding | surrogate | online | exact", "A1 A2 A3", runAblate},
 		{"online", "run the online extension: greedy, rolling-horizon, or the O1 comparison", "O1", runOnline},
 		{"run", "solve a JSON scenario spec with registered solvers (see examples/scenarios/)", "", runScenario},
+		{"serve", "serve scenario solves over HTTP from a warm engine (POST /v1/solve, /v1/batch; GET /healthz)", "", runServe},
 		{"sweep", "run a JSON sweep spec: a scenario grid crossed with solvers, on a worker pool (see examples/sweeps/)", "", runSweep},
 		{"workload", "generate and print a random workload as CSV", "", runWorkload},
 		{"compare", "run every registered solver (and the fractional LB) on one workload", "", runCompare},
@@ -400,6 +406,79 @@ func runOnline(args []string) error {
 	return nil
 }
 
+// cliEngine is the one shared Engine the scheme-running subcommands (run,
+// sweep, compare, trace) dispatch through: compiled topologies, cached
+// workload instances and pooled solver scratch are shared across whatever
+// a single invocation does. The serve subcommand builds its own engine
+// sized by its -cache/-workers flags.
+var (
+	cliEngineOnce sync.Once
+	cliEngineVal  *dcnflow.Engine
+)
+
+func cliEngine() *dcnflow.Engine {
+	cliEngineOnce.Do(func() {
+		cliEngineVal = dcnflow.NewEngine(dcnflow.EngineOptions{})
+	})
+	return cliEngineVal
+}
+
+// runServe starts the HTTP solve server on a warm shared engine. The
+// listener address is printed once serving begins ("listening on
+// http://..."), and SIGINT/SIGTERM drain in-flight requests before exit —
+// the smoke harness (cmd/servesmoke, `make serve-smoke`) drives exactly
+// this sequence.
+func runServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request solve ceiling (requests may ask for less via timeout_ms)")
+	maxBatch := fs.Int("max-batch", 64, "largest /v1/batch request accepted")
+	cache := fs.Int("cache", 64, "compiled-instance cache entries (distinct topology+model pairs held warm)")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent batch solves; a pure wall-clock lever")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
+	solvers := fs.String("solver", "all",
+		"solvers served: comma-separated names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names, err := solverList(*solvers)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	eng := dcnflow.NewEngine(dcnflow.EngineOptions{CacheSize: *cache, Workers: *workers})
+	handler := dcnflow.NewServeHandler(eng, dcnflow.ServeOptions{
+		MaxTimeout: *timeout,
+		MaxBatch:   *maxBatch,
+		Solvers:    names,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("dcnflow serve: listening on http://%s (%d solvers, cache %d)\n",
+		ln.Addr().String(), len(names), *cache)
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("dcnflow serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}
+
 // solverList resolves a -solver flag value against the registry: a
 // comma-separated list of registered names, or "all".
 func solverList(value string) ([]string, error) {
@@ -481,7 +560,10 @@ func runScenario(args []string) error {
 	if err != nil {
 		return err
 	}
-	inst, err := spec.Instance()
+	// All solver runs dispatch through the shared engine: the instance is
+	// compiled once and every solver draws pooled scratch from it.
+	eng := cliEngine()
+	inst, err := eng.Instance(spec)
 	if err != nil {
 		return err
 	}
@@ -491,7 +573,7 @@ func runScenario(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := []dcnflow.SolveOption{dcnflow.WithSeed(spec.Seed)}
+	var opts []dcnflow.SolveOption
 	if *progress {
 		opts = append(opts, dcnflow.WithProgress(func(ev dcnflow.ProgressEvent) {
 			switch ev.Stage {
@@ -517,17 +599,18 @@ func runScenario(args []string) error {
 	)
 	for _, name := range names {
 		start := time.Now()
-		sol, err := dcnflow.Solve(ctx, name, inst, opts...)
-		if err != nil {
-			return fmt.Errorf("run: solver %s: %w", name, err)
+		// The engine applies WithSeed(spec.Seed) itself.
+		r := eng.Solve(ctx, dcnflow.Request{Scenario: spec, Solver: name, Options: opts})
+		if r.Err != nil {
+			return fmt.Errorf("run: solver %s: %w", name, r.Err)
 		}
 		if *progress {
 			fmt.Fprintf(os.Stderr, "%s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
 		}
-		if sol.LowerBound > lb {
-			lb = sol.LowerBound
+		if r.Solution.LowerBound > lb {
+			lb = r.Solution.LowerBound
 		}
-		sols = append(sols, sol)
+		sols = append(sols, r.Solution)
 	}
 	fmt.Print(solutionTable(sols, lb).String())
 	return nil
@@ -608,6 +691,7 @@ func runSweep(args []string) error {
 
 	opts := dcnflow.SweepOptions{
 		Workers: *workers,
+		Engine:  cliEngine(),
 		SkipLB:  *noLB,
 		OnCell: func(c dcnflow.SweepCellResult) {
 			if enc != nil {
@@ -736,14 +820,15 @@ func runCompare(args []string) error {
 		lb   float64
 	)
 	for _, name := range names {
-		sol, err := dcnflow.Solve(context.Background(), name, inst, opts...)
-		if err != nil {
+		r := cliEngine().Solve(context.Background(), dcnflow.Request{Instance: inst, Solver: name, Options: opts})
+		if r.Err != nil {
 			// compare is a survey: a solver that refuses the instance (the
 			// exact enumerator past its assignment bound, always-on without
 			// full-rate feasibility) is reported and skipped, not fatal.
-			fmt.Printf("(skipping %s: %v)\n", name, err)
+			fmt.Printf("(skipping %s: %v)\n", name, r.Err)
 			continue
 		}
+		sol := r.Solution
 		if sol.LowerBound > lb {
 			lb = sol.LowerBound
 		}
@@ -817,15 +902,21 @@ func runTrace(args []string) error {
 	case "online":
 		name = dcnflow.SolverGreedyOnline
 	}
-	sol, err := dcnflow.Solve(context.Background(), name, inst,
-		dcnflow.WithSeed(*seed),
-		dcnflow.WithOnlineOptions(online.Options{CostFull: *sigma > 0}))
-	if err != nil {
-		if errors.Is(err, dcnflow.ErrUnknownSolver) {
-			return fmt.Errorf("trace: unknown scheme %q: %w", *scheme, err)
+	r := cliEngine().Solve(context.Background(), dcnflow.Request{
+		Instance: inst,
+		Solver:   name,
+		Options: []dcnflow.SolveOption{
+			dcnflow.WithSeed(*seed),
+			dcnflow.WithOnlineOptions(online.Options{CostFull: *sigma > 0}),
+		},
+	})
+	if r.Err != nil {
+		if errors.Is(r.Err, dcnflow.ErrUnknownSolver) {
+			return fmt.Errorf("trace: unknown scheme %q: %w", *scheme, r.Err)
 		}
-		return err
+		return r.Err
 	}
+	sol := r.Solution
 	if sol.LowerBound > 0 {
 		fmt.Printf("lower bound: %.4g\n", sol.LowerBound)
 	}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"dcnflow"
 )
@@ -247,6 +249,104 @@ func TestRunUsageListsEverySolver(t *testing.T) {
 // every registered solver) is owned by cmd/doccheck: its solverDocs check
 // runs in CI and its own tests gate the repository docs, so it is not
 // duplicated here.
+
+func TestServeUsageListsEverySolver(t *testing.T) {
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := run([]string{"serve", "-h"})
+	w.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("serve -h: %v", runErr)
+	}
+	for _, name := range dcnflow.SolverNames() {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("serve -h missing solver %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestServeCommandEndToEnd boots the serve subcommand on a free port,
+// solves one scenario through the HTTP client, checks the energy against
+// the in-process registry solve, and shuts the server down gracefully via
+// SIGINT — the same sequence `make serve-smoke` drives as a subprocess.
+func TestServeCommandEndToEnd(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- run([]string{"serve", "-addr", "127.0.0.1:0"}) }()
+
+	// The listen line is printed once the listener is up.
+	buf := make([]byte, 4096)
+	n, err := r.Read(buf)
+	os.Stdout = old
+	if err != nil {
+		t.Fatalf("reading serve banner: %v", err)
+	}
+	m := regexp.MustCompile(`listening on (http://[^ ]+)`).FindStringSubmatch(string(buf[:n]))
+	if m == nil {
+		t.Fatalf("no listen banner in %q", buf[:n])
+	}
+	go func() { // drain any further stdout so the server never blocks on the pipe
+		for {
+			if _, err := r.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	spec := dcnflow.ScenarioSpec{
+		Topology: dcnflow.TopologySpec{Kind: "line", K: 3, Capacity: 100},
+		Workload: dcnflow.WorkloadSpec{Kind: "shuffle", Hosts: 2, Deadline: 6, Size: 2},
+		Model:    dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 100},
+		Seed:     1,
+	}
+	client := &dcnflow.Client{BaseURL: m[1]}
+	resp, err := client.Solve(context.Background(), dcnflow.ServeRequest{Scenario: spec, Solver: dcnflow.SolverSPMCF})
+	if err != nil {
+		t.Fatalf("served solve: %v", err)
+	}
+	inst, err := spec.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dcnflow.Solve(context.Background(), dcnflow.SolverSPMCF, inst, dcnflow.WithSeed(spec.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Energy != want.Energy {
+		t.Fatalf("served energy %v differs from direct %v", resp.Energy, want.Energy)
+	}
+
+	// Graceful shutdown: SIGINT must drain and return nil.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down after SIGINT")
+	}
+}
 
 func TestRunWorkloadCommand(t *testing.T) {
 	if err := run([]string{"workload", "-n", "5", "-k", "4"}); err != nil {

@@ -63,8 +63,9 @@ func main() {
 
 // solverDocs verifies that every registered solver name appears in the
 // repository's README.md and DESIGN.md and — when cli is set — in the
-// generated `dcnflow run -h` and `dcnflow sweep -h` usages (obtained by
-// running the command, so the check covers exactly what a user sees).
+// generated `dcnflow run -h`, `dcnflow sweep -h` and `dcnflow serve -h`
+// usages (obtained by running the command, so the check covers exactly
+// what a user sees).
 func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 	var missing []string
 	for _, fname := range []string{"README.md", "DESIGN.md"} {
@@ -75,7 +76,7 @@ func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 		missing = append(missing, missingNames(fname, string(data), names)...)
 	}
 	if cli {
-		for _, sub := range []string{"run", "sweep"} {
+		for _, sub := range []string{"run", "sweep", "serve"} {
 			cmd := exec.Command("go", "run", "./cmd/dcnflow", sub, "-h")
 			cmd.Dir = repo
 			out, err := cmd.CombinedOutput()

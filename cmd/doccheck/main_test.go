@@ -121,12 +121,13 @@ func TestSolverDocsRepoClean(t *testing.T) {
 	}
 }
 
-// TestSolverDocsChecksBothCLIUsages: the CLI half of the gate executes both
-// `dcnflow run -h` and `dcnflow sweep -h` against the real repository, so a
-// solver cannot register without surfacing in either runner's usage.
+// TestSolverDocsChecksBothCLIUsages: the CLI half of the gate executes
+// `dcnflow run -h`, `dcnflow sweep -h` and `dcnflow serve -h` against the
+// real repository, so a solver cannot register without surfacing in every
+// scheme-running usage.
 func TestSolverDocsChecksBothCLIUsages(t *testing.T) {
 	if testing.Short() {
-		t.Skip("executes go run twice")
+		t.Skip("executes go run three times")
 	}
 	missing, err := solverDocs("../..", dcnflow.SolverNames(), true)
 	if err != nil {
@@ -140,12 +141,13 @@ func TestSolverDocsChecksBothCLIUsages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var runGap, sweepGap bool
+	var runGap, sweepGap, serveGap bool
 	for _, m := range missing {
 		runGap = runGap || strings.Contains(m, "dcnflow run -h")
 		sweepGap = sweepGap || strings.Contains(m, "dcnflow sweep -h")
+		serveGap = serveGap || strings.Contains(m, "dcnflow serve -h")
 	}
-	if !runGap || !sweepGap {
-		t.Errorf("missing gaps for both usages, got: %v", missing)
+	if !runGap || !sweepGap || !serveGap {
+		t.Errorf("missing gaps for every usage, got: %v", missing)
 	}
 }

@@ -23,13 +23,25 @@ import (
 var ErrBadInput = errors.New("baseline: invalid input")
 
 // ShortestPaths routes every flow on the deterministic minimum-hop path.
+// It runs on the graph's compiled view (pooled epoch-reset Dijkstra
+// scratch), which returns exactly the paths Graph.ShortestPath would —
+// the equivalence is asserted pair-exhaustively in internal/graph — while
+// allocating only the path slices themselves.
 func ShortestPaths(g *graph.Graph, flows *flow.Set) (map[flow.ID]graph.Path, error) {
 	if g == nil || flows == nil {
 		return nil, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
 	}
+	return ShortestPathsCompiled(graph.Compile(g), flows)
+}
+
+// ShortestPathsCompiled is ShortestPaths on an explicitly compiled view.
+func ShortestPathsCompiled(c *graph.Compiled, flows *flow.Set) (map[flow.ID]graph.Path, error) {
+	if c == nil || flows == nil {
+		return nil, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
+	}
 	paths := make(map[flow.ID]graph.Path, flows.Len())
 	for _, f := range flows.Flows() {
-		p, err := g.ShortestPath(f.Src, f.Dst)
+		p, err := c.ShortestPath(f.Src, f.Dst)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: flow %d: %w", f.ID, err)
 		}

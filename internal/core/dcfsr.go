@@ -67,6 +67,14 @@ type DCFSROptions struct {
 	// (and, under the rolling-horizon scheduler, one per epoch re-plan). It
 	// never affects results.
 	Progress ProgressFunc
+	// Solvers, when non-nil, supplies pooled reusable F-MCF solvers to the
+	// per-interval fan-out instead of constructing one per block — the
+	// pooled per-solver scratch of the compile-once/solve-many Engine. The
+	// pool must be bound to the same (graph, model, Solver options) triple
+	// as the solve; a mismatched pool is ignored and the fan-out constructs
+	// solvers as before. Pooling never affects results: a Solver's output
+	// is independent of its scratch history.
+	Solvers *mcfsolve.Pool
 }
 
 func (o DCFSROptions) withDefaults() DCFSROptions {
@@ -82,9 +90,27 @@ func (o DCFSROptions) withDefaults() DCFSROptions {
 // DCFSRInput is an instance of the joint scheduling-and-routing problem.
 type DCFSRInput struct {
 	Graph *graph.Graph
-	Flows *flow.Set
-	Model power.Model
-	Opts  DCFSROptions
+	// Compiled optionally supplies the graph's compiled artifact bundle
+	// (CSR, scratch pools) so the solve consumes an explicitly compiled
+	// view instead of compiling implicitly. It must match Graph when set;
+	// nil compiles on demand (graph.Compile caches on the graph, so the
+	// cost is paid once per graph either way).
+	Compiled *graph.Compiled
+	Flows    *flow.Set
+	Model    power.Model
+	Opts     DCFSROptions
+}
+
+// compiledView resolves the optional explicit compiled view against the
+// graph, rejecting a bundle compiled from a different graph.
+func compiledView(c *graph.Compiled, g *graph.Graph) (*graph.Compiled, error) {
+	if c == nil {
+		return graph.Compile(g), nil
+	}
+	if c.Graph() != g {
+		return nil, fmt.Errorf("%w: compiled view belongs to a different graph", ErrBadInput)
+	}
+	return c, nil
 }
 
 // DCFSRResult is the output of Random-Schedule.
@@ -137,7 +163,7 @@ type relaxation struct {
 
 // solveRelaxation decomposes the horizon at flow release/deadline
 // breakpoints and solves one F-MCF per interval (concurrently).
-func solveRelaxation(ctx context.Context, g *graph.Graph, flows *flow.Set, m power.Model, opts DCFSROptions) (*relaxation, error) {
+func solveRelaxation(ctx context.Context, c *graph.Compiled, flows *flow.Set, m power.Model, opts DCFSROptions) (*relaxation, error) {
 	var times []float64
 	for _, f := range flows.Flows() {
 		times = append(times, f.Release, f.Deadline)
@@ -161,7 +187,7 @@ func solveRelaxation(ctx context.Context, g *graph.Graph, flows *flow.Set, m pow
 		}
 	}
 
-	if err := solveIntervalRelaxation(ctx, g, m, opts, rel, nil); err != nil {
+	if err := solveIntervalRelaxation(ctx, c, m, opts, rel, nil); err != nil {
 		return nil, err
 	}
 	return rel, nil
@@ -190,9 +216,18 @@ func solveRelaxation(ctx context.Context, g *graph.Graph, flows *flow.Set, m pow
 // top of it would drag unconverged neighbour mass back in (Frank–Wolfe has
 // no away-steps, so a bad start drains only geometrically). A zero-valued
 // seed means "no seed for this interval".
-func solveIntervalRelaxation(ctx context.Context, g *graph.Graph, m power.Model, opts DCFSROptions, rel *relaxation, seeds []mcfsolve.WarmStart) error {
+//
+// Workers draw their per-block Solvers from opts.Solvers when the pool is
+// bound to this exact (graph, model, Solver options) triple, constructing
+// them from the compiled view otherwise. Either way each Solver is owned
+// by one worker for one block, so reuse is pure scratch recycling.
+func solveIntervalRelaxation(ctx context.Context, c *graph.Compiled, m power.Model, opts DCFSROptions, rel *relaxation, seeds []mcfsolve.WarmStart) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	pool := opts.Solvers
+	if pool != nil && !pool.Matches(c.Graph(), m, opts.Solver) {
+		pool = nil
 	}
 	intervals := rel.intervals
 	chain := opts.WarmStart && seeds == nil
@@ -222,7 +257,18 @@ func solveIntervalRelaxation(ctx context.Context, g *graph.Graph, m power.Model,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			solver, err := mcfsolve.NewSolver(g, m, opts.Solver)
+			var (
+				solver *mcfsolve.Solver
+				err    error
+			)
+			if pool != nil {
+				solver, err = pool.Acquire()
+				if err == nil {
+					defer pool.Release(solver)
+				}
+			} else {
+				solver, err = mcfsolve.NewSolverCompiled(c, m, opts.Solver)
+			}
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -304,7 +350,7 @@ func LowerBoundCtx(ctx context.Context, g *graph.Graph, flows *flow.Set, m power
 	if err := m.Validate(); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
-	rel, err := solveRelaxation(ctx, g, flows, m, opts.withDefaults())
+	rel, err := solveRelaxation(ctx, graph.Compile(g), flows, m, opts.withDefaults())
 	if err != nil {
 		return 0, err
 	}
@@ -339,6 +385,10 @@ func SolveDCFSRCtx(ctx context.Context, in DCFSRInput) (*DCFSRResult, error) {
 	if err := in.Model.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
+	compiled, err := compiledView(in.Compiled, in.Graph)
+	if err != nil {
+		return nil, err
+	}
 	opts := in.Opts.withDefaults()
 
 	t0, t1 := in.Flows.Horizon()
@@ -347,7 +397,7 @@ func SolveDCFSRCtx(ctx context.Context, in DCFSRInput) (*DCFSRResult, error) {
 		return &DCFSRResult{Schedule: schedule.New(horizon), CapacityFeasible: true}, nil
 	}
 
-	rel, err := solveRelaxation(ctx, in.Graph, in.Flows, in.Model, opts)
+	rel, err := solveRelaxation(ctx, compiled, in.Flows, in.Model, opts)
 	if err != nil {
 		return nil, err
 	}

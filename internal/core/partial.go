@@ -94,6 +94,11 @@ func (st *RelaxationState) seedFor(iv timeline.Interval, comms []mcfsolve.Commod
 // of the decisions already frozen.
 type DCFSRPartialInput struct {
 	Graph *graph.Graph
+	// Compiled optionally supplies the graph's compiled artifact bundle —
+	// the rolling-horizon scheduler compiles once at construction and
+	// passes it to every epoch re-solve. Must match Graph when set; nil
+	// compiles on demand.
+	Compiled *graph.Compiled
 	// Flows are the active flows: in-flight pinned ones plus newly revealed
 	// free ones. Flow IDs are the caller's and are preserved (nothing is
 	// renumbered, unlike flow.NewSet), so commitments and warm-start
@@ -206,6 +211,10 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 	if math.IsNaN(in.Now) || math.IsInf(in.Now, 0) {
 		return nil, fmt.Errorf("%w: bad re-plan instant %v", ErrBadInput, in.Now)
 	}
+	compiled, err := compiledView(in.Compiled, in.Graph)
+	if err != nil {
+		return nil, err
+	}
 	opts := in.Opts.withDefaults()
 
 	// Reduce every active flow to its residual instance.
@@ -312,7 +321,7 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 			}
 		}
 	}
-	if err := solveIntervalRelaxation(ctx, in.Graph, in.Model, opts, rel, seeds); err != nil {
+	if err := solveIntervalRelaxation(ctx, compiled, in.Model, opts, rel, seeds); err != nil {
 		return nil, err
 	}
 	for _, r := range rel.results {

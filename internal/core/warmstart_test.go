@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
 	"dcnflow/internal/mcfsolve"
 	"dcnflow/internal/power"
 	"dcnflow/internal/topology"
@@ -39,7 +40,7 @@ func TestWarmStartMatchesColdWithinTolerance(t *testing.T) {
 			Solver:    mcfsolve.Options{MaxIters: 25},
 			WarmStart: warm,
 		}.withDefaults()
-		rel, err := solveRelaxation(context.Background(), ft.Graph, fs, m, opts)
+		rel, err := solveRelaxation(context.Background(), graph.Compile(ft.Graph), fs, m, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestWarmStartDeterministicAcrossParallelism(t *testing.T) {
 				Parallelism: par,
 				WarmStart:   warm,
 			}.withDefaults()
-			rel, err := solveRelaxation(context.Background(), ft.Graph, fs, m, opts)
+			rel, err := solveRelaxation(context.Background(), graph.Compile(ft.Graph), fs, m, opts)
 			if err != nil {
 				t.Fatal(err)
 			}

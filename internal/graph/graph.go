@@ -70,11 +70,12 @@ type Edge struct {
 // Graph is a directed multigraph with stable integer identifiers. The zero
 // value is an empty graph ready for use.
 type Graph struct {
-	nodes []Node
-	edges []Edge
-	out   [][]EdgeID // adjacency: outgoing edge ids per node
-	in    [][]EdgeID // reverse adjacency
-	csr   csrCache   // lazily-built flat adjacency (see CSR)
+	nodes    []Node
+	edges    []Edge
+	out      [][]EdgeID    // adjacency: outgoing edge ids per node
+	in       [][]EdgeID    // reverse adjacency
+	csr      csrCache      // lazily-built flat adjacency (see CSR)
+	compiled compiledCache // lazily-built compiled artifact bundle (see Compile)
 }
 
 // Errors returned by graph operations.
@@ -95,8 +96,16 @@ func (g *Graph) AddNode(name string, kind NodeKind) NodeID {
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
-	g.csr.ptr.Store(nil)
+	g.invalidate()
 	return id
+}
+
+// invalidate drops the cached derived views after a mutation.
+func (g *Graph) invalidate() {
+	g.csr.ptr.Store(nil)
+	g.compiled.mu.Lock()
+	g.compiled.ptr = nil
+	g.compiled.mu.Unlock()
 }
 
 // AddEdge appends a directed edge and returns its id. Capacity must be
@@ -112,7 +121,7 @@ func (g *Graph) AddEdge(from, to NodeID, capacity float64) (EdgeID, error) {
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
-	g.csr.ptr.Store(nil)
+	g.invalidate()
 	return id, nil
 }
 

@@ -277,11 +277,12 @@ func (d *decomp) add(h graph.PathHandle, w float64) {
 // per-interval relaxations) allocate only their results. A Solver is not
 // safe for concurrent use; run one per worker.
 type Solver struct {
-	g    *graph.Graph
-	csr  *graph.CSR
-	m    power.Model
-	opts Options
-	cost costModel
+	g        *graph.Graph
+	compiled *graph.Compiled
+	csr      *graph.CSR
+	m        power.Model
+	opts     Options
+	cost     costModel
 
 	intern *graph.PathInterner
 	orc    *oracle
@@ -294,28 +295,43 @@ type Solver struct {
 }
 
 // NewSolver validates the model and prepares reusable state for solving
-// F-MCF instances on g.
+// F-MCF instances on g. It compiles g on first use (graph.Compile caches
+// the artifacts on the graph); callers already holding a compiled view
+// should use NewSolverCompiled.
 func NewSolver(g *graph.Graph, m power.Model, opts Options) (*Solver, error) {
 	if g == nil {
 		return nil, fmt.Errorf("%w: nil graph", ErrBadInput)
+	}
+	return NewSolverCompiled(graph.Compile(g), m, opts)
+}
+
+// NewSolverCompiled is NewSolver on an explicitly compiled graph view —
+// the compile-once/solve-many entry point. The Solver borrows the compiled
+// CSR; only its own scratch (edge-flow buffers, path intern table,
+// shortest-path state) is allocated here, and a pooled Solver (see Pool)
+// amortises even that across solves.
+func NewSolverCompiled(c *graph.Compiled, m power.Model, opts Options) (*Solver, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: nil compiled graph", ErrBadInput)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
 	opts = opts.withDefaults(m)
-	csr := g.CSR()
+	csr := c.CSR()
 	intern := graph.NewPathInterner()
 	nE := csr.NumEdges()
 	return &Solver{
-		g:      g,
-		csr:    csr,
-		m:      m,
-		opts:   opts,
-		cost:   makeCost(m, opts),
-		intern: intern,
-		orc:    newOracle(csr, intern),
-		x:      make([]float64, nE),
-		xNew:   make([]float64, nE),
+		g:        c.Graph(),
+		compiled: c,
+		csr:      csr,
+		m:        m,
+		opts:     opts,
+		cost:     makeCost(m, opts),
+		intern:   intern,
+		orc:      newOracle(csr, intern),
+		x:        make([]float64, nE),
+		xNew:     make([]float64, nE),
 	}, nil
 }
 

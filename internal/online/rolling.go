@@ -9,6 +9,7 @@ import (
 	"dcnflow/internal/core"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/graph"
+	"dcnflow/internal/mcfsolve"
 	"dcnflow/internal/power"
 	"dcnflow/internal/schedule"
 	"dcnflow/internal/sim"
@@ -204,10 +205,15 @@ func (c *commitment) transmittedBy(t float64) float64 {
 // sim.ReplayOnline or call Arrive/AdvanceTo/Finish directly in release
 // order. The zero value is not usable; use NewRolling.
 type RollingScheduler struct {
-	g       *graph.Graph
-	model   power.Model
-	horizon timeline.Interval
-	opts    RollingOptions
+	g *graph.Graph
+	// compiled is the graph's artifact bundle, compiled once at
+	// construction and reused by every epoch re-solve; pool feeds the
+	// epoch solves reusable F-MCF solvers the same way (unless the caller
+	// already supplied one via DCFSR.Solvers). Both are speed levers only.
+	compiled *graph.Compiled
+	model    power.Model
+	horizon  timeline.Interval
+	opts     RollingOptions
 	// ctx bounds the run: every epoch re-solve checks it first and the
 	// Frank–Wolfe solves inside observe it per iteration. The engine stores
 	// it (against the usual convention) because the sim.OnlineEngine methods
@@ -257,8 +263,21 @@ func NewRollingCtx(ctx context.Context, g *graph.Graph, model power.Model, horiz
 	if nb := opts.Policy.NextBoundary(horizon.Start); !math.IsInf(nb, 1) && nb <= horizon.Start {
 		return nil, fmt.Errorf("%w: replan policy boundary %v does not advance past %v", ErrBadInput, nb, horizon.Start)
 	}
+	compiled := graph.Compile(g)
+	if opts.DCFSR.Solvers == nil || !opts.DCFSR.Solvers.Matches(g, model, opts.DCFSR.Solver) {
+		// Compile-once/solve-many across epochs: one pool of F-MCF solvers
+		// feeds every epoch's per-interval fan-out, so consecutive re-plans
+		// recycle scratch instead of reallocating it. Pooling never affects
+		// results, so installing it here is invisible to callers.
+		pool, err := mcfsolve.NewPoolCompiled(compiled, model, opts.DCFSR.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		opts.DCFSR.Solvers = pool
+	}
 	return &RollingScheduler{
 		g:            g,
+		compiled:     compiled,
 		model:        model,
 		horizon:      horizon,
 		opts:         opts,
@@ -480,6 +499,7 @@ func (s *RollingScheduler) replan(tau float64) error {
 
 	res, err := core.SolveDCFSRPartialCtx(s.ctx, core.DCFSRPartialInput{
 		Graph:     s.g,
+		Compiled:  s.compiled,
 		Flows:     flows,
 		Model:     s.model,
 		Now:       tau,

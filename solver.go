@@ -69,6 +69,13 @@ type SolverConfig struct {
 	Exact ExactOptions
 	// ECMPWidth is the equal-cost path fan-out of "ecmp-mcf"; default 8.
 	ECMPWidth int
+
+	// scratch is the Engine's pooled per-solver scratch registry, set only
+	// by engine-dispatched solves (see withScratch). The built-in
+	// relaxation factories draw reusable F-MCF solvers from it per solve;
+	// nil (every non-engine construction) keeps the historical per-call
+	// construction. Never affects results.
+	scratch *enginePools
 }
 
 // SolveOption configures a solver at construction.

@@ -92,8 +92,15 @@ func registerBuiltins() {
 
 	mustRegister(SolverDCFSR, func(cfg SolverConfig) (Solver, error) {
 		return &solverFunc{name: SolverDCFSR, run: func(ctx context.Context, in *Instance) (*Solution, error) {
+			opts := cfg.DCFSR
+			if cfg.scratch != nil {
+				// Engine-dispatched solve: draw the per-interval fan-out's
+				// solvers from the pooled scratch bound to this instance's
+				// compiled graph. Reuse never affects results.
+				opts.Solvers = cfg.scratch.poolFor(in.graph, in.model, opts.Solver)
+			}
 			res, err := core.SolveDCFSRCtx(ctx, core.DCFSRInput{
-				Graph: in.graph, Flows: in.flows, Model: in.model, Opts: cfg.DCFSR,
+				Graph: in.graph, Flows: in.flows, Model: in.model, Opts: opts,
 			})
 			if err != nil {
 				return nil, err
@@ -235,7 +242,15 @@ func registerBuiltins() {
 		ropts.DCFSR = cfg.DCFSR
 		return &solverFunc{name: SolverRollingOnline, run: func(ctx context.Context, in *Instance) (*Solution, error) {
 			horizon := in.horizon
-			res, rep, err := online.RunRollingCtx(ctx, in.graph, in.flows, in.model, &horizon, ropts)
+			opts := ropts
+			if cfg.scratch != nil {
+				// Engine-dispatched solve: hand the rolling scheduler the
+				// engine's shared solver pool so epoch re-solves of repeated
+				// requests on one topology recycle scratch across requests,
+				// not just across epochs.
+				opts.DCFSR.Solvers = cfg.scratch.poolFor(in.graph, in.model, opts.DCFSR.Solver)
+			}
+			res, rep, err := online.RunRollingCtx(ctx, in.graph, in.flows, in.model, &horizon, opts)
 			if err != nil {
 				return nil, err
 			}

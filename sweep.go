@@ -9,10 +9,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
-	"dcnflow/internal/core"
 	"dcnflow/internal/stats"
 	"dcnflow/internal/sweep"
 )
@@ -342,14 +340,21 @@ type SweepCellResult struct {
 }
 
 // SweepOptions configures a Sweep run. The zero value runs the grid on
-// GOMAXPROCS workers with the package-level registry and per-scenario lower
-// bounds.
+// GOMAXPROCS workers with a private Engine over the package-level registry
+// and per-scenario lower bounds.
 type SweepOptions struct {
 	// Workers bounds concurrent cell solves; <= 0 selects GOMAXPROCS. The
 	// worker count is purely a wall-clock lever: results, JSONL bodies and
 	// aggregates are identical for every value (runtime fields aside).
 	Workers int
-	// Registry resolves solver names; nil selects the package registry.
+	// Engine dispatches the cells. Nil builds a private engine for the run
+	// (with Registry below); passing a shared engine lets a sweep reuse
+	// compiled instances and pooled solver scratch warmed by earlier
+	// requests — `dcnflow sweep` passes the CLI's shared engine. Results
+	// are identical either way.
+	Engine *Engine
+	// Registry resolves solver names when Engine is nil (an explicit
+	// Engine brings its own registry); nil selects the package registry.
 	// Note LoadSweep/Validate check names against the package registry, so
 	// a custom registry is for curating options, not for unregistered
 	// names.
@@ -454,31 +459,22 @@ func (r *SweepResult) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// sweepScenarioGroup shares one scenario's expensive state across its
-// per-solver cells: the built Instance and the fractional lower bound, each
-// computed exactly once (by whichever worker arrives first — both are
-// deterministic, so the winner never affects results).
-type sweepScenarioGroup struct {
-	buildOnce sync.Once
-	inst      *Instance
-	buildErr  error
-	lbOnce    sync.Once
-	lb        float64
-	lbErr     error
-}
-
 // Sweep expands the spec's grid and executes every cell on a bounded worker
-// pool — the root-level facade of the sweep engine. Per-cell failures are
-// recorded in the cell's Err field and do not abort the run; the returned
-// error is non-nil only for an invalid spec or a cancelled context (the
-// pool winds down within one in-flight cell per worker and the partial
-// result is discarded).
+// pool, dispatching each through the shared Engine — the root-level facade
+// of the sweep engine. Per-scenario instances, lower bounds, compiled
+// topologies and pooled solver scratch are all shared through the Engine's
+// caches (cells differing only in solver hit the same CompiledInstance),
+// replacing the bespoke per-worker solver cache and sync.Once instance
+// groups the sweep once carried. Per-cell failures are recorded in the
+// cell's Err field and do not abort the run; the returned error is non-nil
+// only for an invalid spec or a cancelled context (the pool winds down
+// within one in-flight cell per worker and the partial result is
+// discarded).
 //
 // Determinism contract: Cells, their JSONL encoding and Aggregate (runtime
 // fields aside) are byte-identical for every Workers value — cells are
 // collected and streamed in expansion order, every seed is derived from the
-// spec, and no state is shared across cells except per-scenario instances
-// and lower bounds, which are themselves deterministic.
+// spec, and the Engine's caches never change results (its own contract).
 func Sweep(ctx context.Context, spec *SweepSpec, opts SweepOptions) (*SweepResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -486,26 +482,11 @@ func Sweep(ctx context.Context, spec *SweepSpec, opts SweepOptions) (*SweepResul
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	reg := opts.Registry
-	if reg == nil {
-		reg = defaultRegistry
+	eng := opts.Engine
+	if eng == nil {
+		eng = NewEngine(EngineOptions{Registry: opts.Registry})
 	}
 	cells := spec.Cells()
-	nsolv := len(spec.Solvers)
-	groups := make([]sweepScenarioGroup, len(cells)/nsolv)
-
-	// The shared lower bound reuses the cell-wide solver options (so a
-	// sweep-wide Frank–Wolfe iteration cap applies to the bound too).
-	var lbCfg SolverConfig
-	for _, opt := range opts.Options {
-		opt(&lbCfg)
-	}
-
-	// Per-worker solver cache: workers reuse a constructed Solver (and the
-	// scratch it carries) across the cells they process, keyed by name and
-	// seed. Reuse is a speed lever only — solvers are deterministic per
-	// (instance, seed).
-	type workerState struct{ solvers map[string]Solver }
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -513,15 +494,14 @@ func Sweep(ctx context.Context, spec *SweepSpec, opts SweepOptions) (*SweepResul
 	if workers > len(cells) {
 		workers = len(cells)
 	}
-	states := make([]workerState, workers)
 
 	var emit func(int, SweepCellResult)
 	if opts.OnCell != nil {
 		emit = func(_ int, r SweepCellResult) { opts.OnCell(r) }
 	}
 	results, err := sweep.Map(ctx, len(cells), workers,
-		func(ctx context.Context, i, worker int) (SweepCellResult, error) {
-			cell := cells[i]
+		func(ctx context.Context, i, _ int) (SweepCellResult, error) {
+			cell := &cells[i]
 			res := SweepCellResult{
 				Cell:      cell.Index,
 				Scenario:  cell.Scenario.Name,
@@ -531,22 +511,21 @@ func Sweep(ctx context.Context, spec *SweepSpec, opts SweepOptions) (*SweepResul
 				Seed:      cell.Seed,
 				Solver:    cell.Solver,
 			}
-			group := &groups[i/nsolv]
-			group.buildOnce.Do(func() {
-				group.inst, group.buildErr = cell.Scenario.Instance()
-			})
-			if group.buildErr != nil {
-				res.Err = group.buildErr.Error()
+			// The instance is resolved first so a scenario build failure is
+			// reported as itself, not disguised as a bound or solve error.
+			// Cells of one scenario group share the cached build.
+			if _, err := eng.Instance(&cell.Scenario); err != nil {
+				res.Err = err.Error()
 				return res, nil
 			}
-			inst := group.inst
+			var lb float64
 			if !opts.SkipLB {
-				group.lbOnce.Do(func() {
-					lbOpts := lbCfg.DCFSR
-					lbOpts.Progress = nil
-					group.lb, group.lbErr = core.LowerBoundCtx(ctx, inst.Graph(), inst.Flows(), inst.Model(), lbOpts)
-				})
-				if group.lbErr != nil {
+				// The shared bound reuses the cell-wide solver options (so a
+				// sweep-wide Frank–Wolfe iteration cap applies to it too) and
+				// is memoised per scenario group on the Engine.
+				var err error
+				lb, err = eng.LowerBound(ctx, &cell.Scenario, opts.Options...)
+				if err != nil {
 					if ctx.Err() != nil {
 						return res, ctx.Err()
 					}
@@ -554,42 +533,34 @@ func Sweep(ctx context.Context, spec *SweepSpec, opts SweepOptions) (*SweepResul
 					// something to paper over with the solver's own bound —
 					// otherwise the row would silently mix normalizers and
 					// look exactly like a SkipLB run.
-					res.Err = fmt.Sprintf("scenario lower bound: %v", group.lbErr)
+					res.Err = fmt.Sprintf("scenario lower bound: %v", err)
 					return res, nil
 				}
-			}
-
-			st := &states[worker]
-			if st.solvers == nil {
-				st.solvers = make(map[string]Solver)
-			}
-			key := fmt.Sprintf("%s/%d", cell.Solver, cell.Seed)
-			solver, ok := st.solvers[key]
-			if !ok {
-				var err error
-				solver, err = reg.New(cell.Solver, append(append([]SolveOption{}, opts.Options...), WithSeed(cell.Seed))...)
-				if err != nil {
-					res.Err = err.Error()
-					return res, nil
-				}
-				st.solvers[key] = solver
 			}
 
 			start := time.Now()
-			sol, err := solver.Solve(ctx, inst)
+			// The engine applies WithSeed(cell.Scenario.Seed) after the
+			// sweep-wide options — the cell's seed axis value, baked into
+			// the resolved scenario by Cells().
+			r := eng.Solve(ctx, Request{
+				Scenario: &cell.Scenario,
+				Solver:   cell.Solver,
+				Options:  opts.Options,
+			})
 			res.RuntimeMS = float64(time.Since(start)) / float64(time.Millisecond)
-			if err != nil {
+			if r.Err != nil {
 				// Cancellation aborts the sweep; any other failure is a
 				// per-cell outcome worth recording, not a reason to drop
 				// the rest of the grid.
-				if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-					return res, err
+				if ctx.Err() != nil && errors.Is(r.Err, ctx.Err()) {
+					return res, r.Err
 				}
-				res.Err = err.Error()
+				res.Err = r.Err.Error()
 				return res, nil
 			}
+			sol := r.Solution
 			res.Energy = sol.Energy
-			res.LB = group.lb
+			res.LB = lb
 			if opts.SkipLB {
 				res.LB = sol.LowerBound
 			}
