@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-smoke examples scenarios sweep-smoke serve-smoke doccheck
+.PHONY: build test test-race-online vet fmt bench bench-graph bench-smoke bench-graph-smoke examples scenarios sweep-smoke serve-smoke doccheck
 
 build:
 	$(GO) build ./...
@@ -46,13 +46,14 @@ test:
 
 # test-race-online runs the packages with cross-goroutine state (the online
 # schedulers, the concurrent relaxation fan-out they drive, the solver
-# pools, the compiled-graph scratch pools, and the sweep worker pool) under
-# the race detector, plus the root-package conformance corpus, sweep
-# determinism tests and the shared-Engine concurrency tests (cache LRU,
+# pools, the compiled-graph scratch pools, the intra-solve parallel oracle,
+# and the sweep worker pool) under the race detector, plus the root-package
+# conformance corpus, sweep determinism tests, the intra-solve worker
+# determinism suite and the shared-Engine concurrency tests (cache LRU,
 # pooled scratch, batch pool, serve handler); CI runs the same job.
 test-race-online:
 	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
-	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe' .
+	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe|TestIntraSolve' .
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +65,16 @@ fmt:
 bench:
 	$(GO) run ./cmd/benchjson
 
+# bench-graph refreshes BENCH_graph.json from the large-topology scale
+# suite (10k-node SSSP heap vs dial, intra-solve parallel Frank–Wolfe).
+bench-graph:
+	$(GO) run ./cmd/benchjson -suite graph -benchtime 10x
+
 # bench-smoke runs every benchmark once — a compile-and-run sanity pass.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-graph-smoke runs just the large-topology benches once, so the 10k-node
+# fixtures cannot silently rot between bench-graph refreshes.
+bench-graph-smoke:
+	$(GO) test -run '^$$' -bench 'Large' -benchtime 1x .

@@ -11,10 +11,13 @@ package dcnflow_test
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"dcnflow"
 	"dcnflow/internal/experiments"
+	"dcnflow/internal/graph"
 	"dcnflow/internal/mcfsolve"
 	"dcnflow/internal/yds"
 )
@@ -364,6 +367,132 @@ func BenchmarkSimulator(b *testing.B) {
 		if _, err := dcnflow.Simulate(ft.Graph, flows, sp.Schedule, model, dcnflow.SimOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Large-topology benchmarks (BENCH_graph.json, `make bench-graph`) -------
+
+// largeFixtures are the 1k–10k-node fabrics of the scale benchmarks, built
+// once per process and shared across benchmark functions: FatTree k=16
+// (1344 nodes) and k=32 (9472 nodes), a VL2 Clos at datacenter scale (9144
+// nodes) and a 10k-node Jellyfish random graph.
+var largeFixtures = struct {
+	once sync.Once
+	tops map[string]*dcnflow.Topology
+	err  error
+}{}
+
+func largeFixture(b *testing.B, name string) *dcnflow.Topology {
+	b.Helper()
+	largeFixtures.once.Do(func() {
+		largeFixtures.tops = map[string]*dcnflow.Topology{}
+		for _, f := range []struct {
+			name  string
+			build func() (*dcnflow.Topology, error)
+		}{
+			{"fattree16", func() (*dcnflow.Topology, error) { return dcnflow.FatTree(16, 1e12) }},
+			{"fattree32", func() (*dcnflow.Topology, error) { return dcnflow.FatTree(32, 1e12) }},
+			{"vl2-9k", func() (*dcnflow.Topology, error) { return dcnflow.VL2(48, 96, 1000, 8, 1e12) }},
+			{"jellyfish10k", func() (*dcnflow.Topology, error) { return dcnflow.Jellyfish(5000, 8, 1, 1e12, 1) }},
+		} {
+			top, err := f.build()
+			if err != nil {
+				largeFixtures.err = fmt.Errorf("%s: %w", f.name, err)
+				return
+			}
+			largeFixtures.tops[f.name] = top
+		}
+	})
+	if largeFixtures.err != nil {
+		b.Fatal(largeFixtures.err)
+	}
+	top, ok := largeFixtures.tops[name]
+	if !ok {
+		b.Fatalf("unknown large fixture %q", name)
+	}
+	return top
+}
+
+// BenchmarkSSSPLarge measures one full shortest-path tree build on each
+// large fabric, comparing the binary-heap Dijkstra against the dial bucket
+// queue on the unit weights the cold-start oracle sweep uses (where the
+// dial variant is selected automatically).
+func BenchmarkSSSPLarge(b *testing.B) {
+	for _, name := range []string{"fattree16", "fattree32", "vl2-9k", "jellyfish10k"} {
+		b.Run(name, func(b *testing.B) {
+			top := largeFixture(b, name)
+			csr := top.Graph.CSR()
+			scr := graph.NewSSSPScratch(csr)
+			w := scr.SlotWeights()
+			for i := range w {
+				w[i] = 1
+			}
+			src := top.Hosts[0]
+			b.Run("heap", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scr.Tree(src, nil)
+				}
+			})
+			b.Run("dial", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scr.TreeDial(src, nil, 1, 1)
+				}
+			})
+		})
+	}
+}
+
+// largeCommodities spreads 64 commodities with distinct sources across a
+// fixture's hosts, so one oracle sweep has 64 independent source groups to
+// fan out.
+func largeCommodities(top *dcnflow.Topology) []mcfsolve.Commodity {
+	n := len(top.Hosts)
+	comms := make([]mcfsolve.Commodity, 64)
+	for i := range comms {
+		comms[i] = mcfsolve.Commodity{
+			Src:    top.Hosts[(i*(n/64+1))%n],
+			Dst:    top.Hosts[(i*(n/64+1)+n/2)%n],
+			Demand: 1 + float64(i%5),
+		}
+	}
+	return comms
+}
+
+// BenchmarkFrankWolfeLarge measures one single-interval F-MCF solve (64
+// commodities, 8 Frank–Wolfe iterations) on the large fabrics, sequential
+// vs all-core intra-solve parallelism. The acceptance bar for the parallel
+// oracle is workers=N beating workers=1 by >= 2x on fattree16; outputs are
+// byte-identical at every worker count (TestSolveBitIdenticalAcrossOracleWorkers).
+func BenchmarkFrankWolfeLarge(b *testing.B) {
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	for _, name := range []string{"fattree16", "fattree32", "jellyfish10k"} {
+		b.Run(name, func(b *testing.B) {
+			top := largeFixture(b, name)
+			comms := largeCommodities(top)
+			grid := []int{1}
+			if n := runtime.NumCPU(); n > 1 {
+				if n > 2 {
+					grid = append(grid, 2)
+				}
+				grid = append(grid, n)
+			}
+			for _, workers := range grid {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					s, err := mcfsolve.NewSolver(top.Graph, model, mcfsolve.Options{
+						MaxIters: 8, OracleWorkers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := s.Solve(comms); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
 	}
 }
 

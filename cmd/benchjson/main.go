@@ -3,6 +3,7 @@
 // of the solver hot paths is tracked from PR to PR.
 //
 //	go run ./cmd/benchjson                  # run defaults, update BENCH_solver.json
+//	go run ./cmd/benchjson -suite graph     # large-topology suite, BENCH_graph.json
 //	go run ./cmd/benchjson -bench Frank     # restrict the benchmark regexp
 //	go run ./cmd/benchjson -benchtime 10x   # more samples per benchmark
 //	go run ./cmd/benchjson -o out.json      # write elsewhere
@@ -29,7 +30,11 @@ import (
 
 // defaultBench selects the component micro-benchmarks (not the full-figure
 // regenerations, which take minutes at paper scale).
-const defaultBench = "BenchmarkFrankWolfe|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
+const defaultBench = "BenchmarkFrankWolfe$|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
+
+// graphBench selects the large-topology scale suite (10k-node SSSP and
+// intra-solve parallel Frank–Wolfe), tracked in BENCH_graph.json.
+const graphBench = "BenchmarkSSSPLarge|BenchmarkFrankWolfeLarge"
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -63,13 +68,35 @@ func main() {
 }
 
 func run() error {
-	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "", "benchmark regexp passed to go test -bench (default: the selected suite's set)")
 	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
-	out := flag.String("o", "BENCH_solver.json", "output file")
+	out := flag.String("o", "", "output file (default: the selected suite's snapshot)")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	suite := flag.String("suite", "solver", `benchmark suite: "solver" (component micro-benchmarks, BENCH_solver.json) or "graph" (large-topology scale suite, BENCH_graph.json)`)
 	rebaseline := flag.Bool("rebaseline", false, "promote this run to the stored baseline")
 	flag.Parse()
+
+	// Suite selection fills whatever -bench/-o leave unset, so explicit
+	// flags always win.
+	switch *suite {
+	case "solver":
+		if *bench == "" {
+			*bench = defaultBench
+		}
+		if *out == "" {
+			*out = "BENCH_solver.json"
+		}
+	case "graph":
+		if *bench == "" {
+			*bench = graphBench
+		}
+		if *out == "" {
+			*out = "BENCH_graph.json"
+		}
+	default:
+		return fmt.Errorf("unknown suite %q (want solver or graph)", *suite)
+	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", *bench,

@@ -530,6 +530,8 @@ func runScenario(args []string) error {
 		"comma-separated solver names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
 	timeout := fs.Duration("timeout", 0, "cancel the solves after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "stream per-interval / per-epoch progress events to stderr")
+	oracleWorkers := fs.Int("oracle-workers", 0,
+		"intra-solve shortest-path parallelism for the relaxation solvers (0/1 sequential, -1 = all cores); results are identical at any value")
 	// The spec path may come before the flags (`dcnflow run spec.json
 	// -solver x`, the documented form) or after them.
 	path := ""
@@ -574,6 +576,9 @@ func runScenario(args []string) error {
 		defer cancel()
 	}
 	var opts []dcnflow.SolveOption
+	if *oracleWorkers != 0 {
+		opts = append(opts, dcnflow.WithSolverOptions(mcfsolve.Options{OracleWorkers: *oracleWorkers}))
+	}
 	if *progress {
 		opts = append(opts, dcnflow.WithProgress(func(ev dcnflow.ProgressEvent) {
 			switch ev.Stage {

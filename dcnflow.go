@@ -93,6 +93,12 @@
 //     solves (default NumCPU). Intervals are fanned out in fixed-size
 //     blocks, so results never depend on the worker count — parallelism is
 //     purely a wall-clock lever.
+//   - SolverOptions.OracleWorkers fans the per-source shortest-path runs
+//     inside each Frank–Wolfe iteration across a bounded worker pool
+//     (default sequential; negative means all cores). The parallel sweep
+//     merges in ascending-source order, so outputs stay byte-identical at
+//     any worker count — the lever for single-solve latency on large
+//     fabrics, composing multiplicatively with Parallelism.
 //   - SolverOptions.MaxIters and SolverOptions.Tol bound the Frank–Wolfe
 //     iterations (default 60) and the relative duality-gap stop (default
 //     1e-3): Tol trades lower-bound tightness for time, with the residual

@@ -47,7 +47,13 @@ type DCFSROptions struct {
 	// always repeat the randomized rounding process until we obtain a
 	// feasible solution"). Default 20.
 	MaxRoundingAttempts int
-	// Solver configures the per-interval F-MCF relaxation.
+	// Solver configures the per-interval F-MCF relaxation, including the
+	// intra-solve shortest-path parallelism (Solver.OracleWorkers). The
+	// two parallelism knobs compose multiplicatively — Parallelism
+	// concurrent interval solves, each fanning its oracle sweeps over
+	// OracleWorkers goroutines — so on large fabrics with few intervals
+	// prefer OracleWorkers, and on many-interval instances prefer
+	// Parallelism; both are deterministic at any setting.
 	Solver mcfsolve.Options
 	// Parallelism bounds concurrent per-interval solves; default NumCPU.
 	// It never affects results: intervals are partitioned into fixed-size

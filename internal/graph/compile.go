@@ -103,8 +103,11 @@ func (c *Compiled) AcquireScratch() *SSSPScratch {
 }
 
 // ReleaseScratch returns scratch obtained from AcquireScratch to the pool.
+// Any weight sharing set up with ShareWeightsFrom is severed first, so a
+// pooled scratch can never alias a buffer owned by a different borrower.
 func (c *Compiled) ReleaseScratch(s *SSSPScratch) {
 	if s != nil && s.csr == c.csr {
+		s.UnshareWeights()
 		c.scratch.Put(s)
 	}
 }
@@ -130,7 +133,9 @@ func (c *Compiled) ShortestPath(src, dst NodeID) (Path, error) {
 	for i := range w {
 		w[i] = 1
 	}
-	s.Tree(src, []NodeID{dst})
+	// Unit weights quantize trivially (quantum 1, span 1), so the dial
+	// bucket queue applies; it is bit-identical to Tree by contract.
+	s.TreeDial(src, []NodeID{dst}, 1, 1)
 	edges, ok := s.AppendPathTo(dst, nil)
 	if !ok {
 		return Path{}, fmt.Errorf("shortest path %d->%d: %w", src, dst, ErrNoPath)

@@ -109,13 +109,16 @@ const unreachedPred = EdgeID(-1)
 type SSSPScratch struct {
 	csr *CSR
 
-	wSlot []float64 // weights reordered to adjacency-slot order
+	wSlot []float64 // active slot-ordered weights (own, or shared — see ShareWeightsFrom)
+	own   []float64 // the scratch's private weight buffer
 
 	node      []nodeState // per-node label: one bounds check, one cache line
 	epoch     uint32
 	remaining int // wanted destinations not yet finalised
 
 	heap []ssspItem
+
+	buckets [][]ssspItem // circular Dial bucket queue (see TreeDial)
 
 	pathBuf []EdgeID // reversal scratch for AppendPathTo
 }
@@ -142,13 +145,34 @@ type nodeState struct {
 // NewSSSPScratch allocates scratch state sized for c.
 func NewSSSPScratch(c *CSR) *SSSPScratch {
 	n := c.NumNodes()
+	own := make([]float64, len(c.slots))
 	return &SSSPScratch{
 		csr:   c,
-		wSlot: make([]float64, len(c.slots)),
+		wSlot: own,
+		own:   own,
 		node:  make([]nodeState, n),
 		heap:  make([]ssspItem, 0, n),
 	}
 }
+
+// ShareWeightsFrom points this scratch's weight view at src's buffer, so a
+// group of per-worker scratches reads one frozen weight fill instead of
+// each copying it — the zero-copy substrate of the oracle's intra-solve
+// parallel sweep. Both scratches must be built for the same CSR (a
+// mismatch is ignored). While shared, Tree/TreeDial only read the buffer;
+// writing through SlotWeights or SetWeights on either scratch writes the
+// shared storage, so sharers must treat the weights as frozen. Call
+// UnshareWeights (done automatically by Compiled.ReleaseScratch) before
+// the scratch is reused independently.
+func (s *SSSPScratch) ShareWeightsFrom(src *SSSPScratch) {
+	if src != nil && src.csr == s.csr {
+		s.wSlot = src.wSlot
+	}
+}
+
+// UnshareWeights restores the scratch's private weight buffer after a
+// ShareWeightsFrom, severing any aliasing with other scratches.
+func (s *SSSPScratch) UnshareWeights() { s.wSlot = s.own }
 
 // SetWeights loads the edge-indexed weights w (len NumEdges) into the
 // scratch's slot-ordered buffer so the Dijkstra inner loop reads weights

@@ -1,0 +1,167 @@
+package graph
+
+import "math"
+
+// MaxDialSpan bounds the weight span (largest weight divided by the
+// quantum) TreeDial accepts. The bound serves two purposes: it caps the
+// bucket array at MaxDialSpan+1 entries, and it keeps the accumulated
+// floating-point drift of path distances far below half a quantum, which
+// is what makes bucket classification — and therefore the whole dial
+// traversal — provably identical to the binary-heap Dijkstra (see the
+// TreeDial contract). With span <= 256 and up to ~10^6-node graphs, the
+// worst-case drift is below 2^-4 of a bucket.
+const MaxDialSpan = 256
+
+// QuantizeWeights reports whether the slot-ordered weights w are exact
+// positive integer multiples of their minimum — w[i] == k_i * q for
+// integer k_i in [1, maxSpan], with q the smallest weight — and returns
+// the quantum q and the span max(k_i). This is the selection test for
+// TreeDial: the all-ones hop weights of cold-start sweeps and unit-weight
+// shortest paths quantize with span 1, while the Frank–Wolfe oracle's
+// marginal-cost weights (arbitrary floats) are rejected and fall back to
+// the heap. The multiples must hold under exact float64 equality, so a
+// positive answer certifies that bucket arithmetic reproduces heap
+// arithmetic bit for bit.
+func QuantizeWeights(w []float64, maxSpan int) (q float64, span int, ok bool) {
+	if len(w) == 0 {
+		return 0, 0, false
+	}
+	q = math.Inf(1)
+	for _, wt := range w {
+		if wt < q {
+			q = wt
+		}
+	}
+	if q <= 0 || math.IsInf(q, 1) {
+		return 0, 0, false
+	}
+	limit := float64(maxSpan)
+	for _, wt := range w {
+		r := wt / q
+		if r > limit {
+			return 0, 0, false
+		}
+		k := math.Floor(r + 0.5)
+		if k < 1 || k*q != wt {
+			return 0, 0, false
+		}
+		if int(k) > span {
+			span = int(k)
+		}
+	}
+	return q, span, true
+}
+
+// TreeDial is Tree on a circular Dial bucket queue instead of the binary
+// heap: nodes are filed into span+1 distance buckets of width quantum and
+// drained in ascending bucket order, so a full tree build costs O(E +
+// B) with no per-node log factor — the win that makes unit-weight sweeps
+// over 10k-node fabrics cheap. It requires the weight contract certified
+// by QuantizeWeights: every slot weight is exactly k*quantum for an
+// integer k in [1, span]. Callers that cannot certify it must use Tree.
+//
+// The result is bit-identical to Tree on the same weights: distances are
+// accumulated with the same float64 additions, labels use the same
+// epoch-stamped nodeState updates and the same tie-break (a finalised
+// node is never relabelled; among exactly-equal distances the smaller
+// predecessor edge id wins). Identity does not depend on within-bucket
+// ordering: every offer a node receives comes from a strictly smaller
+// bucket (weights are >= quantum), so all offers land before the node
+// finalises, and "minimum distance, then minimum edge id" is
+// order-independent. Offers arriving after finalisation are strictly
+// worse under both traversals and rejected by the same comparisons.
+// TestTreeDialMatchesTree cross-checks the equivalence on randomized
+// weights.
+func (s *SSSPScratch) TreeDial(src NodeID, dsts []NodeID, quantum float64, span int) {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stamps are stale, clear them
+		for i := range s.node {
+			s.node[i] = nodeState{}
+		}
+		s.epoch = 1
+	}
+	ep := s.epoch
+	remaining := 0
+	for _, d := range dsts {
+		if s.node[d].need != ep {
+			s.node[d].need = ep
+			remaining++
+		}
+	}
+	nodes := s.node
+	wSlot := s.wSlot
+	slots, starts := s.csr.slots, s.csr.Start
+
+	nb := span + 1
+	if len(s.buckets) < nb {
+		s.buckets = append(s.buckets, make([][]ssspItem, nb-len(s.buckets))...)
+	}
+	buckets := s.buckets[:nb]
+	// An early-exited previous call may have left entries behind; O(span)
+	// clearing here keeps the traversal itself reset-free.
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+
+	nodes[src] = nodeState{dist: 0, pred: int32(unreachedPred), seen: ep, need: nodes[src].need}
+	buckets[0] = append(buckets[0], ssspItem{node: int32(src), dist: 0})
+	pending := 1
+	inv := 1 / quantum
+	bi := 0 // circular index of the bucket being drained
+	for pending > 0 {
+		for len(buckets[bi]) == 0 {
+			bi++
+			if bi == nb {
+				bi = 0
+			}
+		}
+		bkt := buckets[bi]
+		top := bkt[len(bkt)-1]
+		buckets[bi] = bkt[:len(bkt)-1]
+		pending--
+
+		u, d := top.node, top.dist
+		su := &nodes[u]
+		if su.done == ep || d > su.dist {
+			continue // stale lazy entry: the node improved or finalised already
+		}
+		su.done = ep
+		if su.need == ep {
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		row := slots[starts[u]:starts[u+1]]
+		ws := wSlot[starts[u]:starts[u+1]]
+		for k := range row {
+			v := row[k].to
+			st := &nodes[v]
+			if st.done == ep {
+				// Never rewrite a finalised node's predecessor — same
+				// invariant as Tree.
+				continue
+			}
+			nd := d + ws[k]
+			if st.seen != ep {
+				st.seen = ep
+				st.dist = nd
+				st.pred = row[k].eid
+			} else if nd < st.dist || (nd == st.dist && st.pred != int32(unreachedPred) && row[k].eid < st.pred) {
+				st.dist = nd
+				st.pred = row[k].eid
+			} else {
+				continue
+			}
+			// Bucket index: nd is (up to sub-half-quantum drift) an exact
+			// multiple of the quantum, so nearest-integer rounding
+			// recovers the unit distance; weights >= quantum guarantee the
+			// target bucket is strictly ahead of bi, within the window of
+			// span buckets the circular array covers.
+			idx := int(uint64(nd*inv+0.5) % uint64(nb))
+			buckets[idx] = append(buckets[idx], ssspItem{node: v, dist: nd})
+			pending++
+		}
+	}
+	s.remaining = remaining
+}

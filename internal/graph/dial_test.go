@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeWeights(t *testing.T) {
+	cases := []struct {
+		name    string
+		w       []float64
+		maxSpan int
+		q       float64
+		span    int
+		ok      bool
+	}{
+		{name: "unit", w: []float64{1, 1, 1}, maxSpan: 256, q: 1, span: 1, ok: true},
+		{name: "even multiples", w: []float64{2, 4, 6}, maxSpan: 256, q: 2, span: 3, ok: true},
+		{name: "power-of-two quantum", w: []float64{0.25, 0.5, 1, 2}, maxSpan: 256, q: 0.25, span: 8, ok: true},
+		{name: "tiny quantum", w: []float64{1e-12, 3 * 1e-12}, maxSpan: 256, q: 1e-12, span: 3, ok: true},
+		{name: "non-integer ratio", w: []float64{1, 1.5}, maxSpan: 256, ok: false},
+		{name: "inexact multiple", w: []float64{1, 1 + 1e-9}, maxSpan: 256, ok: false},
+		{name: "span exceeded", w: []float64{1, 300}, maxSpan: 256, ok: false},
+		{name: "span boundary", w: []float64{1, 256}, maxSpan: 256, q: 1, span: 256, ok: true},
+		{name: "zero weight", w: []float64{0, 1}, maxSpan: 256, ok: false},
+		{name: "negative weight", w: []float64{-1, 1}, maxSpan: 256, ok: false},
+		{name: "nan", w: []float64{1, math.NaN()}, maxSpan: 256, ok: false},
+		{name: "inf", w: []float64{1, math.Inf(1)}, maxSpan: 256, ok: false},
+		{name: "empty", w: nil, maxSpan: 256, ok: false},
+		// 0.3 is not exactly representable; 3*0.3 != 0.9 in float64, but
+		// QuantizeWeights only needs k*q to reproduce the stored bits, which
+		// the construction below guarantees.
+		{name: "decimal quantum", w: []float64{0.3, 2 * 0.3, 5 * 0.3}, maxSpan: 256, q: 0.3, span: 5, ok: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, span, ok := QuantizeWeights(tc.w, tc.maxSpan)
+			if ok != tc.ok {
+				t.Fatalf("QuantizeWeights(%v) ok = %v, want %v", tc.w, ok, tc.ok)
+			}
+			if ok && (q != tc.q || span != tc.span) {
+				t.Fatalf("QuantizeWeights(%v) = (%v, %d), want (%v, %d)", tc.w, q, span, tc.q, tc.span)
+			}
+		})
+	}
+}
+
+// TestTreeDialMatchesTree is the dial/heap cross-check: on randomized
+// quantizable weights, TreeDial must reproduce Tree bit for bit — same
+// distance bits, same predecessor edges, same extracted paths — for both
+// full-tree builds and early-exit destination subsets.
+func TestTreeDialMatchesTree(t *testing.T) {
+	g := randomGraph(t, 21, 50, 260)
+	csr := g.CSR()
+	heap := NewSSSPScratch(csr)
+	dial := NewSSSPScratch(csr)
+	rng := rand.New(rand.NewSource(2))
+	quanta := []float64{1, 0.25, 0.3, 1e-12}
+	w := make([]float64, g.NumEdges())
+	var bufH, bufD []EdgeID
+	for trial := 0; trial < 200; trial++ {
+		q := quanta[trial%len(quanta)]
+		maxK := 1 + rng.Intn(MaxDialSpan)
+		for i := range w {
+			w[i] = float64(1+rng.Intn(maxK)) * q
+		}
+		w[0] = q // pin the minimum so the quantum detection recovers q itself
+		qGot, span, ok := QuantizeWeights(w, MaxDialSpan)
+		if !ok {
+			t.Fatalf("trial %d: constructed weights did not quantize (q=%v maxK=%d)", trial, q, maxK)
+		}
+		if err := heap.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := dial.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		src := NodeID(rng.Intn(g.NumNodes()))
+		var dsts []NodeID
+		if trial%3 == 0 {
+			for v := 0; v < g.NumNodes(); v++ { // full tree
+				if NodeID(v) != src {
+					dsts = append(dsts, NodeID(v))
+				}
+			}
+		} else {
+			for i := 0; i < 4; i++ { // early exit
+				if d := NodeID(rng.Intn(g.NumNodes())); d != src {
+					dsts = append(dsts, d)
+				}
+			}
+		}
+		heap.Tree(src, dsts)
+		dial.TreeDial(src, dsts, qGot, span)
+		for _, dst := range dsts {
+			bufH = bufH[:0]
+			bufD = bufD[:0]
+			ph, okH := heap.AppendPathTo(dst, bufH)
+			pd, okD := dial.AppendPathTo(dst, bufD)
+			if okH != okD {
+				t.Fatalf("trial %d %d->%d: heap reachable=%v dial reachable=%v", trial, src, dst, okH, okD)
+			}
+			if !okH {
+				continue
+			}
+			if !edgesEqual(ph, pd) {
+				t.Fatalf("trial %d %d->%d: heap path %v vs dial path %v", trial, src, dst, ph, pd)
+			}
+			dh := heap.node[dst].dist
+			dd := dial.node[dst].dist
+			if math.Float64bits(dh) != math.Float64bits(dd) {
+				t.Fatalf("trial %d %d->%d: heap dist %v vs dial dist %v (bits differ)", trial, src, dst, dh, dd)
+			}
+		}
+	}
+}
+
+// TestTreeDialInterleaved runs Tree and TreeDial alternately on one scratch
+// to confirm the epoch reset and bucket clearing compose: state left by
+// either traversal (including early-exited bucket entries) must not leak
+// into the next.
+func TestTreeDialInterleaved(t *testing.T) {
+	g := randomGraph(t, 22, 30, 150)
+	csr := g.CSR()
+	scr := NewSSSPScratch(csr)
+	ref := NewSSSPScratch(csr)
+	w := make([]float64, g.NumEdges())
+	rng := rand.New(rand.NewSource(3))
+	var bufA, bufB []EdgeID
+	for trial := 0; trial < 60; trial++ {
+		for i := range w {
+			w[i] = float64(1 + rng.Intn(9))
+		}
+		if err := scr.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		src := NodeID(rng.Intn(g.NumNodes()))
+		dst := NodeID(rng.Intn(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		dsts := []NodeID{dst}
+		if trial%2 == 0 {
+			scr.TreeDial(src, dsts, 1, 9)
+		} else {
+			scr.Tree(src, dsts)
+		}
+		ref.Tree(src, dsts)
+		bufA = bufA[:0]
+		bufB = bufB[:0]
+		pa, okA := scr.AppendPathTo(dst, bufA)
+		pb, okB := ref.AppendPathTo(dst, bufB)
+		if okA != okB || !edgesEqual(pa, pb) {
+			t.Fatalf("trial %d %d->%d: interleaved %v (%v) vs reference %v (%v)", trial, src, dst, pa, okA, pb, okB)
+		}
+	}
+}
+
+// TestShareWeights covers the zero-copy weight aliasing used by the
+// parallel oracle: a sharing scratch reads the canonical buffer, and
+// ReleaseScratch severs the alias so pooled scratch never leaks a foreign
+// buffer to its next borrower.
+func TestShareWeights(t *testing.T) {
+	g := randomGraph(t, 23, 12, 40)
+	c := Compile(g)
+	canon := NewSSSPScratch(c.CSR())
+	w := canon.SlotWeights()
+	for i := range w {
+		w[i] = float64(i%3) + 1
+	}
+	s := c.AcquireScratch()
+	s.ShareWeightsFrom(canon)
+	sw := s.SlotWeights()
+	for i := range sw {
+		if sw[i] != w[i] {
+			t.Fatalf("slot %d: shared weight %v, want %v", i, sw[i], w[i])
+		}
+	}
+	// Writes to the canonical buffer are visible through the alias.
+	w[0] = 42
+	if s.SlotWeights()[0] != 42 {
+		t.Fatal("shared scratch did not observe canonical weight update")
+	}
+	c.ReleaseScratch(s)
+	s2 := c.AcquireScratch()
+	defer c.ReleaseScratch(s2)
+	if &s2.SlotWeights()[0] == &w[0] {
+		t.Fatal("pooled scratch still aliases the canonical buffer after release")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"dcnflow/internal/flow"
@@ -83,6 +84,13 @@ type Options struct {
 	// iteration-capped solves can drift relative to the default; leave
 	// false for bit-reproducible results across releases.
 	ClosedFormStep bool
+	// OracleWorkers fans the per-source shortest-path runs of each
+	// Frank–Wolfe iteration across this many goroutines. 0 or 1 keeps the
+	// sweep sequential; a negative value means runtime.GOMAXPROCS(0).
+	// Results are byte-identical at every worker count — the parallel sweep
+	// merges in ascending-source order, so this knob trades only CPU for
+	// single-solve latency on large fabrics.
+	OracleWorkers int
 }
 
 func (o Options) withDefaults(m power.Model) Options {
@@ -321,6 +329,13 @@ func NewSolverCompiled(c *graph.Compiled, m power.Model, opts Options) (*Solver,
 	csr := c.CSR()
 	intern := graph.NewPathInterner()
 	nE := csr.NumEdges()
+	// A negative worker count is resolved here rather than in withDefaults
+	// so Options stays a stable comparable key for Pool.Matches regardless
+	// of the machine's CPU count.
+	workers := opts.OracleWorkers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Solver{
 		g:        c.Graph(),
 		compiled: c,
@@ -329,7 +344,7 @@ func NewSolverCompiled(c *graph.Compiled, m power.Model, opts Options) (*Solver,
 		opts:     opts,
 		cost:     makeCost(m, opts),
 		intern:   intern,
-		orc:      newOracle(csr, intern),
+		orc:      newOracle(c, intern, workers),
 		x:        make([]float64, nE),
 		xNew:     make([]float64, nE),
 	}, nil

@@ -3,6 +3,8 @@ package mcfsolve
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dcnflow/internal/graph"
 )
@@ -10,38 +12,77 @@ import (
 // oracle computes shortest paths for all commodities under changing edge
 // weights, deduplicating work by source node: one Dijkstra run serves every
 // commodity sharing a source, and the run stops early once all of that
-// source's destinations are finalised. All shortest-path state lives in a
+// source's destinations are finalised. All shortest-path state lives in
 // reusable graph.SSSPScratch and all produced paths are interned, so a full
-// oracle sweep performs no allocations once every optimal path has been
-// seen.
+// sequential oracle sweep performs no allocations once every optimal path
+// has been seen.
+//
+// With workers > 1 the per-source runs of one sweep fan out across a
+// bounded worker pool. Edge weights are frozen for the duration of a sweep,
+// so source groups are independent: each worker borrows pooled scratch from
+// the compiled graph, aliases the canonical weight buffer read-only
+// (graph.SSSPScratch.ShareWeightsFrom), and extracts its groups' paths into
+// per-group arenas. Interning and output assembly then happen in a single
+// ascending-source merge pass, so the interner observes the exact call
+// sequence of the sequential sweep and outputs are byte-identical at any
+// worker count — the same order-fixed reduction contract the scenario-sweep
+// pool established (see DESIGN.md "Determinism under parallel reduction").
 type oracle struct {
-	csr    *graph.CSR
-	sssp   *graph.SSSPScratch
-	intern *graph.PathInterner
+	csr      *graph.CSR
+	compiled *graph.Compiled
+	sssp     *graph.SSSPScratch
+	intern   *graph.PathInterner
+	workers  int
 
 	// Commodity grouping, rebuilt by bind() when the commodity set changes.
 	srcs    []graph.NodeID   // distinct sources, ascending
 	members [][]int32        // commodity indices per source (same order)
 	dsts    [][]graph.NodeID // destinations per source (deduplicated)
+	seen    map[[2]graph.NodeID]struct{}
 
-	pathBuf []graph.EdgeID // extraction scratch
+	pathBuf []graph.EdgeID // sequential extraction scratch
+	groups  []groupArena   // parallel extraction arenas, one per source group
 }
 
-func newOracle(csr *graph.CSR, intern *graph.PathInterner) *oracle {
+// groupArena holds one source group's extracted paths between the parallel
+// extraction pass and the ordered merge: member j's path occupies
+// edges[offs[j]:offs[j+1]]. err records the first unroutable member; the
+// members extracted before it (len(offs)-1 of them) are still interned by
+// the merge so the interner state matches the sequential sweep's exactly.
+type groupArena struct {
+	edges []graph.EdgeID
+	offs  []int32
+	err   error
+}
+
+func newOracle(c *graph.Compiled, intern *graph.PathInterner, workers int) *oracle {
+	if workers < 1 {
+		workers = 1
+	}
+	csr := c.CSR()
 	return &oracle{
-		csr:    csr,
-		sssp:   graph.NewSSSPScratch(csr),
-		intern: intern,
+		csr:      csr,
+		compiled: c,
+		sssp:     graph.NewSSSPScratch(csr),
+		intern:   intern,
+		workers:  workers,
 	}
 }
 
 // bind (re)builds the source grouping for one commodity set. It is called
 // once per Solve; the grouping is then reused by every Frank–Wolfe
-// iteration.
+// iteration. Destination dedup uses a (src, dst) seen set, so binding stays
+// linear even on large incast fan-in groups (many commodities converging on
+// one destination).
 func (o *oracle) bind(commodities []Commodity) {
 	o.srcs = o.srcs[:0]
 	o.members = o.members[:0]
 	o.dsts = o.dsts[:0]
+	if o.seen == nil {
+		o.seen = make(map[[2]graph.NodeID]struct{}, len(commodities))
+	} else {
+		clear(o.seen)
+	}
 	bySrc := make(map[graph.NodeID]int, len(commodities))
 	for i, c := range commodities {
 		gi, ok := bySrc[c.Src]
@@ -53,14 +94,9 @@ func (o *oracle) bind(commodities []Commodity) {
 			o.dsts = append(o.dsts, nil)
 		}
 		o.members[gi] = append(o.members[gi], int32(i))
-		found := false
-		for _, d := range o.dsts[gi] {
-			if d == c.Dst {
-				found = true
-				break
-			}
-		}
-		if !found {
+		key := [2]graph.NodeID{c.Src, c.Dst}
+		if _, dup := o.seen[key]; !dup {
+			o.seen[key] = struct{}{}
 			o.dsts[gi] = append(o.dsts[gi], c.Dst)
 		}
 	}
@@ -84,13 +120,36 @@ func (o *oracle) bind(commodities []Commodity) {
 // csr.AdjEdge[i]); callers fill it before shortestPaths.
 func (o *oracle) slotWeights() []float64 { return o.sssp.SlotWeights() }
 
+// tree runs one source group's shortest-path tree on s, via the dial bucket
+// queue when the current weights quantize and the binary heap otherwise.
+// Both produce bit-identical trees (the TreeDial contract), so the choice
+// is invisible to everything downstream.
+func (o *oracle) tree(s *graph.SSSPScratch, gi int, quantum float64, span int, dial bool) {
+	if dial {
+		s.TreeDial(o.srcs[gi], o.dsts[gi], quantum, span)
+	} else {
+		s.Tree(o.srcs[gi], o.dsts[gi])
+	}
+}
+
 // shortestPaths computes one weighted shortest path per bound commodity
 // under the weights previously written into slotWeights and stores its
 // interned handle in out (input order preserved). out must have
 // len(commodities).
 func (o *oracle) shortestPaths(commodities []Commodity, out []graph.PathHandle) error {
+	// Probe the frozen weights once per sweep: hop-count cold starts (all
+	// ones) select the O(E) dial queue, the marginal-cost weights of warm
+	// Frank–Wolfe iterations fall back to the heap.
+	quantum, span, dial := graph.QuantizeWeights(o.sssp.SlotWeights(), graph.MaxDialSpan)
+	if o.workers <= 1 || len(o.srcs) < 2 {
+		return o.shortestPathsSeq(commodities, out, quantum, span, dial)
+	}
+	return o.shortestPathsPar(commodities, out, quantum, span, dial)
+}
+
+func (o *oracle) shortestPathsSeq(commodities []Commodity, out []graph.PathHandle, quantum float64, span int, dial bool) error {
 	for gi, src := range o.srcs {
-		o.sssp.Tree(src, o.dsts[gi])
+		o.tree(o.sssp, gi, quantum, span, dial)
 		for _, ci := range o.members[gi] {
 			dst := commodities[ci].Dst
 			o.pathBuf = o.pathBuf[:0]
@@ -103,4 +162,85 @@ func (o *oracle) shortestPaths(commodities []Commodity, out []graph.PathHandle) 
 		}
 	}
 	return nil
+}
+
+// shortestPathsPar is the worker-pool sweep: extraction fans out over
+// source groups via a shared atomic cursor, then a sequential
+// ascending-source merge interns every path. The merge is where determinism
+// lives — see the type comment.
+func (o *oracle) shortestPathsPar(commodities []Commodity, out []graph.PathHandle, quantum float64, span int, dial bool) error {
+	ng := len(o.srcs)
+	for len(o.groups) < ng {
+		o.groups = append(o.groups, groupArena{})
+	}
+	nw := o.workers
+	if nw > ng {
+		nw = ng
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := o.compiled.AcquireScratch()
+			s.ShareWeightsFrom(o.sssp)
+			defer o.compiled.ReleaseScratch(s)
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= ng {
+					return
+				}
+				o.extractGroup(s, gi, commodities, quantum, span, dial)
+			}
+		}()
+	}
+	// The calling goroutine is worker 0, on the oracle's own scratch.
+	for {
+		gi := int(next.Add(1)) - 1
+		if gi >= ng {
+			break
+		}
+		o.extractGroup(o.sssp, gi, commodities, quantum, span, dial)
+	}
+	wg.Wait()
+
+	// Ordered merge: ascending source groups, members in input order —
+	// exactly the sequential sweep's interner call sequence. A group's
+	// extracted members are interned before its error surfaces, again
+	// matching the sequential sweep (which interns the members preceding
+	// the unroutable one before returning).
+	for gi := 0; gi < ng; gi++ {
+		g := &o.groups[gi]
+		for j := 0; j+1 < len(g.offs); j++ {
+			out[o.members[gi][j]] = o.intern.Intern(g.edges[g.offs[j]:g.offs[j+1]])
+		}
+		if g.err != nil {
+			return g.err
+		}
+	}
+	return nil
+}
+
+// extractGroup runs one source group's tree on s and copies every member's
+// path into the group's arena. Arena slices are reused across sweeps, so a
+// warm parallel sweep's only recurring allocations are the worker
+// goroutines themselves.
+func (o *oracle) extractGroup(s *graph.SSSPScratch, gi int, commodities []Commodity, quantum float64, span int, dial bool) {
+	g := &o.groups[gi]
+	g.edges = g.edges[:0]
+	g.offs = append(g.offs[:0], 0)
+	g.err = nil
+	o.tree(s, gi, quantum, span, dial)
+	src := o.srcs[gi]
+	for _, ci := range o.members[gi] {
+		dst := commodities[ci].Dst
+		buf, ok := s.AppendPathTo(dst, g.edges)
+		if !ok {
+			g.err = fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+			return
+		}
+		g.edges = buf
+		g.offs = append(g.offs, int32(len(g.edges)))
+	}
 }
