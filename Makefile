@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-graph bench-smoke bench-graph-smoke examples scenarios sweep-smoke serve-smoke doccheck
+.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke examples scenarios sweep-smoke serve-smoke doccheck
 
 build:
 	$(GO) build ./...
@@ -50,10 +50,12 @@ test:
 # and the sweep worker pool) under the race detector, plus the root-package
 # conformance corpus, sweep determinism tests, the intra-solve worker
 # determinism suite and the shared-Engine concurrency tests (cache LRU,
-# pooled scratch, batch pool, serve handler); CI runs the same job.
+# pooled scratch, batch pool, serve handler — including the sharded-serve
+# determinism, drain-under-load, token-bucket admission and client-retry
+# suites); CI runs the same job.
 test-race-online:
 	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
-	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe|TestIntraSolve' .
+	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe|TestIntraSolve|TestAdmission|TestClient|TestPriorityRank|TestParseRetryAfter' .
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +72,13 @@ bench:
 bench-graph:
 	$(GO) run ./cmd/benchjson -suite graph -benchtime 10x
 
+# bench-serve refreshes BENCH_serve.json from the serve-API load matrix:
+# {poisson, burst} arrivals x {open, admission-controlled} servers, each a
+# full open-loop run against a real `dcnflow serve` subprocess (benchjson
+# defaults the serve suite to -benchtime 1x — one iteration is one run).
+bench-serve:
+	$(GO) run ./cmd/benchjson -suite serve
+
 # bench-smoke runs every benchmark once — a compile-and-run sanity pass.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -78,3 +87,11 @@ bench-smoke:
 # fixtures cannot silently rot between bench-graph refreshes.
 bench-graph-smoke:
 	$(GO) test -run '^$$' -bench 'Large' -benchtime 1x .
+
+# bench-serve-smoke is the CI-sized serve-bench pass: replay the small
+# smoke spec (2 clients, open admission) against a live serve subprocess
+# with zero tolerated failures, then validate the committed
+# BENCH_serve.json still covers the full arrival x admission matrix.
+bench-serve-smoke:
+	$(GO) run ./cmd/servebench -spec examples/servebench/smoke.json -assert-no-failures
+	$(GO) run ./cmd/servebench -check BENCH_serve.json

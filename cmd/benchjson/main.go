@@ -4,6 +4,7 @@
 //
 //	go run ./cmd/benchjson                  # run defaults, update BENCH_solver.json
 //	go run ./cmd/benchjson -suite graph     # large-topology suite, BENCH_graph.json
+//	go run ./cmd/benchjson -suite serve     # serve-API load matrix, BENCH_serve.json
 //	go run ./cmd/benchjson -bench Frank     # restrict the benchmark regexp
 //	go run ./cmd/benchjson -benchtime 10x   # more samples per benchmark
 //	go run ./cmd/benchjson -o out.json      # write elsewhere
@@ -35,6 +36,11 @@ const defaultBench = "BenchmarkFrankWolfe$|BenchmarkRandomSchedule|BenchmarkDijk
 // graphBench selects the large-topology scale suite (10k-node SSSP and
 // intra-solve parallel Frank–Wolfe), tracked in BENCH_graph.json.
 const graphBench = "BenchmarkSSSPLarge|BenchmarkFrankWolfeLarge"
+
+// serveBench selects the serve-API load matrix (arrival processes x
+// admission configurations against a live serve subprocess), tracked in
+// BENCH_serve.json.
+const serveBench = "BenchmarkServeLoad"
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -76,6 +82,12 @@ func run() error {
 	suite := flag.String("suite", "solver", `benchmark suite: "solver" (component micro-benchmarks, BENCH_solver.json) or "graph" (large-topology scale suite, BENCH_graph.json)`)
 	rebaseline := flag.Bool("rebaseline", false, "promote this run to the stored baseline")
 	flag.Parse()
+	benchtimeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "benchtime" {
+			benchtimeSet = true
+		}
+	})
 
 	// Suite selection fills whatever -bench/-o leave unset, so explicit
 	// flags always win.
@@ -94,8 +106,21 @@ func run() error {
 		if *out == "" {
 			*out = "BENCH_graph.json"
 		}
+	case "serve":
+		if *bench == "" {
+			*bench = serveBench
+		}
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		// One iteration of a serve load benchmark is a complete open-loop
+		// run (server subprocess + full schedule); repeating it 5x per
+		// sub-benchmark buys nothing but wall time.
+		if !benchtimeSet {
+			*benchtime = "1x"
+		}
 	default:
-		return fmt.Errorf("unknown suite %q (want solver or graph)", *suite)
+		return fmt.Errorf("unknown suite %q (want solver, graph or serve)", *suite)
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",

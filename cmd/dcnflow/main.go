@@ -436,6 +436,10 @@ func runServe(args []string) error {
 	cache := fs.Int("cache", 64, "compiled-instance cache entries (distinct topology+model pairs held warm)")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent batch solves; a pure wall-clock lever")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window after SIGINT/SIGTERM")
+	shards := fs.Int("shards", 1, "engine shards; requests route by topology fingerprint, each shard holds its own cache and solver pools")
+	admitRate := fs.Float64("admit-rate", 0, "token-bucket admission rate in requests/s (0 disables admission control)")
+	admitBurst := fs.Float64("admit-burst", 0, "admission bucket capacity (0 selects max(admit-rate, 1))")
+	admitQueue := fs.Int("admit-queue", 64, "bounded accept-queue depth; a full queue answers 429 with Retry-After")
 	solvers := fs.String("solver", "all",
 		"solvers served: comma-separated names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
 	if err := fs.Parse(args); err != nil {
@@ -445,11 +449,16 @@ func runServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	eng := dcnflow.NewEngine(dcnflow.EngineOptions{CacheSize: *cache, Workers: *workers})
-	handler := dcnflow.NewServeHandler(eng, dcnflow.ServeOptions{
+	group := dcnflow.NewEngineGroup(*shards, dcnflow.EngineOptions{CacheSize: *cache, Workers: *workers})
+	handler := dcnflow.NewServeHandlerSharded(group, dcnflow.ServeOptions{
 		MaxTimeout: *timeout,
 		MaxBatch:   *maxBatch,
 		Solvers:    names,
+		Admission: dcnflow.AdmissionOptions{
+			Rate:       *admitRate,
+			Burst:      *admitBurst,
+			QueueDepth: *admitQueue,
+		},
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -461,8 +470,8 @@ func runServe(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Printf("dcnflow serve: listening on http://%s (%d solvers, cache %d)\n",
-		ln.Addr().String(), len(names), *cache)
+	fmt.Printf("dcnflow serve: listening on http://%s (%d solvers, cache %d, shards %d)\n",
+		ln.Addr().String(), len(names), *cache, *shards)
 
 	select {
 	case err := <-errCh:
@@ -470,6 +479,9 @@ func runServe(args []string) error {
 	case <-ctx.Done():
 	}
 	stop()
+	// Bounce the admission queue (503) before shutting the listener down,
+	// so queued requests answer cleanly instead of hanging into Shutdown.
+	handler.Drain()
 	fmt.Println("dcnflow serve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -84,9 +84,29 @@ func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 				return nil, fmt.Errorf("dcnflow %s -h: %v\n%s", sub, err, out)
 			}
 			missing = append(missing, missingNames("dcnflow "+sub+" -h", string(out), names)...)
+			if sub == "serve" {
+				missing = append(missing, missingFlags("dcnflow serve -h", string(out), serveFlags)...)
+			}
 		}
 	}
 	return missing, nil
+}
+
+// serveFlags are the load-management flags `dcnflow serve` must document
+// in its usage text: engine sharding and token-bucket admission control.
+var serveFlags = []string{"-shards", "-admit-rate", "-admit-burst", "-admit-queue"}
+
+// missingFlags reports the flags absent from a command's usage text. The
+// flag package prints definitions with a single dash and leading
+// whitespace, so "  -shards" is matched; prose mentions do not count.
+func missingFlags(source, text string, flags []string) []string {
+	var missing []string
+	for _, f := range flags {
+		if !regexp.MustCompile(`(?m)^\s*` + regexp.QuoteMeta(f) + `\b`).MatchString(text) {
+			missing = append(missing, fmt.Sprintf("%s: flag %s not documented", source, f))
+		}
+	}
+	return missing
 }
 
 // missingNames reports the names absent from text, labelled by source. A

@@ -1,0 +1,179 @@
+// Command servebench replays one load spec against a live `dcnflow serve`
+// process and prints the run's report as JSON, or validates a recorded
+// BENCH_serve.json snapshot.
+//
+//	go run ./cmd/servebench -spec examples/servebench/smoke.json
+//	go run ./cmd/servebench -spec S.json -assert-no-failures   # CI smoke
+//	go run ./cmd/servebench -spec S.json -url http://host:8080 # reuse a server
+//	go run ./cmd/servebench -check BENCH_serve.json            # schema check
+//
+// Without -url, the command builds the dcnflow binary into a temp
+// directory, launches `dcnflow serve` configured from the spec's "serve"
+// section on a free port, drives the schedule and SIGTERMs the server.
+// -assert-no-failures exits non-zero when any request finished with an
+// outcome other than "ok" — the CI smoke contract. -check asserts the
+// snapshot covers the serve-bench matrix: at least two arrival kinds and
+// two admission configurations, each with latency-percentile and
+// throughput metrics.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"dcnflow/internal/servebench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	specPath := flag.String("spec", "", "load spec to replay (examples/servebench/*.json)")
+	url := flag.String("url", "", "run against this base URL instead of launching a serve subprocess")
+	assertNoFailures := flag.Bool("assert-no-failures", false, "exit non-zero when any request did not finish ok")
+	check := flag.String("check", "", "validate a BENCH_serve.json snapshot instead of running a spec")
+	flag.Parse()
+
+	if *check != "" {
+		return checkSnapshot(*check)
+	}
+	if *specPath == "" {
+		return fmt.Errorf("one of -spec or -check is required")
+	}
+
+	spec, err := servebench.LoadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *url
+	if base == "" {
+		dir, err := os.MkdirTemp("", "dcnflow-servebench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bin, err := servebench.BuildBinary(ctx, dir)
+		if err != nil {
+			return err
+		}
+		srv, err := servebench.StartServer(ctx, bin, spec)
+		if err != nil {
+			return err
+		}
+		defer srv.Kill() // no-op after a clean Stop
+		base = srv.BaseURL
+		defer func() {
+			if err := srv.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "servebench:", err)
+			}
+		}()
+	}
+
+	report, err := servebench.Run(ctx, base, spec)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+
+	if *assertNoFailures {
+		failed := report.Total.Requests - report.Total.Outcomes[servebench.OutcomeOK]
+		if failed > 0 {
+			return fmt.Errorf("%d of %d requests failed: %v",
+				failed, report.Total.Requests, report.Total.Outcomes)
+		}
+	}
+	return nil
+}
+
+// benchResult mirrors cmd/benchjson's Result for the fields the schema
+// check needs.
+type benchResult struct {
+	NsPerOp float64            `json:"ns_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchSnapshot mirrors cmd/benchjson's Snapshot.
+type benchSnapshot struct {
+	Current map[string]benchResult `json:"current"`
+}
+
+// checkSnapshot asserts a BENCH_serve.json covers the serve-bench matrix:
+// BenchmarkServeLoad/<arrival>-<admission> entries spanning >= 2 arrival
+// kinds and >= 2 admission configurations, each carrying the latency
+// percentiles and throughput Run reports.
+func checkSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	arrivals := map[string]bool{}
+	admissions := map[string]bool{}
+	n := 0
+	for name, res := range snap.Current {
+		rest, ok := strings.CutPrefix(name, "BenchmarkServeLoad/")
+		if !ok {
+			continue
+		}
+		arrival, admission, ok := strings.Cut(rest, "-")
+		if !ok {
+			return fmt.Errorf("%s: benchmark %q is not named <arrival>-<admission>", path, name)
+		}
+		for _, metric := range []string{"p50_ms", "p95_ms", "p99_ms", "rps", "err_rate"} {
+			if _, ok := res.Metrics[metric]; !ok {
+				return fmt.Errorf("%s: %s is missing metric %q", path, name, metric)
+			}
+		}
+		if res.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s has no wall-time measurement", path, name)
+		}
+		arrivals[arrival] = true
+		admissions[admission] = true
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: no BenchmarkServeLoad entries", path)
+	}
+	if len(arrivals) < 2 {
+		return fmt.Errorf("%s: only %d arrival kind(s) covered (%s), want >= 2",
+			path, len(arrivals), keys(arrivals))
+	}
+	if len(admissions) < 2 {
+		return fmt.Errorf("%s: only %d admission config(s) covered (%s), want >= 2",
+			path, len(admissions), keys(admissions))
+	}
+	fmt.Printf("%s: ok (%d configs, arrivals: %s, admissions: %s)\n",
+		path, n, keys(arrivals), keys(admissions))
+	return nil
+}
+
+func keys(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

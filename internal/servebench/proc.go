@@ -1,0 +1,100 @@
+package servebench
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+)
+
+// listenBanner matches the serve command's startup line.
+var listenBanner = regexp.MustCompile(`listening on (http://\S+)`)
+
+// BuildBinary compiles the dcnflow binary into dir and returns its path.
+// A real binary (not `go run`) so the server receives signals directly.
+func BuildBinary(ctx context.Context, dir string) (string, error) {
+	bin := filepath.Join(dir, "dcnflow")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/dcnflow")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return "", fmt.Errorf("servebench: building dcnflow: %w", err)
+	}
+	return bin, nil
+}
+
+// Server is a live `dcnflow serve` subprocess under test.
+type Server struct {
+	// BaseURL is the resolved listen address ("http://127.0.0.1:port").
+	BaseURL string
+	cmd     *exec.Cmd
+}
+
+// StartServer launches `bin serve` on a free port configured from the
+// spec's ServeSpec (shards and admission flags) and waits for the listen
+// banner. Callers own the process: Stop for a graceful SIGTERM exit, Kill
+// to tear it down.
+func StartServer(ctx context.Context, bin string, spec *Spec) (*Server, error) {
+	args := []string{"serve", "-addr", "127.0.0.1:0"}
+	if spec.Serve.Shards > 0 {
+		args = append(args, "-shards", strconv.Itoa(spec.Serve.Shards))
+	}
+	if spec.Serve.AdmitRate > 0 {
+		args = append(args, "-admit-rate", strconv.FormatFloat(spec.Serve.AdmitRate, 'g', -1, 64))
+		if spec.Serve.AdmitBurst > 0 {
+			args = append(args, "-admit-burst", strconv.FormatFloat(spec.Serve.AdmitBurst, 'g', -1, 64))
+		}
+		if spec.Serve.AdmitQueue > 0 {
+			args = append(args, "-admit-queue", strconv.Itoa(spec.Serve.AdmitQueue))
+		}
+	}
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("servebench: starting serve: %w", err)
+	}
+
+	scanner := bufio.NewScanner(stdout)
+	base := ""
+	for scanner.Scan() {
+		if m := listenBanner.FindStringSubmatch(scanner.Text()); m != nil {
+			base = m[1]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("servebench: serve printed no listen banner (scan error: %v)", scanner.Err())
+	}
+	go func() { // keep draining so the server never blocks on stdout
+		for scanner.Scan() {
+		}
+	}()
+	return &Server{BaseURL: base, cmd: cmd}, nil
+}
+
+// Stop SIGTERMs the server and waits for a clean exit.
+func (s *Server) Stop() error {
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("servebench: signalling serve: %w", err)
+	}
+	if err := s.cmd.Wait(); err != nil {
+		return fmt.Errorf("servebench: serve did not exit cleanly: %w", err)
+	}
+	return nil
+}
+
+// Kill tears the server down without waiting for a graceful exit.
+func (s *Server) Kill() {
+	s.cmd.Process.Kill()
+	s.cmd.Wait()
+}

@@ -1,0 +1,204 @@
+package servebench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dcnflow"
+	"dcnflow/internal/stats"
+)
+
+// Request outcome labels in Report.Outcomes.
+const (
+	OutcomeOK          = "ok"              // 2xx with a solution
+	OutcomeRejected    = "rejected"        // 429 (admission bucket/queue full)
+	OutcomeUnavailable = "unavailable"     // 503 (drain)
+	OutcomeServerError = "server_error"    // any other server-reported failure
+	OutcomeTransport   = "transport_error" // connection/decoding failures
+)
+
+// ClassStats aggregates one priority class (or the whole run).
+type ClassStats struct {
+	// Requests is the number of scheduled requests in the class.
+	Requests int `json:"requests"`
+	// Outcomes counts terminal outcomes by label.
+	Outcomes map[string]int `json:"outcomes"`
+	// P50MS/P95MS/P99MS are open-loop latency percentiles in milliseconds,
+	// measured from each request's scheduled fire time to completion (so
+	// client-pool queueing counts, avoiding coordinated omission). Only
+	// completed (ok) requests contribute.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// MeanMS is the mean ok-latency in milliseconds.
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// Report is one load run's aggregate.
+type Report struct {
+	// Name echoes the spec name.
+	Name string `json:"name"`
+	// WallMS is the wall-clock span from first fire to last completion.
+	WallMS float64 `json:"wall_ms"`
+	// ThroughputRPS is completed-ok requests per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ErrorRate is the fraction of requests that did not complete ok.
+	ErrorRate float64 `json:"error_rate"`
+	// Total aggregates every request; Classes splits by priority class
+	// (canonical names; "" is reported as "normal").
+	Total   ClassStats            `json:"total"`
+	Classes map[string]ClassStats `json:"classes"`
+}
+
+// sample is one finished request.
+type sample struct {
+	class   string
+	outcome string
+	ms      float64
+}
+
+// Run fires the spec's schedule open-loop at baseURL: Clients workers pull
+// timed requests in schedule order, each waiting for its fire instant, and
+// latency is charged from the scheduled instant (not the actual send) so a
+// saturated client pool shows up in the percentiles. Retry is nil-policy:
+// a 429/503 is an outcome to record, not to paper over.
+func Run(ctx context.Context, baseURL string, spec *Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	schedule := BuildSchedule(spec)
+	client := &dcnflow.Client{
+		BaseURL: baseURL,
+		HTTPClient: &http.Client{
+			Timeout: 120 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        spec.Clients,
+				MaxIdleConnsPerHost: spec.Clients,
+			},
+		},
+	}
+
+	jobs := make(chan Call, len(schedule))
+	for _, call := range schedule {
+		jobs <- call
+	}
+	close(jobs)
+
+	samples := make([]sample, 0, len(schedule))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for call := range jobs {
+				fireAt := start.Add(call.At)
+				if d := time.Until(fireAt); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				_, err := client.Solve(ctx, call.Req)
+				s := sample{
+					class:   canonicalClass(call.Req.Priority),
+					outcome: classifyOutcome(err),
+					ms:      float64(time.Since(fireAt)) / float64(time.Millisecond),
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("servebench: run aborted: %w", err)
+	}
+	if len(samples) != len(schedule) {
+		return nil, fmt.Errorf("servebench: %d of %d requests completed", len(samples), len(schedule))
+	}
+	return aggregate(spec.Name, wall, samples), nil
+}
+
+func canonicalClass(class string) string {
+	if class == "" {
+		return dcnflow.PriorityNormal
+	}
+	return class
+}
+
+// classifyOutcome maps a client error to its outcome label.
+func classifyOutcome(err error) string {
+	if err == nil {
+		return OutcomeOK
+	}
+	var se *dcnflow.ServeError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case http.StatusTooManyRequests:
+			return OutcomeRejected
+		case http.StatusServiceUnavailable:
+			return OutcomeUnavailable
+		default:
+			return OutcomeServerError
+		}
+	}
+	// The client reports solver-level failures (422/504 bodies) as plain
+	// "dcnflow: server..." errors; everything else is transport.
+	if strings.HasPrefix(err.Error(), "dcnflow: server") {
+		return OutcomeServerError
+	}
+	return OutcomeTransport
+}
+
+// aggregate folds samples into the report.
+func aggregate(name string, wall time.Duration, samples []sample) *Report {
+	byClass := map[string][]sample{}
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s)
+	}
+	report := &Report{
+		Name:    name,
+		WallMS:  float64(wall) / float64(time.Millisecond),
+		Total:   foldClass(samples),
+		Classes: make(map[string]ClassStats, len(byClass)),
+	}
+	for class, ss := range byClass {
+		report.Classes[class] = foldClass(ss)
+	}
+	ok := report.Total.Outcomes[OutcomeOK]
+	if wall > 0 {
+		report.ThroughputRPS = float64(ok) / wall.Seconds()
+	}
+	if len(samples) > 0 {
+		report.ErrorRate = float64(len(samples)-ok) / float64(len(samples))
+	}
+	return report
+}
+
+func foldClass(ss []sample) ClassStats {
+	cs := ClassStats{Requests: len(ss), Outcomes: map[string]int{}}
+	var okLat []float64
+	for _, s := range ss {
+		cs.Outcomes[s.outcome]++
+		if s.outcome == OutcomeOK {
+			okLat = append(okLat, s.ms)
+		}
+	}
+	if len(okLat) > 0 {
+		cs.P50MS = stats.Percentile(okLat, 0.50)
+		cs.P95MS = stats.Percentile(okLat, 0.95)
+		cs.P99MS = stats.Percentile(okLat, 0.99)
+		cs.MeanMS = stats.Mean(okLat)
+	}
+	return cs
+}

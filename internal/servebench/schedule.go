@@ -1,0 +1,71 @@
+package servebench
+
+import (
+	"math/rand"
+	"time"
+
+	"dcnflow"
+)
+
+// Call is one scheduled request: fire At after the run starts.
+type Call struct {
+	// At is the offset from the run start at which the request fires.
+	At time.Duration
+	// Req is the fully-formed serve request (scenario, solver, priority).
+	Req dcnflow.ServeRequest
+}
+
+// BuildSchedule expands a validated spec into its deterministic request
+// schedule: one seeded PRNG drives arrival times, corpus picks and class
+// assignment, so the same spec always produces byte-for-byte the same
+// schedule regardless of host or clock.
+func BuildSchedule(spec *Spec) []Call {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	classes := spec.classNames()
+	var weightSum float64
+	for _, class := range classes {
+		weightSum += spec.Classes[class]
+	}
+
+	calls := make([]Call, spec.Requests)
+	var now time.Duration
+	for i := range calls {
+		switch spec.Arrival.Kind {
+		case ArrivalPoisson:
+			// Exponential inter-arrival with mean 1/rate.
+			now += time.Duration(rng.ExpFloat64() / spec.Arrival.Rate * float64(time.Second))
+		case ArrivalBurst:
+			// Groups of Burst requests arrive together; the gaps between
+			// groups keep the same mean rate as the Poisson process.
+			if i > 0 && i%spec.Arrival.Burst == 0 {
+				now += time.Duration(float64(spec.Arrival.Burst) / spec.Arrival.Rate * float64(time.Second))
+			}
+		}
+
+		class := ""
+		if len(classes) > 0 {
+			pick := rng.Float64() * weightSum
+			for _, c := range classes {
+				pick -= spec.Classes[c]
+				if pick < 0 {
+					class = c
+					break
+				}
+			}
+			if class == "" {
+				class = classes[len(classes)-1]
+			}
+		}
+
+		calls[i] = Call{
+			At: now,
+			Req: dcnflow.ServeRequest{
+				Scenario:  spec.Scenarios[rng.Intn(len(spec.Scenarios))],
+				Solver:    spec.Solvers[rng.Intn(len(spec.Solvers))],
+				TimeoutMS: spec.TimeoutMS,
+				Priority:  class,
+			},
+		}
+	}
+	return calls
+}

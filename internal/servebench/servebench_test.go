@@ -1,0 +1,312 @@
+package servebench
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dcnflow"
+)
+
+func benchScenario(name string, seed int64) dcnflow.ScenarioSpec {
+	return dcnflow.ScenarioSpec{
+		Name:     name,
+		Topology: dcnflow.TopologySpec{Kind: "line", K: 3, Capacity: 100},
+		Workload: dcnflow.WorkloadSpec{Kind: "shuffle", Hosts: 2, Release: 0, Deadline: 6, Size: 2},
+		Model:    dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 100},
+		Seed:     seed,
+	}
+}
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:      "unit",
+		Scenarios: []dcnflow.ScenarioSpec{benchScenario("a", 1), benchScenario("b", 2)},
+		Solvers:   []string{dcnflow.SolverSPMCF, dcnflow.SolverGreedyOnline},
+		Arrival:   ArrivalSpec{Kind: ArrivalPoisson, Rate: 500},
+		Requests:  20,
+		Clients:   4,
+		Classes:   map[string]float64{"high": 1, "normal": 8, "low": 1},
+		Seed:      7,
+	}
+}
+
+// validClass reports whether class is empty or a registered priority.
+func validClass(class string) bool {
+	if class == "" {
+		return true
+	}
+	for _, known := range dcnflow.PriorityClasses {
+		if class == known {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSpecValidateTable(t *testing.T) {
+	mutate := func(f func(*Spec)) *Spec {
+		s := validSpec()
+		f(s)
+		return s
+	}
+	cases := map[string]struct {
+		spec *Spec
+		ok   bool
+	}{
+		"valid":            {validSpec(), true},
+		"burst valid":      {mutate(func(s *Spec) { s.Arrival = ArrivalSpec{Kind: ArrivalBurst, Rate: 100, Burst: 5} }), true},
+		"no classes":       {mutate(func(s *Spec) { s.Classes = nil }), true},
+		"no name":          {mutate(func(s *Spec) { s.Name = "" }), false},
+		"no scenarios":     {mutate(func(s *Spec) { s.Scenarios = nil }), false},
+		"bad scenario":     {mutate(func(s *Spec) { s.Scenarios[0].Topology.Kind = "torus" }), false},
+		"no solvers":       {mutate(func(s *Spec) { s.Solvers = nil }), false},
+		"unknown solver":   {mutate(func(s *Spec) { s.Solvers = []string{"nope"} }), false},
+		"bad arrival kind": {mutate(func(s *Spec) { s.Arrival.Kind = "steady" }), false},
+		"zero rate":        {mutate(func(s *Spec) { s.Arrival.Rate = 0 }), false},
+		"burst no size":    {mutate(func(s *Spec) { s.Arrival = ArrivalSpec{Kind: ArrivalBurst, Rate: 100} }), false},
+		"zero requests":    {mutate(func(s *Spec) { s.Requests = 0 }), false},
+		"zero clients":     {mutate(func(s *Spec) { s.Clients = 0 }), false},
+		"unknown class":    {mutate(func(s *Spec) { s.Classes = map[string]float64{"urgent": 1} }), false},
+		"negative weight":  {mutate(func(s *Spec) { s.Classes = map[string]float64{"high": -1} }), false},
+		"zero weights":     {mutate(func(s *Spec) { s.Classes = map[string]float64{"high": 0} }), false},
+		"negative timeout": {mutate(func(s *Spec) { s.TimeoutMS = -1 }), false},
+		"negative shards":  {mutate(func(s *Spec) { s.Serve.Shards = -1 }), false},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("validation passed, want error")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsStrict(t *testing.T) {
+	for name, input := range map[string]string{
+		"garbage":       "{nope",
+		"unknown field": `{"name": "x", "bogus": 1}`,
+		"trailing":      `{"name": "x"} {}`,
+		"empty":         ``,
+	} {
+		if _, err := Load(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Load accepted %q", name, input)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec := validSpec()
+	var buf bytes.Buffer
+	if err := Save(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	back, err := Load(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Fatalf("round-trip changed the spec:\n%+v\nvs\n%+v", back, spec)
+	}
+	var again bytes.Buffer
+	if err := Save(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != first {
+		t.Fatal("canonical encoding is not a fixed point")
+	}
+}
+
+func TestScheduleDeterministicAndShaped(t *testing.T) {
+	spec := validSpec()
+	spec.Requests = 400
+	a := BuildSchedule(spec)
+	b := BuildSchedule(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different schedules")
+	}
+	if len(a) != spec.Requests {
+		t.Fatalf("schedule has %d calls, want %d", len(a), spec.Requests)
+	}
+
+	// Fire times are non-decreasing, and the mean inter-arrival approaches
+	// 1/rate (2ms at 500 rps; 400 samples keep the tolerance loose).
+	classes := map[string]int{}
+	for i, call := range a {
+		if i > 0 && call.At < a[i-1].At {
+			t.Fatalf("call %d fires before its predecessor", i)
+		}
+		if !validClass(call.Req.Priority) {
+			t.Fatalf("call %d carries invalid priority %q", i, call.Req.Priority)
+		}
+		classes[call.Req.Priority]++
+	}
+	mean := a[len(a)-1].At.Seconds() / float64(len(a)-1)
+	if mean < 0.0005 || mean > 0.008 {
+		t.Fatalf("poisson mean inter-arrival %v s, want ~0.002", mean)
+	}
+	// The 1/8/1 class weights show up in the mix.
+	if classes["normal"] <= classes["high"] || classes["normal"] <= classes["low"] {
+		t.Fatalf("class mix ignores weights: %v", classes)
+	}
+
+	// A different seed moves the schedule.
+	spec.Seed++
+	if reflect.DeepEqual(a, BuildSchedule(spec)) {
+		t.Fatal("different seed produced an identical schedule")
+	}
+}
+
+func TestScheduleBurstGroups(t *testing.T) {
+	spec := validSpec()
+	spec.Arrival = ArrivalSpec{Kind: ArrivalBurst, Rate: 100, Burst: 5}
+	spec.Requests = 20
+	calls := BuildSchedule(spec)
+	for i, call := range calls {
+		group := i / 5
+		want := time.Duration(float64(group) * 5 / 100 * float64(time.Second))
+		if call.At != want {
+			t.Fatalf("call %d fires at %v, want %v (group %d)", i, call.At, want, group)
+		}
+	}
+}
+
+func TestRunAgainstHandler(t *testing.T) {
+	group := dcnflow.NewEngineGroup(2, dcnflow.EngineOptions{})
+	handler := dcnflow.NewServeHandlerSharded(group, dcnflow.ServeOptions{})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	spec := validSpec()
+	spec.Requests = 30
+	report, err := Run(context.Background(), srv.URL, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total.Requests != 30 {
+		t.Fatalf("report covers %d requests, want 30", report.Total.Requests)
+	}
+	if got := report.Total.Outcomes[OutcomeOK]; got != 30 {
+		t.Fatalf("%d ok of 30 against an open server: %+v", got, report.Total.Outcomes)
+	}
+	if report.ErrorRate != 0 {
+		t.Fatalf("error rate %v on an open server", report.ErrorRate)
+	}
+	if report.ThroughputRPS <= 0 || report.WallMS <= 0 {
+		t.Fatalf("degenerate throughput/wall: %+v", report)
+	}
+	if report.Total.P50MS <= 0 || report.Total.P99MS < report.Total.P50MS {
+		t.Fatalf("degenerate percentiles: %+v", report.Total)
+	}
+	classTotal := 0
+	for class, cs := range report.Classes {
+		if !validClass(class) {
+			t.Fatalf("report names unknown class %q", class)
+		}
+		classTotal += cs.Requests
+	}
+	if classTotal != 30 {
+		t.Fatalf("class split covers %d requests, want 30", classTotal)
+	}
+}
+
+func TestRunRecordsRejections(t *testing.T) {
+	group := dcnflow.NewEngineGroup(1, dcnflow.EngineOptions{})
+	handler := dcnflow.NewServeHandlerSharded(group, dcnflow.ServeOptions{
+		// One token, no refill to speak of, no queue to hide in: everything
+		// past the first request is a 429.
+		Admission: dcnflow.AdmissionOptions{Rate: 0.0001, Burst: 1, QueueDepth: 1, MaxWait: time.Millisecond},
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	defer handler.Drain()
+
+	spec := validSpec()
+	spec.Requests = 10
+	spec.Classes = nil
+	report, err := Run(context.Background(), srv.URL, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total.Outcomes[OutcomeRejected] == 0 {
+		t.Fatalf("no rejections under a starved admission bucket: %+v", report.Total.Outcomes)
+	}
+	if report.ErrorRate <= 0 {
+		t.Fatalf("error rate %v with rejections present", report.ErrorRate)
+	}
+}
+
+// FuzzServeBenchSpec: Load is total — arbitrary input either yields a spec
+// that validates and round-trips through the canonical encoding, or an
+// error; never a panic, never a silently invalid spec. Mirrors
+// FuzzLoadScenario and FuzzServeRequest.
+func FuzzServeBenchSpec(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := Save(&seedBuf, validSpec()); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		seedBuf.String(),
+		`{}`,
+		`{"name": "x"}`,
+		`{"name": "x", "arrival": {"kind": "poisson", "rate": 10}}`,
+		`{"bogus": true}`,
+		`[1]`,
+		"null",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Load accepted a spec that fails Validate: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, spec); err != nil {
+			t.Fatalf("accepted spec does not save: %v", err)
+		}
+		first := buf.String()
+		back, err := Load(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("canonical encoding does not load back: %v", err)
+		}
+		var again bytes.Buffer
+		if err := Save(&again, back); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+		// The schedule generator must be total on accepted specs (bounded
+		// for fuzz throughput).
+		if spec.Requests <= 1000 {
+			calls := BuildSchedule(spec)
+			if len(calls) != spec.Requests {
+				t.Fatalf("schedule has %d calls for %d requests", len(calls), spec.Requests)
+			}
+			for i := 1; i < len(calls); i++ {
+				if calls[i].At < calls[i-1].At {
+					t.Fatalf("call %d fires before its predecessor", i)
+				}
+				if math.Signbit(float64(calls[i].At)) {
+					t.Fatalf("call %d fires at negative offset", i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package servebench is the open-loop load harness for the serve API: a
+// deterministic request schedule (Poisson or burst arrivals over a
+// scenario corpus, derived from one seed) fired by a pool of concurrent
+// clients at a real `dcnflow serve` process, with per-class latency
+// percentiles, throughput and error rates collected into a Report.
+//
+// The pieces compose: Load reads a Spec (strictly, mirroring the scenario
+// loader), BuildSchedule expands it into timed requests, StartServer
+// launches the server subprocess, and Run drives the schedule and
+// aggregates. `make bench-serve` snapshots the results into
+// BENCH_serve.json; `make bench-serve-smoke` is the CI-sized variant.
+package servebench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"dcnflow"
+)
+
+// Arrival kinds a Spec may name.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalBurst   = "burst"
+)
+
+// ErrBadSpec tags every spec validation failure.
+var ErrBadSpec = errors.New("servebench: invalid spec")
+
+// ArrivalSpec describes the open-loop arrival process.
+type ArrivalSpec struct {
+	// Kind is "poisson" (exponential inter-arrivals) or "burst" (groups of
+	// Burst requests arriving together at the mean rate).
+	Kind string `json:"kind"`
+	// Rate is the mean arrival rate in requests per second.
+	Rate float64 `json:"rate"`
+	// Burst is the group size for kind "burst" (ignored for poisson).
+	Burst int `json:"burst,omitempty"`
+}
+
+// ServeSpec configures the server under test.
+type ServeSpec struct {
+	// Shards is the engine shard count (`dcnflow serve -shards`); 0 = 1.
+	Shards int `json:"shards,omitempty"`
+	// AdmitRate enables token-bucket admission at this rate (requests/s);
+	// 0 runs the server open (no admission control).
+	AdmitRate float64 `json:"admit_rate,omitempty"`
+	// AdmitBurst is the bucket capacity; 0 selects the server default.
+	AdmitBurst float64 `json:"admit_burst,omitempty"`
+	// AdmitQueue bounds the accept queue; 0 selects the server default.
+	AdmitQueue int `json:"admit_queue,omitempty"`
+}
+
+// Spec is one load-test definition: the corpus, the arrival process, the
+// client pool and the server configuration, all derived deterministically
+// from Seed.
+type Spec struct {
+	// Name labels the run in reports.
+	Name string `json:"name"`
+	// Scenarios is the corpus; each request draws one uniformly.
+	Scenarios []dcnflow.ScenarioSpec `json:"scenarios"`
+	// Solvers lists the solver names requests draw from uniformly.
+	Solvers []string `json:"solvers"`
+	// Arrival is the open-loop arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Requests is the total request count of the schedule.
+	Requests int `json:"requests"`
+	// Clients is the concurrent client pool size.
+	Clients int `json:"clients"`
+	// Classes weights the priority classes requests are tagged with
+	// (e.g. {"high": 1, "normal": 8, "low": 1}); empty means all normal.
+	Classes map[string]float64 `json:"classes,omitempty"`
+	// Seed makes the schedule reproducible: same spec, same schedule.
+	Seed int64 `json:"seed"`
+	// TimeoutMS is the per-request timeout_ms sent to the server (0 =
+	// server ceiling only).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Serve configures the server under test.
+	Serve ServeSpec `json:"serve"`
+}
+
+// Validate checks the spec. Errors wrap ErrBadSpec and name the field.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("%w: nil spec", ErrBadSpec)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("%w: name is required", ErrBadSpec)
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("%w: at least one scenario is required", ErrBadSpec)
+	}
+	for i := range s.Scenarios {
+		if err := s.Scenarios[i].Validate(); err != nil {
+			return fmt.Errorf("%w: scenario %d: %v", ErrBadSpec, i, err)
+		}
+	}
+	if len(s.Solvers) == 0 {
+		return fmt.Errorf("%w: at least one solver is required", ErrBadSpec)
+	}
+	registered := make(map[string]bool)
+	for _, name := range dcnflow.SolverNames() {
+		registered[name] = true
+	}
+	for _, name := range s.Solvers {
+		if !registered[name] {
+			return fmt.Errorf("%w: unknown solver %q", ErrBadSpec, name)
+		}
+	}
+	switch s.Arrival.Kind {
+	case ArrivalPoisson:
+	case ArrivalBurst:
+		if s.Arrival.Burst < 1 {
+			return fmt.Errorf("%w: burst arrivals need burst >= 1", ErrBadSpec)
+		}
+	default:
+		return fmt.Errorf("%w: unknown arrival kind %q (want %s or %s)",
+			ErrBadSpec, s.Arrival.Kind, ArrivalPoisson, ArrivalBurst)
+	}
+	if s.Arrival.Rate <= 0 {
+		return fmt.Errorf("%w: arrival rate must be positive", ErrBadSpec)
+	}
+	if s.Requests < 1 {
+		return fmt.Errorf("%w: requests must be >= 1", ErrBadSpec)
+	}
+	if s.Clients < 1 {
+		return fmt.Errorf("%w: clients must be >= 1", ErrBadSpec)
+	}
+	total := 0.0
+	for class, weight := range s.Classes {
+		ok := false
+		for _, known := range dcnflow.PriorityClasses {
+			if class == known {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: unknown priority class %q", ErrBadSpec, class)
+		}
+		if weight < 0 {
+			return fmt.Errorf("%w: class %q has negative weight", ErrBadSpec, class)
+		}
+		total += weight
+	}
+	if len(s.Classes) > 0 && total <= 0 {
+		return fmt.Errorf("%w: class weights sum to zero", ErrBadSpec)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("%w: timeout_ms must be >= 0", ErrBadSpec)
+	}
+	if s.Serve.Shards < 0 || s.Serve.AdmitRate < 0 || s.Serve.AdmitBurst < 0 || s.Serve.AdmitQueue < 0 {
+		return fmt.Errorf("%w: serve parameters must be >= 0", ErrBadSpec)
+	}
+	return nil
+}
+
+// Load strictly decodes one spec, mirroring dcnflow.LoadScenario: unknown
+// fields, trailing garbage and invalid parameter combinations are
+// rejected, and an accepted spec always validates (FuzzServeBenchSpec).
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after the spec object", ErrBadSpec)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// LoadFile loads a spec from disk.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("servebench: %w", err)
+	}
+	defer f.Close()
+	spec, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Save writes the canonical encoding (2-space indent, trailing newline) —
+// a fixed point: Save(Load(Save(x))) == Save(x).
+func Save(w io.Writer, spec *Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// classNames returns the spec's weighted classes in deterministic order
+// (sorted), or nil when every request is normal.
+func (s *Spec) classNames() []string {
+	if len(s.Classes) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.Classes))
+	for class := range s.Classes {
+		names = append(names, class)
+	}
+	sort.Strings(names)
+	return names
+}

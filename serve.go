@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +26,11 @@ type ServeRequest struct {
 	// the server clamps it to its own per-request ceiling. Zero/absent
 	// means the server ceiling alone applies.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority is the admission class ("high", "normal" or "low"; empty =
+	// "normal"). Under token-bucket admission pressure, queued requests
+	// are admitted in priority order (arrival order within a class);
+	// without admission control the field is echoed but inert.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Validate checks the request against the package-level registry: the
@@ -47,6 +54,10 @@ func (r *ServeRequest) Validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadRequest, r.TimeoutMS)
+	}
+	if _, ok := priorityRank(r.Priority); !ok {
+		return fmt.Errorf("%w: unknown priority %q (want one of %s, or empty)",
+			ErrBadRequest, r.Priority, strings.Join(PriorityClasses, ", "))
 	}
 	return nil
 }
@@ -96,8 +107,11 @@ type ServeHealth struct {
 	Status string `json:"status"`
 	// Solvers lists the solver names the server accepts.
 	Solvers []string `json:"solvers"`
-	// Cache snapshots the engine's compiled-instance cache counters.
+	// Cache snapshots the engine's compiled-instance cache counters
+	// (summed across shards on a sharded server).
 	Cache EngineStats `json:"cache"`
+	// Shards is the engine shard count serving this endpoint.
+	Shards int `json:"shards,omitempty"`
 }
 
 // DecodeServeRequest strictly decodes one JSON solve request, mirroring
@@ -138,7 +152,7 @@ func EncodeServeRequest(w io.Writer, req *ServeRequest) error {
 
 // ServeOptions configures NewServeHandler. The zero value caps every
 // request at 60 seconds and batches at 64 requests, accepting every
-// registered solver.
+// registered solver with admission control off.
 type ServeOptions struct {
 	// MaxTimeout is the per-request solve ceiling; requests may ask for
 	// less via timeout_ms but never more. <= 0 selects 60s.
@@ -150,30 +164,79 @@ type ServeOptions struct {
 	// use (`dcnflow serve -solver` sets it); empty accepts every solver
 	// registered in the package registry.
 	Solvers []string
+	// Admission configures token-bucket admission control; the zero value
+	// admits everything immediately (see AdmissionOptions).
+	Admission AdmissionOptions
 }
 
-// serveHandler is the HTTP face of an Engine.
+// serveHandler is the HTTP face of an EngineGroup.
 type serveHandler struct {
-	eng     *Engine
-	opts    ServeOptions
-	allowed map[string]bool
+	group    *EngineGroup
+	opts     ServeOptions
+	allowed  map[string]bool
+	adm      *admitter // nil when admission control is off
+	metrics  *serveMetrics
+	draining atomic.Bool
 }
 
-// NewServeHandler wraps a warm Engine as the serve API's http.Handler:
+// ServeHandler is the serve API's http.Handler (returned by
+// NewServeHandler and NewServeHandlerSharded) plus the lifecycle hook an
+// embedding server needs: Drain flips the handler into shutdown mode so
+// queued admissions fail fast with 503 while admitted in-flight requests
+// run to completion under http.Server.Shutdown.
+type ServeHandler struct {
+	mux *http.ServeMux
+	h   *serveHandler
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *ServeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain puts the handler into drain mode: every request queued for
+// admission is released immediately with a clean 503, and every solve
+// request arriving afterwards answers 503 without queueing — while
+// already-admitted requests keep running, so a surrounding
+// http.Server.Shutdown drains them gracefully. GET /healthz and
+// GET /metrics keep answering. Idempotent and safe for concurrent use.
+func (s *ServeHandler) Drain() {
+	s.h.draining.Store(true)
+	if s.h.adm != nil {
+		s.h.adm.drain()
+	}
+}
+
+// NewServeHandler wraps a warm Engine as the serve API's handler:
 //
 //	POST /v1/solve  — one ServeRequest in, one ServeResponse out
 //	POST /v1/batch  — ServeBatchRequest in, ServeBatchResponse out
 //	                  (per-item failures in the items, never a 5xx)
 //	GET  /healthz   — ServeHealth (cache counters, accepted solvers)
+//	GET  /metrics   — Prometheus text exposition (request counts by
+//	                  outcome, latency histogram, cache and shard
+//	                  counters, admission gauges)
 //
 // Malformed bodies answer 400, solver failures 422, per-request timeouts
-// 504; all error bodies are {"error": "..."} JSON. The handler is safe for
+// 504, admission rejections 429 (with Retry-After) and drains 503; all
+// error bodies are {"error": "..."} JSON. The handler is safe for
 // concurrent use — it is the `dcnflow serve` subcommand's core, exposed so
 // embedders can mount the API on their own mux and tests can drive it via
-// httptest.
-func NewServeHandler(eng *Engine, opts ServeOptions) http.Handler {
+// httptest. For a sharded backend use NewServeHandlerSharded.
+func NewServeHandler(eng *Engine, opts ServeOptions) *ServeHandler {
 	if eng == nil {
 		eng = NewEngine(EngineOptions{})
+	}
+	return NewServeHandlerSharded(&EngineGroup{engines: []*Engine{eng}}, opts)
+}
+
+// NewServeHandlerSharded is NewServeHandler over a sharded EngineGroup:
+// requests route to engine shards by topology fingerprint, so distinct
+// topology populations stop evicting each other's compiled-instance
+// caches. Solve results are bit-identical at every shard count.
+func NewServeHandlerSharded(group *EngineGroup, opts ServeOptions) *ServeHandler {
+	if group == nil || len(group.engines) == 0 {
+		group = NewEngineGroup(1, EngineOptions{})
 	}
 	if opts.MaxTimeout <= 0 {
 		opts.MaxTimeout = 60 * time.Second
@@ -181,7 +244,10 @@ func NewServeHandler(eng *Engine, opts ServeOptions) http.Handler {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 64
 	}
-	h := &serveHandler{eng: eng, opts: opts}
+	h := &serveHandler{group: group, opts: opts, metrics: newServeMetrics()}
+	if opts.Admission.enabled() {
+		h.adm = newAdmitter(opts.Admission)
+	}
 	if len(opts.Solvers) > 0 {
 		h.allowed = make(map[string]bool, len(opts.Solvers))
 		for _, name := range opts.Solvers {
@@ -192,7 +258,8 @@ func NewServeHandler(eng *Engine, opts ServeOptions) http.Handler {
 	mux.HandleFunc("POST /v1/solve", h.solve)
 	mux.HandleFunc("POST /v1/batch", h.batch)
 	mux.HandleFunc("GET /healthz", h.health)
-	return mux
+	mux.HandleFunc("GET /metrics", h.metricsPage)
+	return &ServeHandler{mux: mux, h: h}
 }
 
 // writeJSON writes v with the given status; encoding failures are ignored
@@ -209,6 +276,38 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, struct {
 		Error string `json:"error"`
 	}{err.Error()})
+}
+
+// writeAdmitError answers a rejected admission (429/503), attaching the
+// Retry-After hint when the admitter computed one.
+func writeAdmitError(w http.ResponseWriter, aerr *admitError) {
+	if aerr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
+	} else if aerr.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, aerr.status, errors.New(aerr.msg))
+}
+
+// admitOutcomeLabel maps an admission rejection to its metrics outcome.
+func admitOutcomeLabel(aerr *admitError) string {
+	if aerr.status == http.StatusTooManyRequests {
+		return outcomeRejected
+	}
+	return outcomeDrained
+}
+
+// admit gates one solve-carrying request: drain mode answers an immediate
+// 503, then — when admission control is on — the request runs the token
+// bucket with its priority class. A nil return means the caller may solve.
+func (h *serveHandler) admit(r *http.Request, class string) *admitError {
+	if h.draining.Load() {
+		return &admitError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if h.adm == nil {
+		return nil
+	}
+	return h.adm.admit(r.Context().Done(), class)
 }
 
 // timeout resolves one request's solve bound against the server ceiling.
@@ -241,7 +340,7 @@ func (h *serveHandler) run(ctx context.Context, req *ServeRequest) (ServeRespons
 		return resp, err
 	}
 	spec := req.Scenario
-	r := h.eng.Solve(ctx, Request{
+	r := h.group.Solve(ctx, Request{
 		Scenario: &spec,
 		Solver:   req.Solver,
 		Timeout:  h.timeout(req),
@@ -259,41 +358,75 @@ func (h *serveHandler) run(ctx context.Context, req *ServeRequest) (ServeRespons
 }
 
 func (h *serveHandler) solve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	req, err := DecodeServeRequest(r.Body)
 	if err != nil {
+		h.metrics.record("solve", outcomeBadRequest, "", time.Since(start).Seconds())
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if aerr := h.admit(r, req.Priority); aerr != nil {
+		h.metrics.record("solve", admitOutcomeLabel(aerr), req.Priority, time.Since(start).Seconds())
+		writeAdmitError(w, aerr)
 		return
 	}
 	resp, solveErr := h.run(r.Context(), req)
 	status := http.StatusOK
+	outcome := outcomeOK
 	if solveErr != nil {
 		status = http.StatusUnprocessableEntity
+		outcome = outcomeSolverError
 		if errors.Is(solveErr, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
+			outcome = outcomeTimeout
 		}
 	}
+	h.metrics.record("solve", outcome, req.Priority, time.Since(start).Seconds())
 	writeJSON(w, status, resp)
 }
 
+// batchClass resolves the admission class of a batch: the most urgent
+// priority among its items (a batch is one admission unit; its width is
+// bounded by MaxBatch).
+func batchClass(reqs []ServeRequest) string {
+	best, class := len(PriorityClasses), ""
+	for i := range reqs {
+		if rank, ok := priorityRank(reqs[i].Priority); ok && rank < best {
+			best, class = rank, reqs[i].Priority
+		}
+	}
+	return class
+}
+
 func (h *serveHandler) batch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	badBatch := func(err error) {
+		h.metrics.record("batch", outcomeBadRequest, "", time.Since(start).Seconds())
+		writeError(w, http.StatusBadRequest, err)
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var breq ServeBatchRequest
 	if err := dec.Decode(&breq); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		badBatch(fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	if dec.More() {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: trailing data after the batch object", ErrBadRequest))
+		badBatch(fmt.Errorf("%w: trailing data after the batch object", ErrBadRequest))
 		return
 	}
 	if len(breq.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: empty batch", ErrBadRequest))
+		badBatch(fmt.Errorf("%w: empty batch", ErrBadRequest))
 		return
 	}
 	if len(breq.Requests) > h.opts.MaxBatch {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("%w: batch of %d exceeds the %d-request limit", ErrBadRequest, len(breq.Requests), h.opts.MaxBatch))
+		badBatch(fmt.Errorf("%w: batch of %d exceeds the %d-request limit", ErrBadRequest, len(breq.Requests), h.opts.MaxBatch))
+		return
+	}
+	class := batchClass(breq.Requests)
+	if aerr := h.admit(r, class); aerr != nil {
+		h.metrics.record("batch", admitOutcomeLabel(aerr), class, time.Since(start).Seconds())
+		writeAdmitError(w, aerr)
 		return
 	}
 	results := make([]ServeResponse, len(breq.Requests))
@@ -319,7 +452,7 @@ func (h *serveHandler) batch(w http.ResponseWriter, r *http.Request) {
 		})
 		slots = append(slots, i)
 	}
-	for j, res := range h.eng.SolveBatch(r.Context(), reqs) {
+	for j, res := range h.group.SolveBatch(r.Context(), reqs) {
 		i := slots[j]
 		results[i].RuntimeMS = float64(res.Runtime) / float64(time.Millisecond)
 		results[i].CacheHit = res.CacheHit
@@ -331,6 +464,14 @@ func (h *serveHandler) batch(w http.ResponseWriter, r *http.Request) {
 		results[i].LowerBound = res.Solution.LowerBound
 		results[i].Stats = res.Solution.Stats
 	}
+	ok := 0
+	for i := range results {
+		if results[i].Error == "" {
+			ok++
+		}
+	}
+	h.metrics.recordBatchItems(ok, len(results)-ok)
+	h.metrics.record("batch", outcomeOK, class, time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, ServeBatchResponse{Results: results})
 }
 
@@ -342,20 +483,15 @@ func (h *serveHandler) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, ServeHealth{
 		Status:  "ok",
 		Solvers: solvers,
-		Cache:   h.eng.Stats(),
+		Cache:   h.group.Stats(),
+		Shards:  h.group.Shards(),
 	})
 }
 
-// decodeServeError extracts the {"error": ...} body of a non-2xx serve
-// reply (shared by the Client methods).
-func decodeServeError(status int, body io.Reader) error {
-	var e struct {
-		Error string `json:"error"`
-	}
-	if err := json.NewDecoder(body).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("dcnflow: server status %d: %s", status, e.Error)
-	}
-	return fmt.Errorf("dcnflow: server status %d", status)
+// metricsPage answers GET /metrics with the Prometheus text exposition.
+func (h *serveHandler) metricsPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.metrics.render(w, h.group.ShardStats(), h.adm)
 }
 
 // errServeNoBase reports a Client used without a base URL.

@@ -1,0 +1,97 @@
+// Load benchmarks for the serve API: each BenchmarkServeLoad sub-benchmark
+// replays one examples/servebench spec — an arrival process (poisson or
+// burst) against one server configuration (open or admission-controlled) —
+// through a real `dcnflow serve` subprocess, and reports the open-loop
+// latency percentiles, throughput and error rate of the run. `make
+// bench-serve` snapshots the four configurations into BENCH_serve.json.
+package dcnflow_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dcnflow/internal/servebench"
+)
+
+// serveBenchBin builds the dcnflow binary once per test process and shares
+// it across every sub-benchmark (the build costs seconds; the server under
+// test must be a real binary so SIGTERM reaches it directly).
+var serveBenchBin struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+func serveBenchBinary(b *testing.B) string {
+	b.Helper()
+	serveBenchBin.once.Do(func() {
+		dir, err := os.MkdirTemp("", "dcnflow-servebench-")
+		if err != nil {
+			serveBenchBin.err = err
+			return
+		}
+		serveBenchBin.path, serveBenchBin.err = servebench.BuildBinary(context.Background(), dir)
+	})
+	if serveBenchBin.err != nil {
+		b.Fatal(serveBenchBin.err)
+	}
+	return serveBenchBin.path
+}
+
+// benchServeLoad runs one spec end to end per iteration: fresh server
+// subprocess, full schedule, graceful SIGTERM stop. The reported custom
+// metrics come from the last iteration's report; run with -benchtime 1x
+// (the `make bench-serve` default) — one iteration is a full load run, so
+// ns/op is the wall time of the whole run.
+func benchServeLoad(b *testing.B, specPath string) {
+	b.Helper()
+	spec, err := servebench.LoadFile(specPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := serveBenchBinary(b)
+	ctx := context.Background()
+
+	var report *servebench.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := servebench.StartServer(ctx, bin, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err = servebench.Run(ctx, srv.BaseURL, spec)
+		if err != nil {
+			srv.Kill()
+			b.Fatal(err)
+		}
+		if err := srv.Stop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(report.Total.P50MS, "p50_ms")
+	b.ReportMetric(report.Total.P95MS, "p95_ms")
+	b.ReportMetric(report.Total.P99MS, "p99_ms")
+	b.ReportMetric(report.ThroughputRPS, "rps")
+	b.ReportMetric(report.ErrorRate, "err_rate")
+}
+
+// BenchmarkServeLoad is the serve-bench matrix: {poisson, burst} arrivals ×
+// {open, admission-controlled} servers, one sub-benchmark per
+// examples/servebench spec. BENCH_serve.json keys these as
+// BenchmarkServeLoad/<arrival>-<admission>.
+func BenchmarkServeLoad(b *testing.B) {
+	for _, name := range []string{
+		"poisson-open",
+		"poisson-admit",
+		"burst-open",
+		"burst-admit",
+	} {
+		b.Run(name, func(b *testing.B) {
+			benchServeLoad(b, filepath.Join("examples", "servebench", name+".json"))
+		})
+	}
+}

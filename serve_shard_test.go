@@ -1,0 +1,239 @@
+package dcnflow_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dcnflow"
+)
+
+// shardCorpus builds a corpus of distinct scenarios spanning several
+// topologies, so a sharded server actually routes to different shards.
+func shardCorpus() []dcnflow.ServeRequest {
+	var reqs []dcnflow.ServeRequest
+	for i, k := range []int{3, 4, 5, 6} {
+		spec := dcnflow.ScenarioSpec{
+			Name:     fmt.Sprintf("shard-line-%d", k),
+			Topology: dcnflow.TopologySpec{Kind: "line", K: k, Capacity: 100},
+			Workload: dcnflow.WorkloadSpec{Kind: "shuffle", Hosts: 2, Release: 0, Deadline: 6 + float64(i), Size: 2},
+			Model:    dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 100},
+			Seed:     int64(i + 1),
+		}
+		reqs = append(reqs,
+			dcnflow.ServeRequest{Scenario: spec, Solver: dcnflow.SolverSPMCF},
+			dcnflow.ServeRequest{Scenario: spec, Solver: dcnflow.SolverGreedyOnline},
+		)
+	}
+	for _, k := range []int{4, 6} {
+		spec := dcnflow.ScenarioSpec{
+			Name:     fmt.Sprintf("shard-fattree-%d", k),
+			Topology: dcnflow.TopologySpec{Kind: "fattree", K: k, Capacity: 1000},
+			Workload: dcnflow.WorkloadSpec{Kind: "uniform", N: 6, T0: 0, T1: 10, SizeMean: 2, SizeStddev: 1},
+			Model:    dcnflow.ModelSpec{Mu: 1, Alpha: 2, C: 1000},
+			Seed:     int64(k),
+		}
+		reqs = append(reqs, dcnflow.ServeRequest{Scenario: spec, Solver: dcnflow.SolverDCFSR})
+	}
+	return reqs
+}
+
+// normalizeServeBody strips the two legitimately nondeterministic fields
+// (cache_hit, runtime_ms) and re-encodes, yielding the canonical bytes the
+// determinism contract covers.
+func normalizeServeBody(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var resp dcnflow.ServeResponse
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("decoding serve body %q: %v", raw, err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("served solve failed: %s", resp.Error)
+	}
+	resp.CacheHit = false
+	resp.RuntimeMS = 0
+	out, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServeShardDeterminism: the acceptance test of the sharded server —
+// solve bodies (energy, bound, stats) are byte-identical at shard counts
+// 1, 2 and 8 under concurrent load, and every served energy is
+// bit-identical to a direct Engine solve of the same request.
+func TestServeShardDeterminism(t *testing.T) {
+	corpus := shardCorpus()
+
+	// Reference: direct Engine solves, no HTTP anywhere.
+	eng := dcnflow.NewEngine(dcnflow.EngineOptions{})
+	direct := make([]float64, len(corpus))
+	for i, req := range corpus {
+		spec := req.Scenario
+		res := eng.Solve(context.Background(), dcnflow.Request{Scenario: &spec, Solver: req.Solver})
+		if res.Err != nil {
+			t.Fatalf("direct solve %d (%s/%s): %v", i, spec.Name, req.Solver, res.Err)
+		}
+		direct[i] = res.Solution.Energy
+	}
+
+	const repeats = 3                // same request raced from several goroutines
+	bodies := make(map[int][][]byte) // shard count -> normalized body per corpus index
+	for _, shards := range []int{1, 2, 8} {
+		group := dcnflow.NewEngineGroup(shards, dcnflow.EngineOptions{})
+		srv := httptest.NewServer(dcnflow.NewServeHandlerSharded(group, dcnflow.ServeOptions{}))
+
+		got := make([][]byte, len(corpus)*repeats)
+		var wg sync.WaitGroup
+		errs := make(chan error, len(got))
+		for slot := range got {
+			slot := slot
+			req := corpus[slot%len(corpus)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var buf bytes.Buffer
+				if err := json.NewEncoder(&buf).Encode(req); err != nil {
+					errs <- err
+					return
+				}
+				resp, err := srv.Client().Post(srv.URL+"/v1/solve", "application/json", &buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("slot %d: status %d", slot, resp.StatusCode)
+					return
+				}
+				var body bytes.Buffer
+				if _, err := body.ReadFrom(resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				got[slot] = body.Bytes()
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		srv.Close()
+
+		norm := make([][]byte, len(corpus))
+		for slot, raw := range got {
+			n := normalizeServeBody(t, raw)
+			i := slot % len(corpus)
+			if norm[i] == nil {
+				norm[i] = n
+			} else if !bytes.Equal(norm[i], n) {
+				t.Fatalf("shards=%d: racing repeats of request %d diverged:\n%s\nvs\n%s", shards, i, norm[i], n)
+			}
+		}
+		bodies[shards] = norm
+	}
+
+	for i := range corpus {
+		ref := bodies[1][i]
+		for _, shards := range []int{2, 8} {
+			if !bytes.Equal(ref, bodies[shards][i]) {
+				t.Errorf("request %d: body at shards=%d differs from shards=1:\n%s\nvs\n%s",
+					i, shards, bodies[shards][i], ref)
+			}
+		}
+		var resp dcnflow.ServeResponse
+		if err := json.Unmarshal(ref, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(resp.Energy) != math.Float64bits(direct[i]) {
+			t.Errorf("request %d: served energy %v is not bit-identical to direct %v", i, resp.Energy, direct[i])
+		}
+	}
+}
+
+// TestServeShardedBatch: /v1/batch through a multi-shard group keeps
+// request order and matches the single-shard energies.
+func TestServeShardedBatch(t *testing.T) {
+	corpus := shardCorpus()
+	var want []float64
+	for _, shards := range []int{1, 4} {
+		group := dcnflow.NewEngineGroup(shards, dcnflow.EngineOptions{})
+		srv := httptest.NewServer(dcnflow.NewServeHandlerSharded(group, dcnflow.ServeOptions{}))
+		client := &dcnflow.Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+		results, err := client.SolveBatch(context.Background(), corpus)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(results) != len(corpus) {
+			t.Fatalf("shards=%d: %d results for %d requests", shards, len(results), len(corpus))
+		}
+		for i, r := range results {
+			if r.Error != "" {
+				t.Fatalf("shards=%d item %d: %s", shards, i, r.Error)
+			}
+			if r.Scenario != corpus[i].Scenario.Name || r.Solver != corpus[i].Solver {
+				t.Fatalf("shards=%d item %d out of order: %s/%s", shards, i, r.Scenario, r.Solver)
+			}
+		}
+		if want == nil {
+			for _, r := range results {
+				want = append(want, r.Energy)
+			}
+			continue
+		}
+		for i, r := range results {
+			if math.Float64bits(r.Energy) != math.Float64bits(want[i]) {
+				t.Errorf("item %d: energy %v at shards=%d, want %v", i, r.Energy, shards, want[i])
+			}
+		}
+	}
+}
+
+// TestEngineGroupRouting: shard assignment is content-derived and stable —
+// the same request always lands on the same shard, and the corpus's
+// distinct topologies actually spread across shards.
+func TestEngineGroupRouting(t *testing.T) {
+	group := dcnflow.NewEngineGroup(8, dcnflow.EngineOptions{})
+	if group.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", group.Shards())
+	}
+	corpus := shardCorpus()
+	seen := map[int]bool{}
+	for i, sr := range corpus {
+		spec := sr.Scenario
+		req := dcnflow.Request{Scenario: &spec, Solver: sr.Solver}
+		shard := group.ShardFor(req)
+		for rep := 0; rep < 3; rep++ {
+			if again := group.ShardFor(req); again != shard {
+				t.Fatalf("request %d: shard flapped %d -> %d", i, shard, again)
+			}
+		}
+		seen[shard] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("corpus of %d distinct topologies all routed to one shard", len(corpus))
+	}
+	// Health on a sharded server reports the shard count.
+	srv := httptest.NewServer(dcnflow.NewServeHandlerSharded(group, dcnflow.ServeOptions{}))
+	defer srv.Close()
+	client := &dcnflow.Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	h, err := client.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards != 8 {
+		t.Fatalf("health shards = %d, want 8", h.Shards)
+	}
+}

@@ -1,0 +1,149 @@
+package dcnflow
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+
+	"dcnflow/internal/graph"
+	"dcnflow/internal/sweep"
+)
+
+// EngineGroup shards solve traffic across a fixed set of Engines by
+// topology fingerprint: every request naming the same topology+model pair
+// lands on the same shard, so each shard's compiled-instance LRU and
+// pooled solver scratch serve a stable slice of the topology population
+// and unrelated topologies stop evicting each other.
+//
+// Assignment is consistent and content-derived (an FNV-1a hash of the
+// canonical topology+model key, or of the compiled graph fingerprint for
+// pre-built Instance requests) — it depends only on the request and the
+// shard count, never on arrival order or concurrency. Because every
+// Engine is deterministic (see Engine's determinism contract), a group
+// returns bit-identical results at every shard count; the serve shard
+// tests assert this at counts 1, 2 and 8 under concurrent load.
+//
+// An EngineGroup is safe for concurrent use. A group of one shard behaves
+// exactly like its single Engine.
+type EngineGroup struct {
+	engines []*Engine
+	workers int
+}
+
+// NewEngineGroup builds a group of shards independent Engines, each
+// configured with opts (shards < 1 selects 1). The per-shard cache size is
+// opts.CacheSize (not divided), so raising the shard count only ever adds
+// cache capacity.
+func NewEngineGroup(shards int, opts EngineOptions) *EngineGroup {
+	if shards < 1 {
+		shards = 1
+	}
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = NewEngine(opts)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &EngineGroup{engines: engines, workers: workers}
+}
+
+// Shards returns the shard count.
+func (g *EngineGroup) Shards() int { return len(g.engines) }
+
+// Shard returns the i'th shard's Engine (for tests and embedders that
+// need per-shard access; i must be in [0, Shards())).
+func (g *EngineGroup) Shard(i int) *Engine { return g.engines[i] }
+
+// ShardFor returns the shard index the request routes to: a stable hash
+// of the scenario's topology+model fragment (or of the pre-built
+// instance's compiled graph fingerprint) modulo the shard count. Requests
+// with neither a scenario nor an instance route to shard 0 (they fail
+// validation inside Solve anyway).
+func (g *EngineGroup) ShardFor(req Request) int {
+	if len(g.engines) == 1 {
+		return 0
+	}
+	h, ok := requestShardHash(req)
+	if !ok {
+		return 0
+	}
+	return int(h % uint64(len(g.engines)))
+}
+
+// requestShardHash derives the content hash sharding keys on. Scenario
+// requests hash the canonical topology+model key (the same bytes the
+// compiled-instance LRU is keyed by); instance requests hash the compiled
+// graph's structural fingerprint.
+func requestShardHash(req Request) (uint64, bool) {
+	switch {
+	case req.Scenario != nil:
+		h := fnv.New64a()
+		h.Write([]byte(topoModelKey(req.Scenario)))
+		return h.Sum64(), true
+	case req.Instance != nil && req.Instance.graph != nil:
+		return graph.Compile(req.Instance.graph).Fingerprint(), true
+	}
+	return 0, false
+}
+
+// Solve routes the request to its shard's Engine. Results are
+// bit-identical to a direct Engine solve at every shard count.
+func (g *EngineGroup) Solve(ctx context.Context, req Request) Result {
+	return g.engines[g.ShardFor(req)].Solve(ctx, req)
+}
+
+// SolveBatch runs every request on the group's bounded worker pool, each
+// routed to its shard. Results come back in request order, per-request
+// failures inline, independent of worker and shard counts — the same
+// contract as Engine.SolveBatch.
+func (g *EngineGroup) SolveBatch(ctx context.Context, reqs []Request) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(g.engines) == 1 {
+		return g.engines[0].SolveBatch(ctx, reqs)
+	}
+	results, err := sweep.Map(ctx, len(reqs), g.workers,
+		func(ctx context.Context, i, _ int) (Result, error) {
+			if cerr := ctx.Err(); cerr != nil {
+				return Result{Err: fmt.Errorf("dcnflow: batch request %d: %w", i, cerr)}, nil
+			}
+			return g.Solve(ctx, reqs[i]), nil
+		}, nil)
+	if err != nil {
+		for i := range results {
+			if results[i].Solution == nil && results[i].Err == nil {
+				results[i].Err = fmt.Errorf("dcnflow: batch request %d: %w", i, err)
+			}
+		}
+	}
+	return results
+}
+
+// Stats sums the cache counters across shards (the aggregate /healthz
+// reports). Size and Capacity are totals over all shard LRUs.
+func (g *EngineGroup) Stats() EngineStats {
+	var agg EngineStats
+	for _, e := range g.engines {
+		s := e.Stats()
+		agg.Size += s.Size
+		agg.Capacity += s.Capacity
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Evictions += s.Evictions
+	}
+	return agg
+}
+
+// ShardStats snapshots every shard's cache counters in shard order (the
+// per-shard occupancy series /metrics exposes).
+func (g *EngineGroup) ShardStats() []EngineStats {
+	out := make([]EngineStats, len(g.engines))
+	for i, e := range g.engines {
+		out[i] = e.Stats()
+	}
+	return out
+}
