@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke examples scenarios sweep-smoke serve-smoke doccheck
+.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke examples scenarios sweep-smoke serve-smoke decisions-smoke doccheck
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,17 @@ sweep-smoke:
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 
+# decisions-smoke exercises the decision-tracing subsystem end to end:
+# record a small rolling run's decision log, counterfactually replay its
+# top-2 alternatives requiring nonzero regret rows, then run the O2
+# decision-regret experiment requiring at least one demonstrated decision
+# where rolling beats the forced greedy path on weighted fitness. CI runs
+# the same commands.
+decisions-smoke:
+	$(GO) run ./cmd/dcnflow decisions -mode record -n 24 -seed 5 -iters 25 -out /tmp/dcnflow-decisions.jsonl
+	$(GO) run ./cmd/dcnflow decisions -mode replay -file /tmp/dcnflow-decisions.jsonl -topk 2 -max-decisions 3 -require-regret
+	$(GO) run ./cmd/dcnflow decisions -mode score -n 24 -seed 5 -iters 25 -max-decisions 3 -require-win
+
 # doccheck fails when an exported symbol of the public facade (root
 # package) is missing a doc comment, or when a registered solver name is
 # absent from README.md, DESIGN.md, `dcnflow run -h` or `dcnflow sweep -h`.
@@ -45,8 +56,9 @@ test:
 	$(GO) test ./...
 
 # test-race-online runs the packages with cross-goroutine state (the online
-# schedulers, the concurrent relaxation fan-out they drive, the solver
-# pools, the compiled-graph scratch pools, the intra-solve parallel oracle,
+# schedulers, the decision tracing they emit, the concurrent relaxation
+# fan-out they drive, the solver pools, the compiled-graph scratch pools,
+# the intra-solve parallel oracle,
 # and the sweep worker pool) under the race detector, plus the root-package
 # conformance corpus, sweep determinism tests, the intra-solve worker
 # determinism suite and the shared-Engine concurrency tests (cache LRU,
@@ -54,7 +66,7 @@ test:
 # determinism, drain-under-load, token-bucket admission and client-retry
 # suites); CI runs the same job.
 test-race-online:
-	$(GO) test -race ./internal/online/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
+	$(GO) test -race ./internal/online/... ./internal/decision/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
 	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe|TestIntraSolve|TestAdmission|TestClient|TestPriorityRank|TestParseRetryAfter' .
 
 vet:

@@ -300,10 +300,11 @@ func BenchmarkOnlineGreedy(b *testing.B) {
 
 // BenchmarkOnlineRolling measures the rolling-horizon online scheduler on
 // the slowly-varying diurnal chain — the workload DESIGN.md predicts warm
-// starts pay on. The timed loop runs the warm-started configuration; the
-// fw-iters-warm / fw-iters-cold metrics record the total Frank–Wolfe
-// iterations of warm-started vs cold-started epoch re-solves, tracked in
-// BENCH_solver.json by `make bench`.
+// starts pay on. The recorder=off/recorder=on sub-benchmarks bound the
+// decision-tracing overhead (nil recorder vs an attached DecisionMemory);
+// recorder=off additionally reports fw-iters-warm / fw-iters-cold, the total
+// Frank–Wolfe iterations of warm-started vs cold-started epoch re-solves,
+// tracked in BENCH_solver.json by `make bench`.
 func BenchmarkOnlineRolling(b *testing.B) {
 	ft, err := dcnflow.FatTree(4, 1e12)
 	if err != nil {
@@ -317,7 +318,7 @@ func BenchmarkOnlineRolling(b *testing.B) {
 		b.Fatal(err)
 	}
 	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
-	runOnce := func(warm bool) dcnflow.RollingStats {
+	runOnce := func(warm bool, rec dcnflow.DecisionRecorder) dcnflow.RollingStats {
 		res, _, err := dcnflow.SolveOnlineRolling(ft.Graph, flows, model, dcnflow.RollingOptions{
 			Policy: dcnflow.FixedPeriod{Period: 2},
 			DCFSR: dcnflow.DCFSROptions{
@@ -325,22 +326,33 @@ func BenchmarkOnlineRolling(b *testing.B) {
 				Solver:    dcnflow.SolverOptions{MaxIters: 30},
 				WarmStart: warm,
 			},
+			Recorder: rec,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		return res.Stats
 	}
-	var warm dcnflow.RollingStats
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		warm = runOnce(true)
-	}
-	b.StopTimer()
-	cold := runOnce(false)
-	b.ReportMetric(float64(warm.FWIters), "fw-iters-warm")
-	b.ReportMetric(float64(cold.FWIters), "fw-iters-cold")
-	b.ReportMetric(float64(warm.Epochs), "epochs")
+	b.Run("recorder=off", func(b *testing.B) {
+		var warm dcnflow.RollingStats
+		for i := 0; i < b.N; i++ {
+			warm = runOnce(true, nil)
+		}
+		b.StopTimer()
+		cold := runOnce(false, nil)
+		b.ReportMetric(float64(warm.FWIters), "fw-iters-warm")
+		b.ReportMetric(float64(cold.FWIters), "fw-iters-cold")
+		b.ReportMetric(float64(warm.Epochs), "epochs")
+	})
+	b.Run("recorder=on", func(b *testing.B) {
+		var decisions int
+		for i := 0; i < b.N; i++ {
+			mem := &dcnflow.DecisionMemory{}
+			runOnce(true, mem)
+			decisions = len(mem.Records)
+		}
+		b.ReportMetric(float64(decisions), "decisions")
+	})
 }
 
 // BenchmarkSimulator measures the discrete-event simulator on a 100-flow

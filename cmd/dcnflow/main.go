@@ -10,13 +10,14 @@
 //	dcnflow ablate surrogate         # A3: relaxation cost
 //	dcnflow online -mode compare     # O1: greedy vs rolling vs offline RS
 //	dcnflow online -mode rolling     # one rolling-horizon run with stats
+//	dcnflow decisions -mode score    # O2: greedy vs rolling decision regret
 //	dcnflow run scenario.json -solver dcfsr,sp-mcf   # solve a JSON scenario spec
 //	dcnflow sweep grid.json -workers 8 -out out.jsonl  # run a scenario-sweep grid
 //	dcnflow workload -n 100          # dump a generated workload as CSV
 //	dcnflow topo -kind fattree -k 4  # emit a topology in Graphviz DOT
 //
 // Run `dcnflow <command> -h` for any command's flags. The experiment IDs
-// (E1, F2, T2/T3, A1-A3, O1) are defined in DESIGN.md's per-experiment
+// (E1, F2, T2/T3, A1-A3, O1, O2) are defined in DESIGN.md's per-experiment
 // index, which maps each one to its runner, benchmark and CLI entry.
 // Scheme-running commands (run, sweep, compare, trace) dispatch through
 // the Scenario/Solver registry of the dcnflow package, so every registered
@@ -80,12 +81,13 @@ func commands() []command {
 		{"hardness", "run the Theorem 2 gadget and report the Theorem 3 constant", "T2/T3", runHardness},
 		{"ablate", "run an ablation study: lambda | rounding | surrogate | online | exact", "A1 A2 A3", runAblate},
 		{"online", "run the online extension: greedy, rolling-horizon, or the O1 comparison", "O1", runOnline},
+		{"decisions", "record, replay and score online-scheduler decision logs (counterfactual regret, weighted fitness)", "O2", runDecisions},
 		{"run", "solve a JSON scenario spec with registered solvers (see examples/scenarios/)", "", runScenario},
 		{"serve", "serve scenario solves over HTTP from a warm engine (POST /v1/solve, /v1/batch; GET /healthz)", "", runServe},
 		{"sweep", "run a JSON sweep spec: a scenario grid crossed with solvers, on a worker pool (see examples/sweeps/)", "", runSweep},
 		{"workload", "generate and print a random workload as CSV", "", runWorkload},
 		{"compare", "run every registered solver (and the fractional LB) on one workload", "", runCompare},
-		{"trace", "schedule a CSV flow trace (id,src,dst,release,deadline,size) on a chosen topology", "", runTrace},
+		{"trace", "schedule a CSV flow trace (id,src,dst,release,deadline,size) on a chosen topology; for scheduler-level decision tracing use `dcnflow decisions`", "", runTrace},
 		{"topo", "emit a topology in Graphviz DOT", "", runTopo},
 	}
 }
@@ -406,6 +408,112 @@ func runOnline(args []string) error {
 	return nil
 }
 
+// runDecisions is the CLI face of the decision-log subsystem (O2): record a
+// scheduler's decision trace as JSONL, replay a recorded trace's top-k
+// alternatives for per-decision regret, or run the full greedy-vs-rolling
+// decision-regret experiment.
+func runDecisions(args []string) error {
+	fs := newFlagSet("decisions")
+	mode := fs.String("mode", "score", "record | replay | score")
+	scheduler := fs.String("scheduler", "rolling", "record mode: greedy | rolling")
+	workload := fs.String("workload", "diurnal", "uniform | diurnal | incast")
+	n := fs.Int("n", 40, "flows")
+	k := fs.Int("k", 4, "fat-tree arity")
+	alpha := fs.Float64("alpha", 2, "power exponent")
+	iters := fs.Int("iters", 30, "Frank-Wolfe iterations per interval")
+	seed := fs.Int64("seed", 1, "workload and solver seed")
+	epoch := fs.Float64("epoch", 0, "fixed re-plan period for rolling (0 = re-plan per arrival)")
+	out := fs.String("out", "", "record mode: write the decision log to this file (\"-\" = stdout)")
+	file := fs.String("file", "", "replay mode: recorded decision log to replay")
+	topk := fs.Int("topk", 2, "alternative paths replayed per admit decision")
+	maxDec := fs.Int("max-decisions", 4, "admit decisions expanded by replay/score (each costs one full re-run)")
+	fitEnergy := fs.Float64("fit-energy", 1, "fitness weight on total energy")
+	fitMiss := fs.Float64("fit-miss", 0, "fitness weight per missed deadline")
+	fitSlack := fs.Float64("fit-slack", 0, "fitness credit on the p99 tail slack")
+	requireRegret := fs.Bool("require-regret", false, "replay mode: fail unless some counterfactual shows nonzero regret")
+	requireWin := fs.Bool("require-win", false, "score mode: fail unless rolling demonstrably beats a forced greedy choice")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fit := dcnflow.Fitness{EnergyWeight: *fitEnergy, MissWeight: *fitMiss, SlackP99Weight: *fitSlack}
+	cfg := experiments.DecisionConfig{
+		OnlineConfig: experiments.OnlineConfig{
+			AblateConfig: experiments.AblateConfig{
+				FatTreeK: *k, N: *n, Seed: *seed, Alpha: *alpha, SolverIters: *iters,
+			},
+			Workload: *workload,
+			Epoch:    *epoch,
+		},
+		TopK: *topk, MaxDecisions: *maxDec, Fitness: fit,
+	}
+	switch *mode {
+	case "record":
+		log, rep, err := experiments.RecordDecisions(cfg, *scheduler)
+		if err != nil {
+			return err
+		}
+		switch *out {
+		case "-":
+			if err := dcnflow.SaveDecisionLog(os.Stdout, log); err != nil {
+				return err
+			}
+		case "":
+			return errors.New("decisions: record mode needs -out (path, or \"-\" for stdout)")
+		default:
+			if err := dcnflow.SaveDecisionLogFile(*out, log); err != nil {
+				return err
+			}
+			fmt.Printf("recorded %d decisions of the %s scheduler to %s\n", len(log.Records), *scheduler, *out)
+		}
+		fmt.Fprintf(os.Stderr, "  admitted %d, rejected %d; deadline violations %d, capacity violations %d\n",
+			rep.Admitted, rep.Rejected, rep.DeadlineViolations, rep.CapacityViolations)
+		return nil
+	case "replay":
+		if *file == "" {
+			return errors.New("decisions: replay mode needs -file")
+		}
+		log, err := dcnflow.LoadDecisionLogFile(*file)
+		if err != nil {
+			return err
+		}
+		ft, set, model, err := experiments.DecisionInstance(log.Meta)
+		if err != nil {
+			return err
+		}
+		rep, err := dcnflow.ReplayDecisions(dcnflow.DecisionReplayInput{
+			Log: log, Graph: ft.Graph, Flows: set, Model: model,
+			Factory: experiments.DecisionFactory(log.Meta, ft, set, model),
+			Opts:    dcnflow.DecisionReplayOptions{TopK: *topk, MaxDecisions: *maxDec, Fitness: fit},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("counterfactual replay of %s (%s scheduler, fitness %s):\n", *file, log.Meta.Scheduler, fit)
+		fmt.Print(rep.Table())
+		if *requireRegret && rep.RegretRows() == 0 {
+			return errors.New("decisions: no counterfactual produced nonzero regret")
+		}
+		return nil
+	case "score":
+		res, err := experiments.RunDecisionRegret(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("O2 — decision regret, greedy vs rolling (%s workload, fat-tree k=%d, fitness %s):\n",
+			*workload, *k, fit)
+		fmt.Print(res.Table())
+		fmt.Printf("rolling wins %d/%d forced-path demonstrations; top-%d replay of the rolling log:\n",
+			res.RollingWins(), len(res.Demos), *topk)
+		fmt.Print(res.Replay.Table())
+		if *requireWin && res.RollingWins() == 0 {
+			return errors.New("decisions: no demonstrated rolling win over the forced greedy choice")
+		}
+		return nil
+	default:
+		return fmt.Errorf("decisions: unknown mode %q", *mode)
+	}
+}
+
 // cliEngine is the one shared Engine the scheme-running subcommands (run,
 // sweep, compare, trace) dispatch through: compiled topologies, cached
 // workload instances and pooled solver scratch are shared across whatever
@@ -649,6 +757,9 @@ func runSweep(args []string) error {
 	timeout := fs.Duration("timeout", 0, "cancel the sweep after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "stream per-cell progress to stderr")
 	noLB := fs.Bool("no-lb", false, "skip the shared per-scenario relaxation bound (lb/lb_ratio then only on cells whose solver reports its own bound)")
+	fitEnergy := fs.Float64("fit-energy", 0, "fitness weight on total energy; any -fit-* flag re-scores every cell through the simulator")
+	fitMiss := fs.Float64("fit-miss", 0, "fitness weight per missed deadline")
+	fitSlack := fs.Float64("fit-slack", 0, "fitness credit on the p99 tail slack")
 	// The spec path may come before or after the flags, like `dcnflow run`.
 	path := ""
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -730,6 +841,9 @@ func runSweep(args []string) error {
 	}
 	if *iters > 0 {
 		opts.Options = append(opts.Options, dcnflow.WithSolverOptions(mcfsolve.Options{MaxIters: *iters}))
+	}
+	if *fitEnergy != 0 || *fitMiss != 0 || *fitSlack != 0 {
+		opts.Fitness = &dcnflow.Fitness{EnergyWeight: *fitEnergy, MissWeight: *fitMiss, SlackP99Weight: *fitSlack}
 	}
 
 	label := spec.Name

@@ -88,9 +88,45 @@ func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 				missing = append(missing, missingFlags("dcnflow serve -h", string(out), serveFlags)...)
 			}
 		}
+		more, err := decisionDocs(repo)
+		if err != nil {
+			return nil, err
+		}
+		missing = append(missing, more...)
 	}
 	return missing, nil
 }
+
+// decisionDocs verifies the decision-tracing surface stays documented: the
+// `dcnflow decisions` usage text must define its mode and fitness flags, and
+// README.md and DESIGN.md must mention the subcommand and the O2 experiment
+// it drives.
+func decisionDocs(repo string) ([]string, error) {
+	cmd := exec.Command("go", "run", "./cmd/dcnflow", "decisions", "-h")
+	cmd.Dir = repo
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("dcnflow decisions -h: %v\n%s", err, out)
+	}
+	missing := missingFlags("dcnflow decisions -h", string(out), decisionsFlags)
+	for _, fname := range []string{"README.md", "DESIGN.md"} {
+		data, err := os.ReadFile(filepath.Join(repo, fname))
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"decisions", "O2"} {
+			re := regexp.MustCompile(`(^|[^a-zA-Z0-9-])` + regexp.QuoteMeta(name) + `($|[^a-zA-Z0-9-])`)
+			if !re.MatchString(string(data)) {
+				missing = append(missing, fmt.Sprintf("%s: %q not mentioned", fname, name))
+			}
+		}
+	}
+	return missing, nil
+}
+
+// decisionsFlags are the flags `dcnflow decisions` must document in its
+// usage text: the mode selector and the fitness weights.
+var decisionsFlags = []string{"-mode", "-fit-energy", "-fit-miss", "-fit-slack", "-topk", "-require-regret", "-require-win"}
 
 // serveFlags are the load-management flags `dcnflow serve` must document
 // in its usage text: engine sharding and token-bucket admission control.

@@ -1,0 +1,83 @@
+package decision
+
+import (
+	"fmt"
+	"math"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/sim"
+	"dcnflow/internal/stats"
+)
+
+// Fitness collapses a run to one weighted scalar, lower better:
+//
+//	score = EnergyWeight*Energy + MissWeight*Misses - SlackP99Weight*SlackP99
+//
+// Energy is the simulator-measured total energy, Misses counts flows whose
+// deadline was missed (rejected flows included — the simulator never
+// completes them), and SlackP99 is the tail slack: the residual slack
+// (deadline minus completion time) that 99% of completed flows meet or
+// exceed — the nearest-rank 1st percentile of per-flow slack, so a positive
+// SlackP99Weight rewards schedules whose worst flows still finish early.
+// Sweep wires it into SweepCellResult (SweepOptions.Fitness) so
+// `dcnflow sweep` can rank replan policies on one axis.
+type Fitness struct {
+	// EnergyWeight scales the total energy term.
+	EnergyWeight float64 `json:"energy_weight"`
+	// MissWeight charges each missed deadline.
+	MissWeight float64 `json:"miss_weight"`
+	// SlackP99Weight credits the tail slack (subtracted: more robust
+	// schedules score lower).
+	SlackP99Weight float64 `json:"slack_p99_weight"`
+}
+
+// DefaultFitness weighs energy alone — the paper's objective — leaving
+// misses and slack as reported-but-unweighted diagnostics.
+func DefaultFitness() Fitness { return Fitness{EnergyWeight: 1} }
+
+// FitnessComponents are the raw per-run quantities a Fitness weighs.
+type FitnessComponents struct {
+	// Energy is the simulator-measured total energy.
+	Energy float64 `json:"energy"`
+	// Misses counts flows that missed their deadline (never-completed and
+	// rejected flows included).
+	Misses int `json:"misses"`
+	// SlackP99 is the nearest-rank 1st percentile of per-flow slack
+	// (deadline - completion) over completed flows; zero when nothing
+	// completed.
+	SlackP99 float64 `json:"slack_p99"`
+}
+
+// Score applies the weights; lower is better.
+func (f Fitness) Score(c FitnessComponents) float64 {
+	return f.EnergyWeight*c.Energy + f.MissWeight*float64(c.Misses) - f.SlackP99Weight*c.SlackP99
+}
+
+// String renders the weights compactly for tables and usage text.
+func (f Fitness) String() string {
+	return fmt.Sprintf("energy*%g + misses*%g - slack_p99*%g", f.EnergyWeight, f.MissWeight, f.SlackP99Weight)
+}
+
+// SimComponents extracts the fitness components from a simulator result:
+// the measured energy, the deadline misses, and the tail slack over the
+// completed flows (a flow that never completes contributes a miss, not a
+// slack sample — the miss term is where incompleteness is charged). The
+// flow set supplies the deadlines the slacks are measured against.
+func SimComponents(flows *flow.Set, res *sim.Result) FitnessComponents {
+	c := FitnessComponents{Energy: res.TotalEnergy, Misses: res.DeadlinesMissed}
+	var slacks []float64
+	for _, fs := range res.Flows {
+		if math.IsInf(fs.CompletionTime, 1) {
+			continue
+		}
+		f, err := flows.Flow(fs.ID)
+		if err != nil {
+			continue
+		}
+		slacks = append(slacks, f.Deadline-fs.CompletionTime)
+	}
+	if len(slacks) > 0 {
+		c.SlackP99 = stats.Percentile(slacks, 0.01)
+	}
+	return c
+}

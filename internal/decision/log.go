@@ -1,0 +1,229 @@
+package decision
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// ErrBadLog reports a decision log that failed strict decoding or
+// validation; the wrapped message names the offending record and field. It
+// mirrors ErrBadScenario of the scenario loader.
+var ErrBadLog = errors.New("decision: invalid decision log")
+
+// Schedulers lists the Meta.Scheduler values LoadLog accepts.
+var Schedulers = []string{"greedy", "rolling"}
+
+// Meta describes the run a log was recorded from — enough configuration to
+// rebuild the exact instance and scheduler for a counterfactual replay
+// (`dcnflow decisions -mode replay` does exactly that). Workload fields
+// follow the online experiment conventions (fat-tree fabric, the O1
+// workload generators).
+type Meta struct {
+	// Scheduler names the recorded scheduler; see Schedulers.
+	Scheduler string `json:"scheduler"`
+	// Workload is the arrival pattern ("uniform", "diurnal", "incast");
+	// empty for logs recorded from ad-hoc flow sets.
+	Workload string `json:"workload,omitempty"`
+	// N is the workload's flow count.
+	N int `json:"n,omitempty"`
+	// FatTreeK is the fabric arity.
+	FatTreeK int `json:"fattree_k,omitempty"`
+	// Seed drives the workload draw and the rolling epoch re-solves.
+	Seed int64 `json:"seed,omitempty"`
+	// Alpha is the power exponent of the (sigma=0, mu=1) run model.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Iters caps Frank–Wolfe iterations of the rolling epoch re-solves.
+	Iters int `json:"iters,omitempty"`
+	// Epoch is the rolling fixed re-plan period; zero re-plans per arrival.
+	Epoch float64 `json:"epoch,omitempty"`
+}
+
+// Validate checks the meta header: the scheduler is known and the workload,
+// when named, is one the online experiment generators can rebuild.
+func (m Meta) Validate() error {
+	known := false
+	for _, s := range Schedulers {
+		known = known || m.Scheduler == s
+	}
+	if !known {
+		return fmt.Errorf("%w: unknown scheduler %q (want one of %s)",
+			ErrBadLog, m.Scheduler, strings.Join(Schedulers, ", "))
+	}
+	switch m.Workload {
+	case "", "uniform", "diurnal", "incast":
+	default:
+		return fmt.Errorf("%w: unknown workload %q (want uniform, diurnal or incast)", ErrBadLog, m.Workload)
+	}
+	if m.N < 0 || m.FatTreeK < 0 || m.Iters < 0 {
+		return fmt.Errorf("%w: negative meta dimension (n=%d, fattree_k=%d, iters=%d)", ErrBadLog, m.N, m.FatTreeK, m.Iters)
+	}
+	if m.Epoch < 0 || math.IsNaN(m.Epoch) || math.IsInf(m.Epoch, 0) {
+		return fmt.Errorf("%w: epoch must be finite and non-negative, got %v", ErrBadLog, m.Epoch)
+	}
+	if math.IsNaN(m.Alpha) || math.IsInf(m.Alpha, 0) || m.Alpha < 0 {
+		return fmt.Errorf("%w: alpha must be finite and non-negative, got %v", ErrBadLog, m.Alpha)
+	}
+	return nil
+}
+
+// Log is a complete recorded trace: the run description followed by every
+// decision in sequence order. Serialized as JSONL — the meta object on the
+// first line, one compact record per line after it.
+type Log struct {
+	// Meta describes the recorded run.
+	Meta Meta `json:"meta"`
+	// Records are the decisions in sequence order.
+	Records []Record `json:"records"`
+}
+
+// Validate checks the structural invariants LoadLog enforces: a valid meta
+// header, contiguous sequence numbers from zero, non-decreasing finite
+// decision times, known kinds, and kind-specific field shapes (admits carry
+// a path and a positive rate, replan boundaries carry no flow).
+func (l *Log) Validate() error {
+	if l == nil {
+		return fmt.Errorf("%w: nil log", ErrBadLog)
+	}
+	if err := l.Meta.Validate(); err != nil {
+		return err
+	}
+	prev := math.Inf(-1)
+	for i, rec := range l.Records {
+		if rec.Seq != i {
+			return fmt.Errorf("%w: record %d has seq %d (sequence numbers are contiguous from 0)", ErrBadLog, i, rec.Seq)
+		}
+		if math.IsNaN(rec.Time) || math.IsInf(rec.Time, 0) {
+			return fmt.Errorf("%w: record %d time %v is not finite", ErrBadLog, i, rec.Time)
+		}
+		if rec.Time < prev {
+			return fmt.Errorf("%w: record %d time %v precedes record %d", ErrBadLog, i, rec.Time, i-1)
+		}
+		prev = rec.Time
+		if rec.Epoch < 0 || rec.Pending < 0 {
+			return fmt.Errorf("%w: record %d has negative epoch or pending count", ErrBadLog, i)
+		}
+		switch rec.Kind {
+		case KindAdmit:
+			if rec.Flow < 0 {
+				return fmt.Errorf("%w: record %d (admit) names no flow", ErrBadLog, i)
+			}
+			if len(rec.Path) == 0 {
+				return fmt.Errorf("%w: record %d (admit, flow %d) has no path", ErrBadLog, i, rec.Flow)
+			}
+			if !(rec.Rate > 0) || math.IsInf(rec.Rate, 0) {
+				return fmt.Errorf("%w: record %d (admit, flow %d) rate %v is not positive and finite", ErrBadLog, i, rec.Flow, rec.Rate)
+			}
+		case KindReject:
+			if rec.Flow < 0 {
+				return fmt.Errorf("%w: record %d (reject) names no flow", ErrBadLog, i)
+			}
+		case KindReplan:
+			if rec.Flow != NoFlow {
+				return fmt.Errorf("%w: record %d (replan) names flow %d (want %d)", ErrBadLog, i, rec.Flow, NoFlow)
+			}
+		default:
+			return fmt.Errorf("%w: record %d has unknown kind %q", ErrBadLog, i, rec.Kind)
+		}
+		for j, alt := range rec.Alternatives {
+			if len(alt.Path) == 0 {
+				return fmt.Errorf("%w: record %d alternative %d has no path", ErrBadLog, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Admits returns the admit records, in sequence order.
+func (l *Log) Admits() []Record {
+	var out []Record
+	for _, rec := range l.Records {
+		if rec.Kind == KindAdmit {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// LoadLog strictly decodes one JSONL decision log: unknown fields, trailing
+// garbage and structurally invalid traces are all rejected with errors
+// wrapping ErrBadLog that name the problem. The loader is total — arbitrary
+// input yields a validated log or an ErrBadLog-class error, never a panic
+// (FuzzLoadDecisionLog pins this).
+func LoadLog(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var meta Meta
+	if err := dec.Decode(&meta); err != nil {
+		return nil, fmt.Errorf("%w: meta header: %v", ErrBadLog, err)
+	}
+	log := &Log{Meta: meta}
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadLog, len(log.Records), err)
+		}
+		log.Records = append(log.Records, rec)
+	}
+	// More() goes false at a stray delimiter without consuming it; insist on
+	// a clean EOF so trailing garbage is rejected, not ignored.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after record %d", ErrBadLog, len(log.Records))
+	}
+	if err := log.Validate(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// LoadLogFile is LoadLog on a file path.
+func LoadLogFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("decision: %w", err)
+	}
+	defer f.Close()
+	log, err := LoadLog(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return log, nil
+}
+
+// SaveLog validates the log and writes it in the canonical JSONL form: the
+// compact meta object on the first line, one compact record per line,
+// trailing newline. SaveLog(LoadLog(x)) is byte-identical for canonical x,
+// and two recordings of the same run serialize byte-identically at any
+// parallelism (the determinism contract).
+func SaveLog(w io.Writer, l *Log) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(l.Meta); err != nil {
+		return fmt.Errorf("decision: encoding meta: %w", err)
+	}
+	for _, rec := range l.Records {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("decision: encoding record %d: %w", rec.Seq, err)
+		}
+	}
+	return nil
+}
+
+// SaveLogFile is SaveLog on a file path.
+func SaveLogFile(path string, l *Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("decision: %w", err)
+	}
+	if err := SaveLog(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

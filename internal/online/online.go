@@ -31,6 +31,7 @@ import (
 	"math"
 	"sort"
 
+	"dcnflow/internal/decision"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/graph"
 	"dcnflow/internal/power"
@@ -49,6 +50,15 @@ type Options struct {
 	// flow's density cannot fit under C on any path; by default the flow
 	// is admitted anyway (capacity relaxed, like DCFS).
 	RejectOverCapacity bool
+	// Recorder, when non-nil, receives a typed decision.Record for every
+	// admission decision, in arrival order with deterministic sequence
+	// numbers. Nil disables tracing at zero cost.
+	Recorder decision.Recorder
+	// Overrides, when non-nil, forces specific decisions during a
+	// counterfactual re-run (decision.Replay builds these): a forced path
+	// replaces the marginal-cost choice, a forced rejection is reported
+	// like a capacity rejection.
+	Overrides *decision.Overrides
 }
 
 // Errors returned by Schedule.
@@ -188,6 +198,7 @@ type Scheduler struct {
 	sched    *schedule.Schedule
 	peak     float64
 	rejected int
+	recSeq   int
 }
 
 // New creates an online scheduler over the given horizon.
@@ -215,6 +226,24 @@ func (s *Scheduler) cost(x float64) float64 {
 	return s.model.G(x)
 }
 
+// pathMarginalEnergy sums the exact marginal energy of reserving rate d over
+// [a, b] on every edge of p, against the current reservations.
+func (s *Scheduler) pathMarginalEnergy(p graph.Path, a, b, d float64) float64 {
+	var sum float64
+	for _, eid := range p.Edges {
+		sum += s.res[eid].marginalEnergy(a, b, d, s.cost)
+	}
+	return sum
+}
+
+// record stamps the next sequence number on rec and emits it; call only when
+// a recorder is configured.
+func (s *Scheduler) record(rec decision.Record) {
+	rec.Seq = s.recSeq
+	s.recSeq++
+	s.opts.Recorder.Record(rec)
+}
+
 // Admit routes and schedules one newly released flow. The decision is
 // irrevocable: the flow's density is reserved on the chosen path across
 // its span.
@@ -223,6 +252,15 @@ func (s *Scheduler) Admit(f flow.Flow) error {
 		return fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
 	d := f.Density()
+	if s.opts.Overrides.Rejected(f.ID) {
+		if s.opts.Recorder != nil {
+			s.record(decision.Record{
+				Time: f.Release, Kind: decision.KindReject, Flow: f.ID,
+				Reason: "forced", Slack: f.Deadline - f.Release,
+			})
+		}
+		return fmt.Errorf("%w: flow %d force-rejected by override", ErrOverCapacity, f.ID)
+	}
 	// Marginal cost of adding rate d to link e during the flow's span:
 	// approximate with the span-average reserved rate (exact for the
 	// common case of constant reservation over the span).
@@ -238,6 +276,14 @@ func (s *Scheduler) Admit(f flow.Flow) error {
 	if err != nil {
 		return fmt.Errorf("%w: flow %d: %v", ErrNoRouteOnline, f.ID, err)
 	}
+	reason := "marginal-cost"
+	if forced, ok := s.opts.Overrides.ForcedPath(f.ID); ok {
+		if err := forced.Validate(s.g, f.Src, f.Dst); err != nil {
+			return fmt.Errorf("%w: forced path for flow %d: %v", ErrBadInput, f.ID, err)
+		}
+		p = forced
+		reason = "forced"
+	}
 	if s.opts.RejectOverCapacity && s.model.Capped() {
 		for _, eid := range p.Edges {
 			var cur float64
@@ -245,9 +291,33 @@ func (s *Scheduler) Admit(f flow.Flow) error {
 				cur = r.maxDuring(f.Release, f.Deadline)
 			}
 			if cur+d > s.model.C*(1+1e-9) {
+				if s.opts.Recorder != nil {
+					s.record(decision.Record{
+						Time: f.Release, Kind: decision.KindReject, Flow: f.ID,
+						Reason: "over-capacity", Slack: f.Deadline - f.Release,
+					})
+				}
 				return fmt.Errorf("%w: flow %d needs %v on link %d", ErrOverCapacity, f.ID, cur+d, eid)
 			}
 		}
+	}
+	if s.opts.Recorder != nil {
+		// Score the choice and its alternative before reserving: marginal
+		// energies are against the pre-admission reservations. The greedy's
+		// only other natural candidate is the min-hop path.
+		rec := decision.Record{
+			Time: f.Release, Kind: decision.KindAdmit, Flow: f.ID,
+			Reason: reason, Path: p.Edges, Rate: d,
+			MarginalEnergy: s.pathMarginalEnergy(p, f.Release, f.Deadline, d),
+			Slack:          f.Deadline - f.Release,
+		}
+		if alt, err := s.g.ShortestPath(f.Src, f.Dst); err == nil && alt.Key() != p.Key() {
+			rec.Alternatives = []decision.Alternative{{
+				Path:           alt.Edges,
+				MarginalEnergy: s.pathMarginalEnergy(alt, f.Release, f.Deadline, d),
+			}}
+		}
+		s.record(rec)
 	}
 	for _, eid := range p.Edges {
 		r := s.res[eid]

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dcnflow/internal/core"
+	"dcnflow/internal/decision"
 	"dcnflow/internal/flow"
 	"dcnflow/internal/graph"
 	"dcnflow/internal/mcfsolve"
@@ -119,6 +120,17 @@ type RollingOptions struct {
 	// which is where knowing the future committed profile beats the
 	// greedy's flat-rate placement on time-varying workloads.
 	DensityRates bool
+	// Recorder, when non-nil, receives a typed decision.Record at every
+	// epoch boundary and per-flow admission decision, in decision order
+	// (epoch order, then deadline-sorted batch order) with deterministic
+	// sequence numbers — byte-identical logs at any DCFSR parallelism.
+	// Nil disables tracing at zero cost.
+	Recorder decision.Recorder
+	// Overrides, when non-nil, forces specific decisions during a
+	// counterfactual re-run (decision.Replay builds these): a forced path
+	// replaces the candidate scoring, a forced rejection is reported like
+	// a capacity rejection.
+	Overrides *decision.Overrides
 }
 
 func (o RollingOptions) withDefaults(horizon timeline.Interval) RollingOptions {
@@ -235,7 +247,54 @@ type RollingScheduler struct {
 	stats    RollingStats
 	rejected []flow.ID
 	finished bool
+	recSeq   int
 }
+
+// record stamps the next sequence number on rec and emits it; call only when
+// a recorder is configured. Records are built and emitted serially in the
+// epoch admission loop (deadline-sorted batch order), so sequence numbers
+// never depend on solver parallelism.
+func (s *RollingScheduler) record(rec decision.Record) {
+	rec.Seq = s.recSeq
+	s.recSeq++
+	s.opts.Recorder.Record(rec)
+}
+
+// pathMarginalEnergy sums the exact marginal energy of reserving rate d over
+// [a, b] on every edge of p, against the current reservations — the same
+// metric bestPath ranks candidates by.
+func (s *RollingScheduler) pathMarginalEnergy(p graph.Path, a, b, d float64) float64 {
+	var sum float64
+	for _, eid := range p.Edges {
+		sum += s.res[eid].marginalEnergy(a, b, d, s.cost)
+	}
+	return sum
+}
+
+// alternatives scores the unchosen relaxation candidates for one admission
+// record, best (highest relaxation weight) first, capped at maxAlternatives.
+func (s *RollingScheduler) alternatives(chosen graph.Path, cands []core.CandidatePath, a, b, d float64) []decision.Alternative {
+	var alts []decision.Alternative
+	for _, c := range cands {
+		if graph.ComparePathKeys(c.Path.Edges, chosen.Edges) == 0 {
+			continue
+		}
+		alts = append(alts, decision.Alternative{
+			Path:           c.Path.Edges,
+			Weight:         c.Weight,
+			MarginalEnergy: s.pathMarginalEnergy(c.Path, a, b, d),
+		})
+		if len(alts) == maxAlternatives {
+			break
+		}
+	}
+	return alts
+}
+
+// maxAlternatives caps the candidate paths recorded per admission; the
+// relaxation distribution is weight-sorted, so the head is what a replay
+// would try anyway.
+const maxAlternatives = 3
 
 // NewRolling creates a rolling-horizon scheduler over the given horizon.
 func NewRolling(g *graph.Graph, model power.Model, horizon timeline.Interval, opts RollingOptions) (*RollingScheduler, error) {
@@ -535,14 +594,40 @@ func (s *RollingScheduler) replan(tau float64) error {
 		}
 		return batch[a].ID < batch[b].ID
 	})
+	if s.opts.Recorder != nil {
+		s.record(decision.Record{
+			Time: tau, Epoch: s.stats.Epochs, Kind: decision.KindReplan,
+			Flow: decision.NoFlow, Reason: "boundary", Pending: len(batch),
+		})
+	}
 	for _, f := range batch {
+		if s.opts.Overrides.Rejected(f.ID) {
+			if s.opts.Recorder != nil {
+				s.record(decision.Record{
+					Time: tau, Epoch: s.stats.Epochs, Kind: decision.KindReject,
+					Flow: f.ID, Reason: "forced", Slack: f.Deadline - tau,
+				})
+			}
+			s.rejected = append(s.rejected, f.ID)
+			s.stats.Rejected++
+			continue
+		}
 		rate := res.Rates[f.ID]
 		p, ok := res.Paths[f.ID]
 		if !ok || rate <= 0 {
 			return fmt.Errorf("%w: epoch at %v produced no plan for flow %d", ErrBadInput, tau, f.ID)
 		}
+		reason := "relaxation"
 		if !s.opts.SampleRounding {
 			p = s.bestPath(f, rate, res.Candidates[f.ID], tau)
+			reason = "marginal-cost"
+		}
+		if forced, fok := s.opts.Overrides.ForcedPath(f.ID); fok {
+			if err := forced.Validate(s.g, f.Src, f.Dst); err != nil {
+				return fmt.Errorf("%w: forced path for flow %d: %v", ErrBadInput, f.ID, err)
+			}
+			p = forced
+			reason = "forced"
 		}
 		// The frozen rate profile: load-shaped against the committed
 		// reservations on the chosen path, or the flat residual density.
@@ -553,6 +638,12 @@ func (s *RollingScheduler) replan(tau float64) error {
 		}
 		if segs == nil {
 			if s.opts.RejectOverCapacity && s.model.Capped() && !s.fits(p, rate, tau, f.Deadline) {
+				if s.opts.Recorder != nil {
+					s.record(decision.Record{
+						Time: tau, Epoch: s.stats.Epochs, Kind: decision.KindReject,
+						Flow: f.ID, Reason: "over-capacity", Slack: f.Deadline - tau,
+					})
+				}
 				s.rejected = append(s.rejected, f.ID)
 				s.stats.Rejected++
 				continue
@@ -561,6 +652,17 @@ func (s *RollingScheduler) replan(tau float64) error {
 				Interval: timeline.Interval{Start: tau, End: f.Deadline},
 				Rate:     rate,
 			}}
+		}
+		if s.opts.Recorder != nil {
+			// Score choice and candidates against the pre-reserve state —
+			// exactly the metric bestPath compared them on.
+			s.record(decision.Record{
+				Time: tau, Epoch: s.stats.Epochs, Kind: decision.KindAdmit,
+				Flow: f.ID, Reason: reason, Path: p.Edges, Rate: rate,
+				MarginalEnergy: s.pathMarginalEnergy(p, tau, f.Deadline, rate),
+				Slack:          f.Deadline - tau,
+				Alternatives:   s.alternatives(p, res.Candidates[f.ID], tau, f.Deadline, rate),
+			})
 		}
 		s.reserve(p, segs, 1)
 		s.committed[f.ID] = &commitment{f: f, path: p, admitted: tau, nominal: rate, segments: segs}

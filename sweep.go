@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"dcnflow/internal/decision"
 	"dcnflow/internal/stats"
 	"dcnflow/internal/sweep"
 )
@@ -325,6 +326,13 @@ type SweepCellResult struct {
 	// asserts exactly that.
 	LB      float64 `json:"lb,omitempty"`
 	LBRatio float64 `json:"lb_ratio,omitempty"`
+	// Fitness, Misses and SlackP99 are populated when SweepOptions.Fitness
+	// is set: the cell's schedule is re-scored by the discrete-event
+	// simulator and collapsed to the weighted scalar (lower better), so a
+	// sweep can rank replan policies on one axis instead of raw energy.
+	Fitness  float64 `json:"fitness,omitempty"`
+	Misses   int     `json:"misses,omitempty"`
+	SlackP99 float64 `json:"slack_p99,omitempty"`
 	// RuntimeMS is the wall-clock solve time — the one nondeterministic
 	// field, excluded from the byte-determinism contract.
 	RuntimeMS float64 `json:"runtime_ms"`
@@ -375,6 +383,12 @@ type SweepOptions struct {
 	// order — the streaming hook the CLI's JSONL writer and progress
 	// printer attach to.
 	OnCell func(SweepCellResult)
+	// Fitness, when non-nil, re-scores every solved cell through the
+	// discrete-event simulator and populates the cell's Fitness, Misses and
+	// SlackP99 fields plus the aggregate's mean-fitness column
+	// (`dcnflow sweep -fit-energy/-fit-miss/-fit-slack`). The scoring is
+	// deterministic, so the byte-determinism contract is unchanged.
+	Fitness *Fitness
 }
 
 // SweepResult is a completed sweep: per-cell results in expansion order
@@ -393,6 +407,9 @@ type SweepAggregate struct {
 	// MeanRatio and P95Ratio summarise Energy/LB over the solver's
 	// error-free cells with a positive LB (nearest-rank p95).
 	MeanRatio, P95Ratio float64
+	// MeanFitness summarises the weighted fitness over error-free cells;
+	// zero when the sweep ran without SweepOptions.Fitness.
+	MeanFitness float64
 	// MeanMS and TotalMS summarise wall-clock solve time (excluded from
 	// the determinism contract).
 	MeanMS, TotalMS float64
@@ -410,6 +427,7 @@ func (r *SweepResult) Aggregate() []SweepAggregate {
 		}
 	}
 	ratios := make(map[string][]float64)
+	fits := make(map[string][]float64)
 	for _, c := range r.Cells {
 		agg, ok := bySolver[c.Solver]
 		if !ok {
@@ -424,12 +442,14 @@ func (r *SweepResult) Aggregate() []SweepAggregate {
 		if c.LBRatio > 0 {
 			ratios[c.Solver] = append(ratios[c.Solver], c.LBRatio)
 		}
+		fits[c.Solver] = append(fits[c.Solver], c.Fitness)
 	}
 	out := make([]SweepAggregate, 0, len(order))
 	for _, name := range order {
 		agg := bySolver[name]
 		agg.MeanRatio = stats.Mean(ratios[name])
 		agg.P95Ratio = stats.Percentile(ratios[name], 0.95)
+		agg.MeanFitness = stats.Mean(fits[name])
 		if done := agg.Cells - agg.Errors; done > 0 {
 			agg.MeanMS = agg.TotalMS / float64(done)
 		}
@@ -440,9 +460,9 @@ func (r *SweepResult) Aggregate() []SweepAggregate {
 
 // AggregateTable renders the per-solver aggregate as an aligned text table.
 func (r *SweepResult) AggregateTable() string {
-	tb := stats.NewTable("solver", "cells", "errors", "mean E/LB", "p95 E/LB", "mean ms", "total ms")
+	tb := stats.NewTable("solver", "cells", "errors", "mean E/LB", "p95 E/LB", "mean fit", "mean ms", "total ms")
 	for _, a := range r.Aggregate() {
-		tb.AddRow(a.Solver, a.Cells, a.Errors, a.MeanRatio, a.P95Ratio, a.MeanMS, a.TotalMS)
+		tb.AddRow(a.Solver, a.Cells, a.Errors, a.MeanRatio, a.P95Ratio, a.MeanFitness, a.MeanMS, a.TotalMS)
 	}
 	return tb.String()
 }
@@ -568,6 +588,25 @@ func Sweep(ctx context.Context, spec *SweepSpec, opts SweepOptions) (*SweepResul
 				res.LBRatio = res.Energy / res.LB
 			}
 			res.Stats = sol.Stats
+			if opts.Fitness != nil && sol.Schedule != nil {
+				// Re-score the schedule through the simulator and collapse to
+				// the weighted scalar. The instance is the cached scenario
+				// build resolved above.
+				inst, err := eng.Instance(&cell.Scenario)
+				if err != nil {
+					res.Err = fmt.Sprintf("fitness scoring: %v", err)
+					return res, nil
+				}
+				simRes, err := Simulate(inst.Graph(), inst.Flows(), sol.Schedule, inst.Model(), SimOptions{})
+				if err != nil {
+					res.Err = fmt.Sprintf("fitness scoring: %v", err)
+					return res, nil
+				}
+				comp := decision.SimComponents(inst.Flows(), simRes)
+				res.Misses = comp.Misses
+				res.SlackP99 = comp.SlackP99
+				res.Fitness = opts.Fitness.Score(comp)
+			}
 			if opts.KeepSolutions {
 				res.Solution = sol
 			}
