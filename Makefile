@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke examples scenarios sweep-smoke serve-smoke decisions-smoke doccheck
+.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke bench-online-smoke examples scenarios sweep-smoke serve-smoke decisions-smoke doccheck
 
 build:
 	$(GO) build ./...
@@ -58,7 +58,7 @@ test:
 # test-race-online runs the packages with cross-goroutine state (the online
 # schedulers, the decision tracing they emit, the concurrent relaxation
 # fan-out they drive, the solver pools, the compiled-graph scratch pools,
-# the intra-solve parallel oracle,
+# the intra-solve parallel oracle, the incremental delta-solve suites,
 # and the sweep worker pool) under the race detector, plus the root-package
 # conformance corpus, sweep determinism tests, the intra-solve worker
 # determinism suite and the shared-Engine concurrency tests (cache LRU,
@@ -68,6 +68,7 @@ test:
 test-race-online:
 	$(GO) test -race ./internal/online/... ./internal/decision/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
 	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe|TestIntraSolve|TestAdmission|TestClient|TestPriorityRank|TestParseRetryAfter' .
+	$(GO) test -race -run 'Delta' ./internal/online/ ./internal/core/
 
 vet:
 	$(GO) vet ./...
@@ -99,6 +100,15 @@ bench-smoke:
 # fixtures cannot silently rot between bench-graph refreshes.
 bench-graph-smoke:
 	$(GO) test -run '^$$' -bench 'Large' -benchtime 1x .
+
+# bench-online-smoke is the CI-sized delta-solve pass: the delta-vs-full
+# equivalence and determinism suites, one iteration of the smallest
+# BenchmarkOnlineDelta fleet, and a validation that the committed
+# BENCH_solver.json still carries the delta entries.
+bench-online-smoke:
+	$(GO) test -run 'Delta' ./internal/online/ ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkOnlineDelta/smoke' -benchtime 1x .
+	$(GO) run ./cmd/benchjson -check BENCH_solver.json -bench 'BenchmarkOnlineDelta'
 
 # bench-serve-smoke is the CI-sized serve-bench pass: replay the small
 # smoke spec (2 clients, open admission) against a live serve subprocess

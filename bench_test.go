@@ -11,9 +11,11 @@ package dcnflow_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"dcnflow"
 	"dcnflow/internal/experiments"
@@ -352,6 +354,159 @@ func BenchmarkOnlineRolling(b *testing.B) {
 			decisions = len(mem.Records)
 		}
 		b.ReportMetric(float64(decisions), "decisions")
+	})
+}
+
+// deltaMiceFixture drives the rolling scheduler through an elephant-mice
+// trace by hand: `elephants` long-lived flows all released at t=0 against a
+// single shared deadline (one full epoch plus per-arrival delta epochs, all
+// at tau=0, so their reservations share piece boundaries), then `mice`
+// short-span arrivals at unit spacing, each triggering its own per-arrival
+// re-plan. It returns the scheduler after the elephant phase so callers can
+// time the mice phase alone — the per-arrival re-plan cost with `elephants`
+// flows in flight.
+type deltaMiceFixture struct {
+	sched *dcnflow.RollingScheduler
+	hosts []dcnflow.NodeID
+}
+
+const deltaHorizonEnd = 10_000.0
+
+func newDeltaMiceFixture(b *testing.B, ft *dcnflow.Topology, elephants int, delta bool) *deltaMiceFixture {
+	b.Helper()
+	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
+	opts := dcnflow.RollingOptions{
+		Policy: dcnflow.ArrivalCount{N: 1},
+		DCFSR: dcnflow.DCFSROptions{
+			Seed:      1,
+			Solver:    dcnflow.SolverOptions{MaxIters: 30},
+			WarmStart: true,
+		},
+	}
+	if delta {
+		opts.Delta = dcnflow.DeltaOptions{Enabled: true, DriftBound: 0.5}
+	}
+	s, err := dcnflow.NewRollingScheduler(ft.Graph, model, dcnflow.Interval{Start: 0, End: deltaHorizonEnd}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &deltaMiceFixture{sched: s, hosts: ft.Hosts}
+	h := len(ft.Hosts)
+	for i := 0; i < elephants; i++ {
+		err := s.Arrive(dcnflow.Flow{
+			ID:       dcnflow.FlowID(i + 1),
+			Src:      ft.Hosts[i%h],
+			Dst:      ft.Hosts[(i+1+i%(h-1))%h],
+			Release:  0,
+			Deadline: deltaHorizonEnd,
+			Size:     100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+// runMice fires `mice` short-span arrivals at unit spacing and returns the
+// wall-clock per-arrival cost in microseconds. Every arrival is one epoch
+// re-solve (ArrivalCount{N: 1}); with delta enabled the elephants' tail
+// interval is reused, without it every arrival re-plans the whole in-flight
+// set.
+func (f *deltaMiceFixture) runMice(b *testing.B, mice int) float64 {
+	b.Helper()
+	h := len(f.hosts)
+	start := time.Now()
+	for i := 0; i < mice; i++ {
+		t := 10 + float64(i)
+		err := f.sched.Arrive(dcnflow.Flow{
+			ID:       dcnflow.FlowID(1_000_000 + i),
+			Src:      f.hosts[(3*i)%h],
+			Dst:      f.hosts[(3*i+5)%h],
+			Release:  t,
+			Deadline: t + 8,
+			Size:     4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(mice)
+}
+
+// BenchmarkOnlineDelta measures the sensitivity-bounded delta re-solve of
+// the rolling scheduler on elephant-mice traces: a standing fleet of
+// long-lived elephants plus a stream of per-arrival mice (ISSUE: per-arrival
+// re-plan cost must stay sublinear in the in-flight flow count).
+//
+//   - smoke: the CI-sized fleet; sanity-checks that delta epochs actually
+//     fire and intervals are reused (`make bench-online-smoke`).
+//   - full-vs-delta: the same small trace with delta off vs on; reports the
+//     per-arrival speedup and both solved-interval counts.
+//   - scaling: per-arrival cost at 1.5k/12k/96k in-flight elephants (the
+//     largest point is a ~96k-flow trace) and the fitted log-log slope —
+//     sublinear means slope < 1, tracked in BENCH_solver.json.
+func BenchmarkOnlineDelta(b *testing.B) {
+	ft, err := dcnflow.FatTree(4, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("smoke", func(b *testing.B) {
+		var stats dcnflow.RollingStats
+		var perArrival float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := newDeltaMiceFixture(b, ft, 192, true)
+			b.StartTimer()
+			perArrival = f.runMice(b, 64)
+			stats = f.sched.Stats()
+		}
+		if stats.DeltaEpochs == 0 {
+			b.Fatal("no delta epochs fired")
+		}
+		if stats.ReusedIntervals == 0 {
+			b.Fatal("delta epochs reused no intervals")
+		}
+		b.ReportMetric(perArrival, "per-arrival-us")
+		b.ReportMetric(float64(stats.ReusedIntervals), "reused-intervals")
+	})
+	b.Run("full-vs-delta", func(b *testing.B) {
+		const elephants, mice = 192, 24
+		var speedup, solvedFull, solvedDelta float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			full := newDeltaMiceFixture(b, ft, elephants, false)
+			del := newDeltaMiceFixture(b, ft, elephants, true)
+			b.StartTimer()
+			usFull := full.runMice(b, mice)
+			usDelta := del.runMice(b, mice)
+			speedup = usFull / usDelta
+			solvedFull = float64(full.sched.Stats().SolvedIntervals)
+			solvedDelta = float64(del.sched.Stats().SolvedIntervals)
+		}
+		b.ReportMetric(speedup, "speedup")
+		b.ReportMetric(solvedFull, "solved-intervals-full")
+		b.ReportMetric(solvedDelta, "solved-intervals-delta")
+	})
+	b.Run("scaling", func(b *testing.B) {
+		fleets := []int{1500, 12_000, 96_000}
+		perArrival := make([]float64, len(fleets))
+		for i := 0; i < b.N; i++ {
+			for j, n := range fleets {
+				b.StopTimer()
+				f := newDeltaMiceFixture(b, ft, n, true)
+				b.StartTimer()
+				perArrival[j] = f.runMice(b, 256)
+			}
+		}
+		for j, n := range fleets {
+			b.ReportMetric(perArrival[j], fmt.Sprintf("per-arrival-us-%d", n))
+		}
+		// Fitted log-log slope of per-arrival cost vs in-flight count over
+		// the measured fleet sizes: < 1 is sublinear.
+		slope := math.Log(perArrival[len(fleets)-1]/perArrival[0]) /
+			math.Log(float64(fleets[len(fleets)-1])/float64(fleets[0]))
+		b.ReportMetric(slope, "scaling-slope")
 	})
 }
 

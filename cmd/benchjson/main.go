@@ -31,7 +31,7 @@ import (
 
 // defaultBench selects the component micro-benchmarks (not the full-figure
 // regenerations, which take minutes at paper scale).
-const defaultBench = "BenchmarkFrankWolfe$|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
+const defaultBench = "BenchmarkFrankWolfe$|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkOnlineDelta|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
 
 // graphBench selects the large-topology scale suite (10k-node SSSP and
 // intra-solve parallel Frank–Wolfe), tracked in BENCH_graph.json.
@@ -81,6 +81,7 @@ func run() error {
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
 	suite := flag.String("suite", "solver", `benchmark suite: "solver" (component micro-benchmarks, BENCH_solver.json) or "graph" (large-topology scale suite, BENCH_graph.json)`)
 	rebaseline := flag.Bool("rebaseline", false, "promote this run to the stored baseline")
+	check := flag.String("check", "", "validate an existing snapshot instead of running: the file must parse and its current section must contain an entry matching -bench (or the suite's set)")
 	flag.Parse()
 	benchtimeSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -123,6 +124,10 @@ func run() error {
 		return fmt.Errorf("unknown suite %q (want solver, graph or serve)", *suite)
 	}
 
+	if *check != "" {
+		return checkSnapshot(*check, *bench)
+	}
+
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", *bench,
 		"-benchtime", *benchtime,
@@ -163,6 +168,36 @@ func run() error {
 	}
 	report(snap)
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	return nil
+}
+
+// checkSnapshot validates a committed snapshot without running anything:
+// the file must parse as a Snapshot and its current section must hold at
+// least one entry matching the benchmark regexp — the CI gate that keeps a
+// suite's entries from silently dropping out of the tracked file.
+func checkSnapshot(path, bench string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	re, err := regexp.Compile(bench)
+	if err != nil {
+		return fmt.Errorf("-bench %q: %w", bench, err)
+	}
+	var matched int
+	for name := range snap.Current {
+		if re.MatchString(name) {
+			matched++
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("%s: no current entry matches %q", path, bench)
+	}
+	fmt.Printf("%s: %d entries match %q\n", path, matched, bench)
 	return nil
 }
 

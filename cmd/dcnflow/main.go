@@ -306,6 +306,9 @@ func runOnline(args []string) error {
 	epoch := fs.Float64("epoch", 0, "fixed re-plan period for rolling (0 = re-plan per arrival)")
 	warm := fs.Bool("warm", true, "warm-start epoch re-solves from the previous epoch")
 	reject := fs.Bool("reject", false, "admission control: reject flows that cannot fit under capacity")
+	delta := fs.Bool("delta", false, "rolling mode: enable the incremental delta re-solve across epochs")
+	deltaDrift := fs.Float64("delta-drift", 0.25, "delta mode: accumulated load-drift bound before a full re-plan")
+	deltaStale := fs.Int("delta-stale", 16, "delta mode: max consecutive delta epochs before a full re-plan (0 = unbounded)")
 	workers := fs.Int("workers", 1, "concurrent grid cells on the sweep pool (compare mode); never affects results")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -324,7 +327,8 @@ func runOnline(args []string) error {
 		// flags it would silently ignore.
 		var ignored []string
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "warm" || f.Name == "reject" {
+			switch f.Name {
+			case "warm", "reject", "delta", "delta-drift", "delta-stale":
 				ignored = append(ignored, "-"+f.Name)
 			}
 		})
@@ -369,6 +373,10 @@ func runOnline(args []string) error {
 		if *epoch > 0 {
 			policy = online.FixedPeriod{Period: *epoch}
 		}
+		var dopts core.DeltaOptions
+		if *delta {
+			dopts = core.DeltaOptions{Enabled: true, DriftBound: *deltaDrift, MaxStaleEpochs: *deltaStale}
+		}
 		res, rep, err := online.RunRolling(ft.Graph, set, model, online.RollingOptions{
 			Policy: policy,
 			DCFSR: core.DCFSROptions{
@@ -377,6 +385,7 @@ func runOnline(args []string) error {
 				WarmStart: *warm,
 			},
 			RejectOverCapacity: *reject,
+			Delta:              dopts,
 		})
 		if err != nil {
 			return err
@@ -386,6 +395,10 @@ func runOnline(args []string) error {
 		fmt.Printf("  energy %.4g (%.3fx of offline LB %.4g)\n", e, e/lb, lb)
 		fmt.Printf("  epochs %d, FW iterations %d, warm-seeded intervals %d/%d\n",
 			res.Stats.Epochs, res.Stats.FWIters, res.Stats.SeededIntervals, res.Stats.SolvedIntervals)
+		if *delta {
+			fmt.Printf("  delta epochs %d/%d, reused intervals %d\n",
+				res.Stats.DeltaEpochs, res.Stats.Epochs, res.Stats.ReusedIntervals)
+		}
 		fmt.Printf("  admitted %d, rejected %d; deadline violations %d, capacity violations %d\n",
 			rep.Admitted, rep.Rejected, rep.DeadlineViolations, rep.CapacityViolations)
 	case "greedy":

@@ -93,6 +93,35 @@ func solverDocs(repo string, names []string, cli bool) ([]string, error) {
 			return nil, err
 		}
 		missing = append(missing, more...)
+		more, err = onlineDocs(repo)
+		if err != nil {
+			return nil, err
+		}
+		missing = append(missing, more...)
+	}
+	return missing, nil
+}
+
+// onlineDocs verifies the rolling scheduler's delta-solve surface stays
+// documented: the `dcnflow online` usage text must define the delta flags,
+// and README.md and DESIGN.md must mention the delta-solve itself.
+func onlineDocs(repo string) ([]string, error) {
+	cmd := exec.Command("go", "run", "./cmd/dcnflow", "online", "-h")
+	cmd.Dir = repo
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("dcnflow online -h: %v\n%s", err, out)
+	}
+	missing := missingFlags("dcnflow online -h", string(out), onlineFlags)
+	for _, fname := range []string{"README.md", "DESIGN.md"} {
+		data, err := os.ReadFile(filepath.Join(repo, fname))
+		if err != nil {
+			return nil, err
+		}
+		re := regexp.MustCompile(`(^|[^a-zA-Z0-9-])delta-solve($|[^a-zA-Z0-9-])`)
+		if !re.MatchString(string(data)) {
+			missing = append(missing, fmt.Sprintf("%s: %q not mentioned", fname, "delta-solve"))
+		}
 	}
 	return missing, nil
 }
@@ -131,6 +160,10 @@ var decisionsFlags = []string{"-mode", "-fit-energy", "-fit-miss", "-fit-slack",
 // serveFlags are the load-management flags `dcnflow serve` must document
 // in its usage text: engine sharding and token-bucket admission control.
 var serveFlags = []string{"-shards", "-admit-rate", "-admit-burst", "-admit-queue"}
+
+// onlineFlags are the delta-solve flags `dcnflow online` must document in
+// its usage text.
+var onlineFlags = []string{"-delta", "-delta-drift", "-delta-stale"}
 
 // missingFlags reports the flags absent from a command's usage text. The
 // flag package prints definitions with a single dash and leading

@@ -295,6 +295,10 @@ type (
 	// RelaxationState carries per-interval fractional solutions across
 	// epochs for warm-started re-solves.
 	RelaxationState = core.RelaxationState
+	// DeltaOptions tunes the rolling scheduler's sensitivity-bounded
+	// incremental delta re-solve (RollingOptions.Delta): opt-in interval
+	// reuse across epochs under a load-drift bound and a staleness cap.
+	DeltaOptions = core.DeltaOptions
 	// CandidatePath is one entry of a flow's aggregated rounding
 	// distribution.
 	CandidatePath = core.CandidatePath

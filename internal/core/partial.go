@@ -50,6 +50,80 @@ type RelaxationState struct {
 	Comms [][]mcfsolve.Commodity
 	// Results holds the fractional solutions per interval.
 	Results []*mcfsolve.Result
+	// Fingerprints, when delta bookkeeping is on (DeltaOptions.Enabled),
+	// holds one fingerprint per interval (same order as Intervals); nil
+	// otherwise. The delta re-solve matches intervals across epochs on
+	// them and reuses the stored solutions of untouched intervals.
+	Fingerprints []IntervalFingerprint
+}
+
+// IntervalFingerprint summarises one interval of a RelaxationState for
+// delta reuse.
+type IntervalFingerprint struct {
+	// End is the interval's right breakpoint — the stable identity across
+	// re-plans, whose left edges advance with Now while deadlines stay put.
+	End float64
+	// Comm is an order-independent hash of the commodity multiset the
+	// stored solution was solved for; it lets a consumer cheaply reject a
+	// mismatched reuse or seed candidate before any exact comparison.
+	Comm uint64
+	// Load is the per-edge background load the interval was last stamped
+	// with (the rolling scheduler refreshes it from its reservations after
+	// each epoch's admissions). Drift is measured against it.
+	Load []float64
+	// Stale counts consecutive delta epochs the stored solution has been
+	// reused verbatim; a full solve resets it to zero.
+	Stale int
+}
+
+// DeltaOptions tunes the sensitivity-bounded delta re-solve of
+// SolveDCFSRPartial — the opt-in localized epoch path of the rolling
+// scheduler. The zero value disables delta mode entirely and changes
+// nothing about the solve.
+type DeltaOptions struct {
+	// Enabled opts into delta bookkeeping: full solves stamp per-interval
+	// fingerprints into the returned RelaxationState, and a caller that
+	// also supplies BaseLoad (plus a previous fingerprinted state) gets
+	// the localized delta path.
+	Enabled bool
+	// DriftBound caps the tolerated per-link relative load drift. An
+	// untouched interval whose background load drifted beyond the bound
+	// declines the delta solve (DeltaUsed=false: the caller must re-issue
+	// a full solve), and the rolling scheduler additionally accumulates
+	// the per-epoch Drift and forces a full re-plan once the sum exceeds
+	// the bound. Zero keeps delta solving off — fingerprints are still
+	// stamped — which pins delta mode to the full path bit for bit.
+	DriftBound float64
+	// MaxStaleEpochs caps how many consecutive delta epochs may reuse a
+	// stored interval solution before a full re-plan is forced (the delta
+	// path declines once any reused interval would exceed it). Zero means
+	// no cap.
+	MaxStaleEpochs int
+}
+
+// commHash folds a commodity multiset into an order-independent 64-bit
+// fingerprint: per-commodity FNV-1a hashes combined by XOR, so the value is
+// permutation-invariant and incrementally updatable. A collision can only
+// make a consumer slower (a reuse or seed precheck passes and the exact
+// comparison then rejects), never wrong.
+func commHash(comms []mcfsolve.Commodity) uint64 {
+	var h uint64
+	for _, c := range comms {
+		h ^= commHashOne(c)
+	}
+	return h
+}
+
+func commHashOne(c mcfsolve.Commodity) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range [...]uint64{uint64(c.ID), uint64(c.Src), uint64(c.Dst), math.Float64bits(c.Demand)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
 }
 
 // seedFor returns the warm start for a target interval solving the given
@@ -73,6 +147,13 @@ func (st *RelaxationState) seedFor(iv timeline.Interval, comms []mcfsolve.Commod
 	}
 	prev := st.Comms[i]
 	if len(prev) != len(comms) {
+		return mcfsolve.WarmStart{}
+	}
+	// Fingerprint precheck: a mismatched multiset hash rejects without
+	// building the ID map. Equal hashes still run the exact comparison, so
+	// a collision costs time, not correctness.
+	if len(st.Fingerprints) == len(st.Intervals) && st.Fingerprints[i].Comm != 0 &&
+		st.Fingerprints[i].Comm != commHash(comms) {
 		return mcfsolve.WarmStart{}
 	}
 	byID := make(map[flow.ID]mcfsolve.Commodity, len(prev))
@@ -120,6 +201,18 @@ type DCFSRPartialInput struct {
 	// Prev, with Opts.WarmStart set, seeds each interval's Frank–Wolfe
 	// solve from the previous epoch's time-aligned decomposition.
 	Prev *RelaxationState
+	// BaseLoad, when set, fills out (len = Graph.NumEdges()) with the
+	// per-edge background load during iv — the aggregate rate already
+	// reserved by in-flight commitments. Supplying it is the delta switch:
+	// Flows then holds ONLY the free arrival batch, Pinned must be empty
+	// (the background load replaces pinned commodities entirely), and the
+	// solve takes the localized delta path when Delta and Prev allow it
+	// (declining with DeltaUsed=false otherwise). Nil always takes the
+	// full path.
+	BaseLoad func(iv timeline.Interval, out []float64)
+	// Delta opts into the sensitivity-bounded delta re-solve; see
+	// DeltaOptions. The zero value changes nothing.
+	Delta DeltaOptions
 	// Argmax makes the first rounding attempt assign every free flow its
 	// modal (highest-weight) candidate path instead of sampling — the
 	// deterministic choice a model-predictive controller prefers; repair
@@ -172,7 +265,33 @@ type DCFSRPartialResult struct {
 	// link capacities (always true for uncapped models).
 	CapacityFeasible bool
 	// MaxRate is the maximum per-link per-interval aggregate planned rate.
+	// A delta solve checks (and reports) only the intervals it re-solved:
+	// untouched intervals' loads cannot have changed since their own check.
 	MaxRate float64
+	// DeltaUsed reports whether this result came from the localized delta
+	// path. When a delta attempt declines (drift beyond DriftBound, a
+	// stale-epoch cap hit, or no reusable previous state), the result
+	// carries DeltaUsed=false and no plan: the caller must re-issue a full
+	// solve with the complete flow set.
+	DeltaUsed bool
+	// ReusedIntervals counts intervals whose stored solution the delta
+	// path reused verbatim.
+	ReusedIntervals int
+	// Drift is the interval-length-weighted relative background-load drift
+	// measured across the reused intervals of a delta solve (zero on the
+	// full path). Callers accumulate it across delta epochs to decide when
+	// to fall back to a full re-plan.
+	Drift float64
+}
+
+// residual is one active flow reduced to its remaining instance at a
+// re-plan instant.
+type residual struct {
+	f       flow.Flow
+	start   float64
+	demand  float64 // residual data
+	density float64 // demand / (deadline - start)
+	pinned  bool
 }
 
 // SolveDCFSRPartial re-runs the Random-Schedule relaxation over the
@@ -218,13 +337,6 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 	opts := in.Opts.withDefaults()
 
 	// Reduce every active flow to its residual instance.
-	type residual struct {
-		f       flow.Flow
-		start   float64
-		demand  float64 // residual data
-		density float64 // demand / (deadline - start)
-		pinned  bool
-	}
 	var (
 		active []residual
 		seen   = make(map[flow.ID]bool, len(in.Flows))
@@ -302,6 +414,28 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 		}
 	}
 
+	// Localized delta path: with a background-load callback the instance is
+	// an arrival batch riding on frozen commitments, and the previous
+	// epoch's fingerprinted state lets the solve touch only the intervals
+	// the batch invalidates. The full path below is never reached with a
+	// BaseLoad — a batch-only instance without the background reuse would
+	// plan the arrivals as if the network were empty.
+	if in.BaseLoad != nil {
+		if len(in.Pinned) != 0 {
+			return nil, fmt.Errorf("%w: BaseLoad requires an empty Pinned set (the background load replaces pinned commodities)", ErrBadInput)
+		}
+		if in.Delta.Enabled && in.Delta.DriftBound > 0 && in.Intervals != nil {
+			out, used, err := solveDelta(ctx, compiled, in, opts, active, rel, res)
+			if err != nil {
+				return nil, err
+			}
+			if used {
+				return out, nil
+			}
+		}
+		return &DCFSRPartialResult{}, nil
+	}
+
 	// Cross-epoch warm seeds, resolved serially up front so the concurrent
 	// fan-out only reads them. With Opts.WarmStart the seeds slice is
 	// always non-nil — even on the first epoch, when every entry is zero —
@@ -336,6 +470,17 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 		Intervals: rel.intervals,
 		Comms:     rel.comms,
 		Results:   rel.results,
+	}
+	if in.Delta.Enabled {
+		// Delta bookkeeping: stamp per-interval fingerprints so the next
+		// epoch can localize. Load vectors are left for the caller to
+		// refresh once its admissions are in (see IntervalFingerprint.Load);
+		// stamping changes nothing about this solve's outputs.
+		fps := make([]IntervalFingerprint, len(intervals))
+		for k, iv := range intervals {
+			fps[k] = IntervalFingerprint{End: iv.End, Comm: commHash(rel.comms[k])}
+		}
+		res.State.Fingerprints = fps
 	}
 
 	// Candidate aggregation for the free flows only; pinned paths are
@@ -383,7 +528,6 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 	// Per-interval pinned base load, shared by every attempt.
 	nE := in.Graph.NumEdges()
 	base := make([][]float64, len(intervals))
-	load := make([]float64, nE)
 	for k, iv := range intervals {
 		base[k] = make([]float64, nE)
 		for _, r := range active {
@@ -394,9 +538,30 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 			}
 		}
 	}
+	best, bestMaxRate, feasibleFound, attempts := roundFreeFlows(free, cands, intervals, base, interner, opts, in.Argmax, capLimit, nE)
+	for _, r := range free {
+		res.Paths[r.f.ID] = interner.Path(best[r.f.ID])
+	}
+	res.Attempts = attempts
+	res.CapacityFeasible = feasibleFound
+	res.MaxRate = bestMaxRate
+	return res, nil
+}
+
+// roundFreeFlows draws one candidate path per free flow — modal-first when
+// argmax is set — and re-samples on capacity violations, keeping the
+// least-violating assignment (Algorithm 2's repeat-until-feasible loop).
+// base[k] is the background load of intervals[k]; a nil entry skips that
+// interval's capacity accounting entirely (the delta path checks only the
+// intervals it re-solved, where every free flow lives).
+func roundFreeFlows(free []residual, cands map[flow.ID][]candidate, intervals []timeline.Interval, base [][]float64, interner *graph.PathInterner, opts DCFSROptions, argmax bool, capLimit float64, nE int) (map[flow.ID]graph.PathHandle, float64, bool, int) {
+	load := make([]float64, nE)
 	maxAssignedRate := func(chosen map[flow.ID]graph.PathHandle) float64 {
 		var max float64
 		for k, iv := range intervals {
+			if base[k] == nil {
+				continue
+			}
 			copy(load, base[k])
 			for _, r := range free {
 				if r.start <= iv.Start+timeline.Eps && r.f.Deadline >= iv.End-timeline.Eps {
@@ -426,7 +591,7 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 		chosen := make(map[flow.ID]graph.PathHandle, len(free))
 		for _, r := range free {
 			list := cands[r.f.ID]
-			if in.Argmax && attempts == 1 {
+			if argmax && attempts == 1 {
 				chosen[r.f.ID] = list[0].handle
 			} else {
 				chosen[r.f.ID] = samplePath(rng, list)
@@ -445,11 +610,205 @@ func SolveDCFSRPartialCtx(ctx context.Context, in DCFSRPartialInput) (*DCFSRPart
 	if attempts > opts.MaxRoundingAttempts {
 		attempts = opts.MaxRoundingAttempts
 	}
+	return best, bestMaxRate, feasibleFound, attempts
+}
+
+// relLoadDev is the drift metric of the delta path: the largest per-edge
+// absolute load change, normalized by the larger of the two load peaks so
+// the measure is scale-free. Zero when both vectors are all-zero.
+func relLoadDev(old, cur []float64) float64 {
+	var num, den float64
+	for e := range cur {
+		o := old[e]
+		if d := math.Abs(cur[e] - o); d > num {
+			num = d
+		}
+		if o > den {
+			den = o
+		}
+		if cur[e] > den {
+			den = cur[e]
+		}
+	}
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// solveDelta is the localized epoch re-solve. The instance holds only the
+// arrival batch (free), in.BaseLoad supplies the committed background load,
+// and in.Prev's fingerprints identify which intervals the batch leaves
+// untouched: an interval is touched when no previous interval shares its
+// right breakpoint or when a batch flow covers it. Untouched intervals are
+// reused verbatim — sound because a sub-interval of a previous interval
+// inherits its rate-based solution, and every commodity of a previous epoch
+// started at that epoch's Now, so coverage (hence the multiset) depends
+// only on the shared right breakpoint. The solve declines — (nil, false,
+// nil), caller falls back to a full re-plan — when an untouched interval
+// exceeds the stale cap or its background load drifted past DriftBound;
+// such an interval cannot be re-solved here because its commodities are not
+// part of the batch-only instance.
+func solveDelta(ctx context.Context, compiled *graph.Compiled, in DCFSRPartialInput, opts DCFSROptions, free []residual, rel *relaxation, res *DCFSRPartialResult) (*DCFSRPartialResult, bool, error) {
+	prev := in.Prev
+	if prev == nil || len(prev.Intervals) == 0 || len(prev.Fingerprints) != len(prev.Intervals) {
+		return nil, false, nil
+	}
+	intervals := rel.intervals
+	nE := in.Graph.NumEdges()
+	K := len(intervals)
+	touched := make([]bool, K)
+	matched := make([]int, K)
+	loads := make([][]float64, K)
+	p := 0
+	for k, iv := range intervals {
+		for p < len(prev.Intervals) && prev.Intervals[p].End < iv.End-timeline.Eps {
+			p++
+		}
+		matched[k] = -1
+		if p < len(prev.Intervals) && math.Abs(prev.Intervals[p].End-iv.End) <= timeline.Eps {
+			matched[k] = p
+		}
+		loads[k] = make([]float64, nE)
+		in.BaseLoad(iv, loads[k])
+		touched[k] = matched[k] < 0 || len(rel.comms[k]) > 0
+	}
+
+	var totalLen float64
+	for _, iv := range intervals {
+		totalLen += iv.Length()
+	}
+	var drift float64
+	for k, iv := range intervals {
+		if touched[k] {
+			continue
+		}
+		fp := &prev.Fingerprints[matched[k]]
+		if in.Delta.MaxStaleEpochs > 0 && fp.Stale+1 > in.Delta.MaxStaleEpochs {
+			return nil, false, nil
+		}
+		if fp.Load == nil {
+			continue // never stamped: nothing to measure drift against
+		}
+		d := relLoadDev(fp.Load, loads[k])
+		if d > in.Delta.DriftBound {
+			return nil, false, nil
+		}
+		if totalLen > 0 {
+			drift += d * iv.Length() / totalLen
+		}
+	}
+
+	// Solve the touched intervals serially against their background loads;
+	// the touched set is exactly what the delta bounds, so fan-out would
+	// buy little here.
+	pool := opts.Solvers
+	if pool != nil && !pool.Matches(compiled.Graph(), in.Model, opts.Solver) {
+		pool = nil
+	}
+	var solver *mcfsolve.Solver
+	if pool != nil {
+		sv, err := pool.Acquire()
+		if err != nil {
+			return nil, false, err
+		}
+		defer pool.Release(sv)
+		solver = sv
+	} else {
+		sv, err := mcfsolve.NewSolverCompiled(compiled, in.Model, opts.Solver)
+		if err != nil {
+			return nil, false, err
+		}
+		solver = sv
+	}
+	state := &RelaxationState{
+		Now:          in.Now,
+		Intervals:    intervals,
+		Comms:        make([][]mcfsolve.Commodity, K),
+		Results:      make([]*mcfsolve.Result, K),
+		Fingerprints: make([]IntervalFingerprint, K),
+	}
+	var lower float64
+	for k, iv := range intervals {
+		if !touched[k] {
+			fp := prev.Fingerprints[matched[k]]
+			state.Comms[k] = prev.Comms[matched[k]]
+			state.Results[k] = prev.Results[matched[k]]
+			// Load is carried over verbatim — NOT restamped — so drift keeps
+			// accumulating against the last fully-solved snapshot.
+			state.Fingerprints[k] = IntervalFingerprint{End: iv.End, Comm: fp.Comm, Load: fp.Load, Stale: fp.Stale + 1}
+			if state.Results[k] != nil {
+				lower += state.Results[k].Objective * iv.Length()
+			}
+			res.ReusedIntervals++
+			continue
+		}
+		state.Comms[k] = rel.comms[k]
+		state.Fingerprints[k] = IntervalFingerprint{End: iv.End, Comm: commHash(rel.comms[k]), Load: loads[k]}
+		if len(rel.comms[k]) == 0 {
+			continue
+		}
+		r, err := solver.SolveBaseWarmCtx(ctx, rel.comms[k], loads[k], mcfsolve.WarmStart{})
+		if err != nil {
+			return nil, false, fmt.Errorf("delta interval %d: %w", k, err)
+		}
+		state.Results[k] = r
+		res.FWIters += r.Iters
+		// Touched intervals contribute the batch's MARGINAL objective on
+		// top of the background, reused intervals their stored absolute
+		// objective — the sum is a progress diagnostic, not a valid bound.
+		lower += r.Objective * iv.Length()
+	}
+	res.State = state
+	res.ResidualLowerBound = lower
+	res.Intervals = K
+	res.DeltaUsed = true
+	res.Drift = drift
+
+	// Candidate aggregation and rounding restricted to the touched
+	// intervals. This loses nothing: every batch flow starts at Now, so it
+	// covers an interval iff its deadline reaches the interval's end, and
+	// every interval it covers is touched by construction.
+	spans := make(map[flow.ID]float64, len(free))
+	for _, r := range free {
+		spans[r.f.ID] = r.f.Deadline - r.start
+		res.Rates[r.f.ID] = r.density
+		res.Starts[r.f.ID] = r.start
+	}
+	tRel := &relaxation{}
+	roundBase := make([][]float64, K)
+	for k := range intervals {
+		if touched[k] {
+			roundBase[k] = loads[k]
+			tRel.intervals = append(tRel.intervals, intervals[k])
+			tRel.comms = append(tRel.comms, rel.comms[k])
+			tRel.results = append(tRel.results, state.Results[k])
+		}
+	}
+	interner := graph.NewPathInterner()
+	cands := aggregateCandidates(tRel, spans, interner)
+	res.Candidates = make(map[flow.ID][]CandidatePath, len(free))
+	for _, r := range free {
+		list := cands[r.f.ID]
+		if len(list) == 0 {
+			return nil, false, fmt.Errorf("%w: flow %d received no candidate paths", ErrInfeasible, r.f.ID)
+		}
+		out := make([]CandidatePath, len(list))
+		for i, c := range list {
+			out[i] = CandidatePath{Path: interner.Path(c.handle), Weight: c.weight}
+		}
+		res.Candidates[r.f.ID] = out
+	}
+	capLimit := math.Inf(1)
+	if in.Model.Capped() {
+		capLimit = in.Model.C
+	}
+	best, bestMaxRate, feasibleFound, attempts := roundFreeFlows(free, cands, intervals, roundBase, interner, opts, in.Argmax, capLimit, nE)
 	for _, r := range free {
 		res.Paths[r.f.ID] = interner.Path(best[r.f.ID])
 	}
 	res.Attempts = attempts
 	res.CapacityFeasible = feasibleFound
 	res.MaxRate = bestMaxRate
-	return res, nil
+	return res, true, nil
 }

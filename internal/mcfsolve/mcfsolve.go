@@ -300,6 +300,13 @@ type Solver struct {
 	support []int32   // line-search delta support (edge ids)
 	handles []graph.PathHandle
 	decomps []decomp
+
+	// base, when non-nil, is a fixed background load added to every edge
+	// before the cost and its derivative are evaluated (set by
+	// SolveBaseWarmCtx for the duration of one solve). It shifts the
+	// operating point of the convex costs without entering the flow
+	// variables, so conservation and the path decomposition are untouched.
+	base []float64
 }
 
 // NewSolver validates the model and prepares reusable state for solving
@@ -393,6 +400,25 @@ func (s *Solver) SolveWarm(commodities []Commodity, warm WarmStart) (*Result, er
 	return s.SolveWarmCtx(context.Background(), commodities, warm)
 }
 
+// SolveBaseWarmCtx is SolveWarmCtx against a fixed background load: the
+// per-edge cost and its derivative are evaluated at base[e] + x_e, where x
+// is the flow routed for the given commodities, and the reported Objective
+// is the marginal cost sum_e [cost(base_e + x_e) - cost(base_e)] of the
+// routed flow on top of the background. A rolling-horizon delta re-solve
+// uses this to route a small arrival batch against the load already
+// reserved by thousands of in-flight flows without materialising those
+// flows as commodities. base must have length NumEdges; nil degenerates to
+// SolveWarmCtx exactly (the base-free hot loops run untouched, keeping
+// default results bit-identical).
+func (s *Solver) SolveBaseWarmCtx(ctx context.Context, commodities []Commodity, base []float64, warm WarmStart) (*Result, error) {
+	if base != nil && len(base) != s.csr.NumEdges() {
+		return nil, fmt.Errorf("%w: base load has %d edges, graph has %d", ErrBadInput, len(base), s.csr.NumEdges())
+	}
+	s.base = base
+	defer func() { s.base = nil }()
+	return s.SolveWarmCtx(ctx, commodities, warm)
+}
+
 // SolveWarmCtx is SolveWarm under a context (see SolveCtx for the
 // cancellation contract). A nil ctx is treated as context.Background().
 func (s *Solver) SolveWarmCtx(ctx context.Context, commodities []Commodity, warm WarmStart) (*Result, error) {
@@ -464,10 +490,20 @@ func (s *Solver) SolveWarmCtx(ctx context.Context, commodities []Commodity, warm
 	// common linear-derivative case (alpha == 2, no envelope kink) so the
 	// cost evaluates inline; arithmetic and term order match the generic
 	// cost.val/cost.deriv calls exactly, keeping the sums bit-identical.
+	// With a background load (SolveBaseWarmCtx) every loop instead takes a
+	// dedicated offset branch, leaving the base-free paths byte-for-byte
+	// untouched; the objective is then the marginal cost over the base.
 	cost := &s.cost
+	base := s.base
 	lin, dK, gMu, pen, capC := cost.lin, cost.dK, cost.gMu, cost.pen, cost.c
 	objective := func(v []float64) float64 {
 		var sum float64
+		if base != nil {
+			for eid, xv := range v {
+				sum += cost.val(base[eid]+xv) - cost.val(base[eid])
+			}
+			return sum
+		}
 		if lin {
 			for _, xv := range v {
 				var cv float64
@@ -505,7 +541,11 @@ func (s *Solver) SolveWarmCtx(ctx context.Context, commodities []Commodity, warm
 		// bit-for-bit.
 		slotW := s.orc.slotWeights()
 		slotEdges := s.csr.AdjEdge
-		if lin {
+		if base != nil {
+			for i, eid := range slotEdges {
+				slotW[i] = cost.deriv(base[eid]+x[eid]) + 1e-12
+			}
+		} else if lin {
 			for i, eid := range slotEdges {
 				xv := x[eid]
 				var d float64
@@ -536,7 +576,11 @@ func (s *Solver) SolveWarmCtx(ctx context.Context, commodities []Commodity, warm
 		}
 		// Duality gap: grad(x) . (x - xHat).
 		gap = 0
-		if lin {
+		if base != nil {
+			for eid := range x {
+				gap += cost.deriv(base[eid]+x[eid]) * (x[eid] - xNew[eid])
+			}
+		} else if lin {
 			for eid, xv := range x {
 				var d float64
 				if xv > 0 {
@@ -684,6 +728,7 @@ func (s *Solver) emit(d *decomp, demand float64) []WeightedPath {
 // monotone derivative over the support.
 func (s *Solver) lineSearch(x, xHat []float64) float64 {
 	cost := &s.cost
+	base := s.base
 	support := s.support[:0]
 	// penActive: the capacity penalty kicks in somewhere on the segment
 	// for some support edge, so the restriction picks up extra kinks.
@@ -700,15 +745,25 @@ func (s *Solver) lineSearch(x, xHat []float64) float64 {
 	if len(support) == 0 {
 		return 0
 	}
-	quadOK := cost.quad && !penActive
+	// A background load shifts the operating point, so the specialised
+	// probe loops (which assume the raw flow is the cost argument) are
+	// disabled; the generic offset branch evaluates the full derivative.
+	quadOK := cost.quad && !penActive && base == nil
 	// The probe loop is the line search's hot spot; specialise the common
 	// linear-derivative case (alpha == 2, penalty inactive on the whole
 	// segment: every probe point v lies between x and xHat, hence below c)
 	// so the derivative evaluates inline. Term order and arithmetic match
 	// the generic loop exactly, so both produce bit-identical sums.
-	linProbe := cost.lin && !penActive
+	linProbe := cost.lin && !penActive && base == nil
 	phiDeriv := func(gamma float64) float64 {
 		var d float64
+		if base != nil {
+			for _, ei := range support {
+				v := (1-gamma)*x[ei] + gamma*xHat[ei]
+				d += cost.deriv(base[ei]+v) * (xHat[ei] - x[ei])
+			}
+			return d
+		}
 		if linProbe {
 			dK := cost.dK
 			for _, ei := range support {

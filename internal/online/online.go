@@ -85,9 +85,21 @@ type reservation struct {
 	segs []schedule.RateSegment
 }
 
-// rateAt returns the reserved rate at instant t.
+// rateAt returns the reserved rate at instant t. The pieces are disjoint
+// and sorted, so the first piece whose end reaches t is the only one that
+// can contain it.
 func (r *reservation) rateAt(t float64) float64 {
-	for _, s := range r.segs {
+	i := sort.Search(len(r.segs), func(k int) bool { return r.segs[k].Interval.End >= t-timeline.Eps })
+	if i < len(r.segs) && r.segs[i].Interval.Contains(t) {
+		return r.segs[i].Rate
+	}
+	return 0
+}
+
+// rateIn is rateAt restricted to a window of pieces (used by the localized
+// rebuild in add, whose probe points never fall outside the window).
+func rateIn(segs []schedule.RateSegment, t float64) float64 {
+	for _, s := range segs {
 		if s.Interval.Contains(t) {
 			return s.Rate
 		}
@@ -95,19 +107,39 @@ func (r *reservation) rateAt(t float64) float64 {
 	return 0
 }
 
-// add reserves rate over [a, b], splitting existing pieces as needed.
+// add reserves rate over [a, b] (negative rate releases), splitting existing
+// pieces as needed. The rebuild is localized: pieces further than 2*Eps from
+// [a, b] cannot interact with the insertion — their boundaries are outside
+// the Breakpoints dedup reach of a and b, no probe point inside them gains
+// the new rate, and surviving adjacent pieces are never re-mergeable (the
+// merge below is what built them, so its condition already failed between
+// them) — so only the overlapping window is re-derived and spliced back,
+// turning the old O(n) full rebuild per insertion into O(log n + window)
+// probe work plus a tail move. One extra piece on each side rides along so
+// boundary-sharing neighbours see the exact probe context the full rebuild
+// gave them.
 func (r *reservation) add(a, b, rate float64) {
-	// Collect boundary points.
-	bounds := []float64{a, b}
-	for _, s := range r.segs {
+	const slack = 2 * timeline.Eps
+	i := sort.Search(len(r.segs), func(k int) bool { return r.segs[k].Interval.End >= a-slack })
+	j := sort.Search(len(r.segs), func(k int) bool { return r.segs[k].Interval.Start > b+slack })
+	if i > 0 {
+		i--
+	}
+	if j < len(r.segs) {
+		j++
+	}
+	window := r.segs[i:j]
+	bounds := make([]float64, 0, 2*len(window)+2)
+	bounds = append(bounds, a, b)
+	for _, s := range window {
 		bounds = append(bounds, s.Interval.Start, s.Interval.End)
 	}
 	bounds = timeline.Breakpoints(bounds)
-	var out []schedule.RateSegment
-	for i := 0; i+1 < len(bounds); i++ {
-		lo, hi := bounds[i], bounds[i+1]
+	out := make([]schedule.RateSegment, 0, len(window)+2)
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
 		mid := (lo + hi) / 2
-		cur := r.rateAt(mid)
+		cur := rateIn(window, mid)
 		if mid >= a && mid <= b {
 			cur += rate
 		}
@@ -123,7 +155,19 @@ func (r *reservation) add(a, b, rate float64) {
 			}
 		}
 	}
-	r.segs = out
+	// Splice the rebuilt window over [i, j) in place; copy is memmove-safe
+	// in both shift directions.
+	switch delta := len(out) - (j - i); {
+	case delta == 0:
+		copy(r.segs[i:j], out)
+	case delta < 0:
+		copy(r.segs[i:], out)
+		r.segs = append(r.segs[:i+len(out)], r.segs[j:]...)
+	default:
+		r.segs = append(r.segs, make([]schedule.RateSegment, delta)...)
+		copy(r.segs[i+len(out):], r.segs[j:len(r.segs)-delta])
+		copy(r.segs[i:], out)
+	}
 }
 
 // marginalEnergy integrates cost(cur(t)+d) - cost(cur(t)) over [a, b],
@@ -138,7 +182,9 @@ func (r *reservation) marginalEnergy(a, b, d float64, cost func(float64) float64
 	var sum float64
 	cur := a
 	if r != nil {
-		for _, s := range r.segs {
+		i := sort.Search(len(r.segs), func(k int) bool { return r.segs[k].Interval.End > a+timeline.Eps })
+		for ; i < len(r.segs); i++ {
+			s := r.segs[i]
 			if s.Interval.End <= cur+timeline.Eps {
 				continue
 			}
@@ -175,12 +221,24 @@ func (r *reservation) prune(t float64) {
 	r.segs = keep
 }
 
-// maxDuring returns the maximum reserved rate within [a, b].
+// maxDuring returns the maximum reserved rate within [a, b]. Only pieces
+// overlapping the window by more than timeline.Eps count: a piece ending
+// exactly at a (or starting exactly at b) is a zero-measure touch, so a flow
+// starting exactly when another finishes must not see the finished flow's
+// rate (the back-to-back knife edge that would otherwise spuriously trip
+// RejectOverCapacity). The strict-overlap guard is stated explicitly here
+// rather than inherited from Interval.Intersect's non-empty contract, and
+// the binary search makes the query O(log n + overlap) on long
+// reservations.
 func (r *reservation) maxDuring(a, b float64) float64 {
 	var max float64
-	win := timeline.Interval{Start: a, End: b}
-	for _, s := range r.segs {
-		if _, ok := s.Interval.Intersect(win); ok && s.Rate > max {
+	i := sort.Search(len(r.segs), func(k int) bool { return r.segs[k].Interval.End > a+timeline.Eps })
+	for ; i < len(r.segs); i++ {
+		s := r.segs[i]
+		if s.Interval.Start >= b-timeline.Eps {
+			break
+		}
+		if math.Min(s.Interval.End, b)-math.Max(s.Interval.Start, a) > timeline.Eps && s.Rate > max {
 			max = s.Rate
 		}
 	}
@@ -262,8 +320,9 @@ func (s *Scheduler) Admit(f flow.Flow) error {
 		return fmt.Errorf("%w: flow %d force-rejected by override", ErrOverCapacity, f.ID)
 	}
 	// Marginal cost of adding rate d to link e during the flow's span:
-	// approximate with the span-average reserved rate (exact for the
-	// common case of constant reservation over the span).
+	// evaluate the cost delta at the span-maximum reserved rate
+	// (maxDuring), a conservative estimate that is exact for the common
+	// case of constant reservation over the span.
 	weight := func(e graph.Edge) float64 {
 		r := s.res[e.ID]
 		var cur float64

@@ -1,0 +1,325 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcnflow/internal/flow"
+	"dcnflow/internal/graph"
+	"dcnflow/internal/power"
+	"dcnflow/internal/schedule"
+	"dcnflow/internal/timeline"
+	"dcnflow/internal/topology"
+)
+
+// resOp is one reservation mutation, recorded so the oracle can recompute
+// the true piecewise-constant rate function from scratch.
+type resOp struct{ a, b, rate float64 }
+
+// flowAt builds one flow literal for the admission tests.
+func flowAt(id flow.ID, src, dst graph.NodeID, release, deadline, size float64) flow.Flow {
+	return flow.Flow{ID: id, Src: src, Dst: dst, Release: release, Deadline: deadline, Size: size}
+}
+
+// oracleRate is the ground-truth reserved rate at t: the sum of every
+// operation whose half-open window [a, b) contains t.
+func oracleRate(ops []resOp, t float64) float64 {
+	var sum float64
+	for _, op := range ops {
+		if t >= op.a && t < op.b {
+			sum += op.rate
+		}
+	}
+	return sum
+}
+
+// oracleBounds collects every operation endpoint inside [a, b] — the grid a
+// brute-force piecewise integration refines over.
+func oracleBounds(ops []resOp, a, b float64) []float64 {
+	pts := []float64{a, b}
+	for _, op := range ops {
+		if op.a > a && op.a < b {
+			pts = append(pts, op.a)
+		}
+		if op.b > a && op.b < b {
+			pts = append(pts, op.b)
+		}
+	}
+	return timeline.Breakpoints(pts)
+}
+
+// oracleMarginalEnergy brute-force integrates cost(cur+d) - cost(cur) over
+// [a, b] piece by piece on the operation grid.
+func oracleMarginalEnergy(ops []resOp, a, b, d float64, cost func(float64) float64) float64 {
+	if b <= a {
+		return 0
+	}
+	pts := oracleBounds(ops, a, b)
+	var sum float64
+	for i := 0; i+1 < len(pts); i++ {
+		mid := (pts[i] + pts[i+1]) / 2
+		cur := oracleRate(ops, mid)
+		sum += (cost(cur+d) - cost(cur)) * (pts[i+1] - pts[i])
+	}
+	return sum
+}
+
+// oracleMaxDuring brute-force maximizes the rate over the cells of [a, b].
+func oracleMaxDuring(ops []resOp, a, b float64) float64 {
+	pts := oracleBounds(ops, a, b)
+	var max float64
+	for i := 0; i+1 < len(pts); i++ {
+		if r := oracleRate(ops, (pts[i]+pts[i+1])/2); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// addRebuild is the pre-refactor O(n) full rebuild of reservation.add, kept
+// verbatim as the behavioural oracle for the localized splice.
+func addRebuild(r *reservation, a, b, rate float64) {
+	bounds := []float64{a, b}
+	for _, s := range r.segs {
+		bounds = append(bounds, s.Interval.Start, s.Interval.End)
+	}
+	bounds = timeline.Breakpoints(bounds)
+	var out []schedule.RateSegment
+	rateAtLinear := func(t float64) float64 {
+		for _, s := range r.segs {
+			if s.Interval.Contains(t) {
+				return s.Rate
+			}
+		}
+		return 0
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		mid := (lo + hi) / 2
+		cur := rateAtLinear(mid)
+		if mid >= a && mid <= b {
+			cur += rate
+		}
+		if cur > timeline.Eps {
+			if len(out) > 0 && math.Abs(out[len(out)-1].Rate-cur) < 1e-12 &&
+				math.Abs(out[len(out)-1].Interval.End-lo) <= timeline.Eps {
+				out[len(out)-1].Interval.End = hi
+			} else {
+				out = append(out, schedule.RateSegment{
+					Interval: timeline.Interval{Start: lo, End: hi},
+					Rate:     cur,
+				})
+			}
+		}
+	}
+	r.segs = out
+}
+
+// randomOps draws a workload of reservations and releases on a coarse grid
+// (steps of 0.5 over [0, 100], far above Eps): roughly a third of the
+// operations release a previously added window, mirroring how rebalance
+// removes exactly what reserve added.
+func randomOps(rng *rand.Rand, n int) []resOp {
+	var ops []resOp
+	var added []resOp
+	for len(ops) < n {
+		if len(added) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(added))
+			op := added[i]
+			added = append(added[:i], added[i+1:]...)
+			ops = append(ops, resOp{op.a, op.b, -op.rate})
+			continue
+		}
+		a := float64(rng.Intn(180)) / 2
+		b := a + 0.5 + float64(rng.Intn(40))/2
+		rate := 0.5 + rng.Float64()*4
+		op := resOp{a, b, rate}
+		ops = append(ops, op)
+		added = append(added, op)
+	}
+	return ops
+}
+
+// TestReservationAddMatchesRebuild pins the localized splice to the old full
+// rebuild: after every operation of many random workloads, the piece lists
+// must be identical.
+func TestReservationAddMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var got, want reservation
+		for i, op := range randomOps(rng, 60) {
+			got.add(op.a, op.b, op.rate)
+			addRebuild(&want, op.a, op.b, op.rate)
+			if len(got.segs) != len(want.segs) {
+				t.Fatalf("trial %d op %d: %d pieces, want %d\n got: %v\nwant: %v",
+					trial, i, len(got.segs), len(want.segs), got.segs, want.segs)
+			}
+			for k := range got.segs {
+				if got.segs[k] != want.segs[k] {
+					t.Fatalf("trial %d op %d piece %d: %+v, want %+v",
+						trial, i, k, got.segs[k], want.segs[k])
+				}
+			}
+		}
+	}
+}
+
+// TestReservationOracle property-checks rateAt, maxDuring and marginalEnergy
+// against the brute-force oracle over randomized operation sets.
+func TestReservationOracle(t *testing.T) {
+	cost := func(x float64) float64 { return x * x }
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		var r reservation
+		ops := randomOps(rng, 40)
+		for _, op := range ops {
+			r.add(op.a, op.b, op.rate)
+		}
+		// rateAt at cell midpoints (never on a boundary, where the two
+		// representations may legitimately disagree within Eps).
+		pts := oracleBounds(ops, 0, 100)
+		for i := 0; i+1 < len(pts); i++ {
+			mid := (pts[i] + pts[i+1]) / 2
+			want := oracleRate(ops, mid)
+			if want < timeline.Eps {
+				want = 0 // add drops zero-rate pieces
+			}
+			if got := r.rateAt(mid); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: rateAt(%v) = %v, want %v", trial, mid, got, want)
+			}
+		}
+		for q := 0; q < 25; q++ {
+			a := float64(rng.Intn(180)) / 2
+			b := a + 0.5 + float64(rng.Intn(60))/2
+			d := 0.5 + rng.Float64()*2
+			if got, want := r.maxDuring(a, b), oracleMaxDuring(ops, a, b); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: maxDuring(%v, %v) = %v, want %v", trial, a, b, got, want)
+			}
+			got := r.marginalEnergy(a, b, d, cost)
+			want := oracleMarginalEnergy(ops, a, b, d, cost)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: marginalEnergy(%v, %v, %v) = %v, want %v", trial, a, b, d, got, want)
+			}
+		}
+	}
+}
+
+// TestReservationPruneOracle checks that pruning preserves every query on
+// windows at or after the prune instant.
+func TestReservationPruneOracle(t *testing.T) {
+	cost := func(x float64) float64 { return x * x }
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		var r reservation
+		ops := randomOps(rng, 40)
+		for _, op := range ops {
+			r.add(op.a, op.b, op.rate)
+		}
+		cut := float64(rng.Intn(100))
+		r.prune(cut)
+		for q := 0; q < 20; q++ {
+			a := cut + float64(rng.Intn(60))/2
+			b := a + 0.5 + float64(rng.Intn(40))/2
+			if got, want := r.maxDuring(a, b), oracleMaxDuring(ops, a, b); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: post-prune maxDuring(%v, %v) = %v, want %v", trial, a, b, got, want)
+			}
+			got := r.marginalEnergy(a, b, 1, cost)
+			want := oracleMarginalEnergy(ops, a, b, 1, cost)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: post-prune marginalEnergy(%v, %v) = %v, want %v", trial, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestReservationKnifeEdge pins the back-to-back endpoint semantics audited
+// for the online path: a piece that only touches the query window at a
+// single instant (zero-length intersection) must not contribute its rate,
+// so a flow starting exactly when another finishes sees free capacity.
+func TestReservationKnifeEdge(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []resOp
+		a, b float64
+		want float64
+	}{
+		{"ends-at-window-start", []resOp{{0, 5, 3}}, 5, 10, 0},
+		{"starts-at-window-end", []resOp{{5, 10, 3}}, 0, 5, 0},
+		{"strictly-inside", []resOp{{0, 5, 3}}, 4, 10, 3},
+		{"back-to-back-pair", []resOp{{0, 5, 3}, {5, 10, 2}}, 5, 10, 2},
+		{"eps-overlap-only", []resOp{{0, 5 + timeline.Eps/2, 3}}, 5, 10, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r reservation
+			for _, op := range tc.segs {
+				r.add(op.a, op.b, op.rate)
+			}
+			if got := r.maxDuring(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("maxDuring(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGreedyBackToBackAdmission is the end-to-end face of the knife edge: a
+// link fully saturated until t=5 must still admit a capacity-filling flow
+// that starts exactly at t=5 under RejectOverCapacity.
+func TestGreedyBackToBackAdmission(t *testing.T) {
+	top, src, dst, err := topology.ParallelLinks(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 4}
+	s, err := New(top.Graph, m, timeline.Interval{Start: 0, End: 10}, Options{RejectOverCapacity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(flowAt(1, src, dst, 0, 5, 20)); err != nil { // density 4 = C
+		t.Fatalf("first flow: %v", err)
+	}
+	if err := s.Admit(flowAt(2, src, dst, 5, 10, 20)); err != nil {
+		t.Fatalf("back-to-back flow spuriously rejected: %v", err)
+	}
+}
+
+// TestGreedyAdmitWeightUsesSpanMaximum pins the documented Admit weight
+// metric: candidates are compared at the span-MAXIMUM reserved rate, not
+// the span average. One parallel link carries a short, high spike (high
+// maximum, low average), the other a constant medium load chosen between
+// the two; the admitted flow must avoid the spiked link.
+func TestGreedyAdmitWeightUsesSpanMaximum(t *testing.T) {
+	top, src, dst, err := topology.ParallelLinks(2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.Model{Mu: 1, Alpha: 2, C: 1e9}
+	s, err := New(top.Graph, m, timeline.Interval{Start: 0, End: 100}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First src->dst link (edge 0): rate-10 spike over 1% of the span
+	// (average 0.1). Second src->dst link (edge 2): constant rate 4.
+	// Span-max prefers the constant link; span-average would prefer the
+	// spiked one.
+	s.res[0] = &reservation{}
+	s.res[0].add(0, 1, 10)
+	s.res[2] = &reservation{}
+	s.res[2].add(0, 100, 4)
+	if err := s.Admit(flowAt(7, src, dst, 0, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	p := s.sched.FlowSchedule(7).Path
+	if len(p.Edges) != 1 || p.Edges[0] != 2 {
+		t.Fatalf("flow routed over edges %v, want the constant-load link (edge 2): "+
+			"the weight must use maxDuring, not the span average", p.Edges)
+	}
+	// The documented formula, verified numerically on both candidates.
+	d := 1.0 // size 100 over span 100
+	w0 := m.G(10+d) - m.G(10) + 1e-9
+	w1 := m.G(4+d) - m.G(4) + 1e-9
+	if !(w1 < w0) {
+		t.Fatalf("test premise broken: w1=%v should beat w0=%v", w1, w0)
+	}
+}

@@ -131,6 +131,13 @@ type RollingOptions struct {
 	// replaces the candidate scoring, a forced rejection is reported like
 	// a capacity rejection.
 	Overrides *decision.Overrides
+	// Delta enables the sensitivity-bounded incremental re-solve: epochs
+	// whose arrival batch touches only some intervals reuse the previous
+	// epoch's relaxation state for the rest and solve the batch against the
+	// committed load as a fixed background. Off by default; the zero value
+	// keeps every epoch a full re-plan, and DriftBound = 0 keeps the delta
+	// path disabled even with Enabled set (see core.DeltaOptions).
+	Delta core.DeltaOptions
 }
 
 func (o RollingOptions) withDefaults(horizon timeline.Interval) RollingOptions {
@@ -160,6 +167,10 @@ type RollingStats struct {
 	SeededIntervals int
 	// SolvedIntervals counts interval solves across all epochs.
 	SolvedIntervals int
+	// DeltaEpochs counts the epochs handled by the incremental delta path
+	// (a subset of Epochs); ReusedIntervals counts the interval solves those
+	// epochs skipped by carrying the previous state verbatim.
+	DeltaEpochs, ReusedIntervals int
 	// Admitted and Rejected count flows.
 	Admitted, Rejected int
 	// FirstResidualLB is the residual relaxation value of the first epoch
@@ -243,6 +254,12 @@ type RollingScheduler struct {
 	res       map[graph.EdgeID]*reservation
 	sched     *schedule.Schedule
 	prev      *core.RelaxationState
+
+	// Delta-mode bookkeeping: accumDrift sums the load drift absorbed since
+	// the last full re-plan and sinceFull counts the delta epochs in the
+	// current streak; either crossing its bound forces the next epoch full.
+	accumDrift float64
+	sinceFull  int
 
 	stats    RollingStats
 	rejected []flow.ID
@@ -406,6 +423,14 @@ func (s *RollingScheduler) Arrive(f flow.Flow) error {
 	if _, dup := s.committed[f.ID]; dup {
 		return fmt.Errorf("%w: flow %d already admitted", ErrBadInput, f.ID)
 	}
+	// A same-ID flow already queued into this epoch would be planned twice:
+	// the second commitment overwrites the first while the first's
+	// reservation stays leaked on its links.
+	for _, q := range s.pending {
+		if q.ID == f.ID {
+			return fmt.Errorf("%w: flow %d already queued for the next epoch", ErrBadInput, f.ID)
+		}
+	}
 	if err := s.AdvanceTo(f.Release); err != nil {
 		return err
 	}
@@ -416,8 +441,18 @@ func (s *RollingScheduler) Arrive(f flow.Flow) error {
 	if u := f.Release + s.opts.MaxDelayFraction*f.Span(); u < s.urgent {
 		s.urgent = u
 	}
-	if s.opts.Policy.BatchReady(len(s.pending), s.pendingDensity(s.now), s.committedDensity(s.now)) {
-		return s.replan(s.now)
+	switch s.opts.Policy.(type) {
+	case FixedPeriod, ArrivalCount:
+		// These policies ignore the density arguments, so skip the
+		// O(in-flight) sums that would otherwise dominate per-arrival cost
+		// on large commitment sets.
+		if s.opts.Policy.BatchReady(len(s.pending), 0, 0) {
+			return s.replan(s.now)
+		}
+	default:
+		if s.opts.Policy.BatchReady(len(s.pending), s.pendingDensity(s.now), s.committedDensity(s.now)) {
+			return s.replan(s.now)
+		}
 	}
 	return nil
 }
@@ -527,6 +562,20 @@ func (s *RollingScheduler) replan(tau float64) error {
 		r.prune(tau)
 	}
 
+	// Sensitivity-bounded delta epoch: with a previous fingerprinted state
+	// and the streak within its drift and staleness budgets, try to localize
+	// the re-plan to the intervals the arrival batch touches. A decline
+	// (drift past the bound, stale intervals, unmatched grid) falls through
+	// to the full re-plan below.
+	if d := s.opts.Delta; d.Enabled && d.DriftBound > 0 && s.prev != nil &&
+		len(s.prev.Fingerprints) > 0 && s.accumDrift <= d.DriftBound &&
+		(d.MaxStaleEpochs <= 0 || s.sinceFull < d.MaxStaleEpochs) {
+		ok, err := s.replanDelta(tau)
+		if err != nil || ok {
+			return err
+		}
+	}
+
 	// Collect the active residual instance: in-flight commitments plus the
 	// queued arrivals. Completed commitments drop out of the pinned set.
 	var (
@@ -565,6 +614,7 @@ func (s *RollingScheduler) replan(tau float64) error {
 		Pinned:    pinned,
 		Intervals: intervals,
 		Prev:      s.prev,
+		Delta:     s.opts.Delta,
 		Argmax:    !s.opts.SampleRounding,
 		Opts:      s.opts.DCFSR,
 	})
@@ -585,7 +635,27 @@ func (s *RollingScheduler) replan(tau float64) error {
 		})
 	}
 
-	// Admit the queued arrivals on their planned paths, most urgent first.
+	if err := s.admitBatch(tau, res, "boundary"); err != nil {
+		return err
+	}
+	// With every arrival placed, re-level the future of the whole system.
+	if !s.opts.DensityRates {
+		s.rebalance(tau)
+	}
+	// A full epoch resets the delta streak and re-anchors the drift
+	// baselines at the post-rebalance reservations.
+	s.sinceFull = 0
+	s.accumDrift = 0
+	if s.opts.Delta.Enabled {
+		s.stampLoads(res.State, false)
+	}
+	return nil
+}
+
+// admitBatch admits the queued arrivals on their planned paths, most urgent
+// first — the shared tail of the full and delta epoch boundaries. reason
+// labels the epoch's replan record ("boundary" or "delta").
+func (s *RollingScheduler) admitBatch(tau float64, res *core.DCFSRPartialResult, reason string) error {
 	batch := s.pending
 	s.pending = nil
 	sort.Slice(batch, func(a, b int) bool {
@@ -597,7 +667,7 @@ func (s *RollingScheduler) replan(tau float64) error {
 	if s.opts.Recorder != nil {
 		s.record(decision.Record{
 			Time: tau, Epoch: s.stats.Epochs, Kind: decision.KindReplan,
-			Flow: decision.NoFlow, Reason: "boundary", Pending: len(batch),
+			Flow: decision.NoFlow, Reason: reason, Pending: len(batch),
 		})
 	}
 	for _, f := range batch {
@@ -668,11 +738,100 @@ func (s *RollingScheduler) replan(tau float64) error {
 		s.committed[f.ID] = &commitment{f: f, path: p, admitted: tau, nominal: rate, segments: segs}
 		s.stats.Admitted++
 	}
-	// With every arrival placed, re-level the future of the whole system.
-	if !s.opts.DensityRates {
-		s.rebalance(tau)
-	}
 	return nil
+}
+
+// replanDelta is the localized epoch boundary: the arrival batch is solved
+// against the committed load as a fixed background (no pinned commodities),
+// touching only the intervals the batch covers, while the previous epoch's
+// state carries every other interval verbatim. Returns false when the core
+// declines (drift past the bound, stale or unmatched intervals) and the
+// caller must run the full re-plan instead.
+func (s *RollingScheduler) replanDelta(tau float64) (bool, error) {
+	if len(s.pending) == 0 {
+		// Nothing to place: the previous plan is still exact, and invoking
+		// the solver on an empty instance would only wipe the carried state.
+		return true, nil
+	}
+	s.bset.Prune(tau)
+	intervals := s.bset.IntervalsFrom(tau)
+	res, err := core.SolveDCFSRPartialCtx(s.ctx, core.DCFSRPartialInput{
+		Graph:     s.g,
+		Compiled:  s.compiled,
+		Flows:     s.pending,
+		Model:     s.model,
+		Now:       tau,
+		Intervals: intervals,
+		Prev:      s.prev,
+		BaseLoad:  s.baseLoadDuring,
+		Delta:     s.opts.Delta,
+		Argmax:    !s.opts.SampleRounding,
+		Opts:      s.opts.DCFSR,
+	})
+	if err != nil {
+		return false, fmt.Errorf("online: delta re-solve at %v: %w", tau, err)
+	}
+	if !res.DeltaUsed {
+		return false, nil
+	}
+	s.prev = res.State
+	s.stats.Epochs++
+	s.stats.DeltaEpochs++
+	s.stats.FWIters += res.FWIters
+	s.stats.SolvedIntervals += res.Intervals - res.ReusedIntervals
+	s.stats.ReusedIntervals += res.ReusedIntervals
+	s.accumDrift += res.Drift
+	s.sinceFull++
+	if s.opts.DCFSR.Progress != nil {
+		s.opts.DCFSR.Progress(core.ProgressEvent{
+			Stage: "epoch-delta", Index: s.stats.Epochs, FWIters: res.FWIters, Time: tau,
+		})
+	}
+	if err := s.admitBatch(tau, res, "delta"); err != nil {
+		return false, err
+	}
+	// No rebalance here: reshaping in-flight profiles would shift the very
+	// loads the reused intervals were solved against. The next full epoch
+	// re-levels the whole system.
+	s.stampLoads(res.State, true)
+	return true, nil
+}
+
+// stampLoads refreshes the per-interval load fingerprints of st from the
+// reservations as they stand after this epoch's admissions (and rebalance,
+// when one ran) — the baseline the next delta epoch measures drift against.
+// freshOnly limits the stamp to intervals this epoch actually re-solved, so
+// reused intervals stay anchored at their last solved snapshot and drift
+// accumulates instead of being hidden.
+func (s *RollingScheduler) stampLoads(st *core.RelaxationState, freshOnly bool) {
+	if st == nil || len(st.Fingerprints) != len(st.Intervals) {
+		return
+	}
+	for k := range st.Fingerprints {
+		fp := &st.Fingerprints[k]
+		if freshOnly && fp.Stale > 0 {
+			continue
+		}
+		if fp.Load == nil {
+			fp.Load = make([]float64, s.g.NumEdges())
+		}
+		s.baseLoadDuring(st.Intervals[k], fp.Load)
+	}
+}
+
+// baseLoadDuring writes the committed per-edge load during iv into out —
+// the background the delta path solves an arrival batch against. Committed
+// reservations only change rate at past admission instants (all ≤ now ≤
+// iv.Start) and at flow deadlines (all grid breakpoints), so they are
+// constant within iv and the midpoint sample is exact.
+func (s *RollingScheduler) baseLoadDuring(iv timeline.Interval, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	mid := (iv.Start + iv.End) / 2
+	for eid, r := range s.res {
+		out[eid] = r.rateAt(mid)
+	}
 }
 
 // reserve adds (sign +1) or releases (sign -1) a rate profile on every

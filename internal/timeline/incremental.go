@@ -73,18 +73,27 @@ func (s *BreakpointSet) Prune(t float64) {
 // future without rebuilding past segmentation. It returns nil when no
 // breakpoint lies beyond `from`.
 func (s *BreakpointSet) IntervalsFrom(from float64) []Interval {
+	return s.AppendIntervalsFrom(from, nil)
+}
+
+// AppendIntervalsFrom is IntervalsFrom writing into buf (reset to length
+// zero first), so a caller re-segmenting on every re-plan — per arrival, in
+// the worst case — can recycle one slice instead of allocating each time.
+// It returns buf unchanged (possibly nil) when no breakpoint lies beyond
+// `from`.
+func (s *BreakpointSet) AppendIntervalsFrom(from float64, buf []Interval) []Interval {
+	buf = buf[:0]
 	i := sort.SearchFloat64s(s.pts, from)
 	for i < len(s.pts) && s.pts[i]-from <= Eps {
 		i++
 	}
 	if i == len(s.pts) {
-		return nil
+		return buf
 	}
-	out := make([]Interval, 0, len(s.pts)-i)
 	cur := from
 	for ; i < len(s.pts); i++ {
-		out = append(out, Interval{Start: cur, End: s.pts[i]})
+		buf = append(buf, Interval{Start: cur, End: s.pts[i]})
 		cur = s.pts[i]
 	}
-	return out
+	return buf
 }
