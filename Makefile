@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke bench-online-smoke examples scenarios sweep-smoke serve-smoke decisions-smoke doccheck
+.PHONY: build test test-race-online vet fmt bench bench-graph bench-serve bench-smoke bench-graph-smoke bench-serve-smoke bench-online-smoke examples scenarios sweep-smoke serve-smoke decisions-smoke doccheck profile
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,14 @@ decisions-smoke:
 doccheck:
 	$(GO) run ./cmd/doccheck
 
+# profile runs the smoke sweep under the new pprof hooks so perf work can
+# start from a flame graph: `make profile` then
+# `go tool pprof /tmp/dcnflow-cpu.pprof`. The same -cpuprofile/-memprofile
+# flags work on `dcnflow run` and arbitrary sweeps.
+profile:
+	$(GO) run ./cmd/dcnflow sweep examples/sweeps/smoke.json -workers 4 -cpuprofile /tmp/dcnflow-cpu.pprof -memprofile /tmp/dcnflow-mem.pprof
+	@echo "profiles: /tmp/dcnflow-cpu.pprof /tmp/dcnflow-mem.pprof"
+
 test:
 	$(GO) test ./...
 
@@ -69,6 +77,7 @@ test-race-online:
 	$(GO) test -race ./internal/online/... ./internal/decision/... ./internal/core/... ./internal/mcfsolve/... ./internal/sweep/... ./internal/graph/...
 	$(GO) test -race -run 'TestConformance|TestSweep|TestEngine|TestServe|TestIntraSolve|TestAdmission|TestClient|TestPriorityRank|TestParseRetryAfter' .
 	$(GO) test -race -run 'Delta' ./internal/online/ ./internal/core/
+	$(GO) test -race -run 'Renumber|Fingerprint' ./internal/core/ ./internal/graph/
 
 vet:
 	$(GO) vet ./...
@@ -96,10 +105,13 @@ bench-serve:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-graph-smoke runs just the large-topology benches once, so the 10k-node
-# fixtures cannot silently rot between bench-graph refreshes.
+# bench-graph-smoke runs just the large-topology benches once (including the
+# 100k-node jellyfish fixture), so the big fixtures cannot silently rot
+# between bench-graph refreshes, then validates that the committed
+# BENCH_graph.json still carries the 100k-node entries.
 bench-graph-smoke:
 	$(GO) test -run '^$$' -bench 'Large' -benchtime 1x .
+	$(GO) run ./cmd/benchjson -check BENCH_graph.json -bench 'jellyfish100k'
 
 # bench-online-smoke is the CI-sized delta-solve pass: the delta-vs-full
 # equivalence and determinism suites, one iteration of the smallest

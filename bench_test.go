@@ -372,7 +372,7 @@ type deltaMiceFixture struct {
 
 const deltaHorizonEnd = 10_000.0
 
-func newDeltaMiceFixture(b *testing.B, ft *dcnflow.Topology, elephants int, delta bool) *deltaMiceFixture {
+func newDeltaMiceFixture(b *testing.B, ft *dcnflow.Topology, elephants int, delta, warm bool) *deltaMiceFixture {
 	b.Helper()
 	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
 	opts := dcnflow.RollingOptions{
@@ -380,7 +380,7 @@ func newDeltaMiceFixture(b *testing.B, ft *dcnflow.Topology, elephants int, delt
 		DCFSR: dcnflow.DCFSROptions{
 			Seed:      1,
 			Solver:    dcnflow.SolverOptions{MaxIters: 30},
-			WarmStart: true,
+			WarmStart: warm,
 		},
 	}
 	if delta {
@@ -456,7 +456,7 @@ func BenchmarkOnlineDelta(b *testing.B) {
 		var perArrival float64
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			f := newDeltaMiceFixture(b, ft, 192, true)
+			f := newDeltaMiceFixture(b, ft, 192, true, true)
 			b.StartTimer()
 			perArrival = f.runMice(b, 64)
 			stats = f.sched.Stats()
@@ -475,8 +475,8 @@ func BenchmarkOnlineDelta(b *testing.B) {
 		var speedup, solvedFull, solvedDelta float64
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			full := newDeltaMiceFixture(b, ft, elephants, false)
-			del := newDeltaMiceFixture(b, ft, elephants, true)
+			full := newDeltaMiceFixture(b, ft, elephants, false, true)
+			del := newDeltaMiceFixture(b, ft, elephants, true, true)
 			b.StartTimer()
 			usFull := full.runMice(b, mice)
 			usDelta := del.runMice(b, mice)
@@ -494,7 +494,7 @@ func BenchmarkOnlineDelta(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for j, n := range fleets {
 				b.StopTimer()
-				f := newDeltaMiceFixture(b, ft, n, true)
+				f := newDeltaMiceFixture(b, ft, n, true, true)
 				b.StartTimer()
 				perArrival[j] = f.runMice(b, 256)
 			}
@@ -508,6 +508,36 @@ func BenchmarkOnlineDelta(b *testing.B) {
 			math.Log(float64(fleets[len(fleets)-1])/float64(fleets[0]))
 		b.ReportMetric(slope, "scaling-slope")
 	})
+}
+
+// BenchmarkDeltaSeed measures the warm seeding of touched-interval delta
+// re-solves: the same elephant-mice trace with the per-interval Frank–Wolfe
+// solves seeded from the previous epoch's / previous interval's path
+// decomposition (WarmStart on) vs hop-count cold starts. Reports both
+// per-arrival costs plus the seeded-interval count of the warm run, tracked
+// in BENCH_solver.json by `make bench`.
+func BenchmarkDeltaSeed(b *testing.B) {
+	ft, err := dcnflow.FatTree(4, 1e12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seededUs, coldUs float64
+	var stats dcnflow.RollingStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		seeded := newDeltaMiceFixture(b, ft, 192, true, true)
+		cold := newDeltaMiceFixture(b, ft, 192, true, false)
+		b.StartTimer()
+		seededUs = seeded.runMice(b, 64)
+		coldUs = cold.runMice(b, 64)
+		stats = seeded.sched.Stats()
+	}
+	if stats.SeededIntervals == 0 {
+		b.Fatal("warm delta run seeded no intervals")
+	}
+	b.ReportMetric(seededUs, "per-arrival-us-seeded")
+	b.ReportMetric(coldUs, "per-arrival-us-cold")
+	b.ReportMetric(float64(stats.SeededIntervals), "seeded-intervals")
 }
 
 // BenchmarkSimulator measures the discrete-event simulator on a 100-flow
@@ -539,10 +569,12 @@ func BenchmarkSimulator(b *testing.B) {
 
 // --- Large-topology benchmarks (BENCH_graph.json, `make bench-graph`) -------
 
-// largeFixtures are the 1k–10k-node fabrics of the scale benchmarks, built
+// largeFixtures are the 1k–100k-node fabrics of the scale benchmarks, built
 // once per process and shared across benchmark functions: FatTree k=16
 // (1344 nodes) and k=32 (9472 nodes), a VL2 Clos at datacenter scale (9144
-// nodes) and a 10k-node Jellyfish random graph.
+// nodes), a 10k-node Jellyfish random graph and a 100k-node Jellyfish —
+// the stress fixture for the BFS-renumbered cache-blocked layout (random
+// wiring is the worst case for insertion-order locality).
 var largeFixtures = struct {
 	once sync.Once
 	tops map[string]*dcnflow.Topology
@@ -561,6 +593,7 @@ func largeFixture(b *testing.B, name string) *dcnflow.Topology {
 			{"fattree32", func() (*dcnflow.Topology, error) { return dcnflow.FatTree(32, 1e12) }},
 			{"vl2-9k", func() (*dcnflow.Topology, error) { return dcnflow.VL2(48, 96, 1000, 8, 1e12) }},
 			{"jellyfish10k", func() (*dcnflow.Topology, error) { return dcnflow.Jellyfish(5000, 8, 1, 1e12, 1) }},
+			{"jellyfish100k", func() (*dcnflow.Topology, error) { return dcnflow.Jellyfish(50_000, 8, 1, 1e12, 1) }},
 		} {
 			top, err := f.build()
 			if err != nil {
@@ -583,18 +616,22 @@ func largeFixture(b *testing.B, name string) *dcnflow.Topology {
 // BenchmarkSSSPLarge measures one full shortest-path tree build on each
 // large fabric, comparing the binary-heap Dijkstra against the dial bucket
 // queue on the unit weights the cold-start oracle sweep uses (where the
-// dial variant is selected automatically).
+// dial variant is selected automatically). It runs on the compiled hot
+// view — the BFS-renumbered, cache-blocked layout the oracle itself
+// traverses — so BENCH_graph.json tracks exactly what production sweeps
+// pay per tree.
 func BenchmarkSSSPLarge(b *testing.B) {
-	for _, name := range []string{"fattree16", "fattree32", "vl2-9k", "jellyfish10k"} {
+	for _, name := range []string{"fattree16", "fattree32", "vl2-9k", "jellyfish10k", "jellyfish100k"} {
 		b.Run(name, func(b *testing.B) {
 			top := largeFixture(b, name)
-			csr := top.Graph.CSR()
-			scr := graph.NewSSSPScratch(csr)
+			c := graph.Compile(top.Graph)
+			scr := c.AcquireScratch()
+			defer c.ReleaseScratch(scr)
 			w := scr.SlotWeights()
 			for i := range w {
 				w[i] = 1
 			}
-			src := top.Hosts[0]
+			src := c.ToHot(top.Hosts[0])
 			b.Run("heap", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					scr.Tree(src, nil)
@@ -632,7 +669,7 @@ func largeCommodities(top *dcnflow.Topology) []mcfsolve.Commodity {
 // byte-identical at every worker count (TestSolveBitIdenticalAcrossOracleWorkers).
 func BenchmarkFrankWolfeLarge(b *testing.B) {
 	model := dcnflow.PowerModel{Mu: 1, Alpha: 2, C: 1e12}
-	for _, name := range []string{"fattree16", "fattree32", "jellyfish10k"} {
+	for _, name := range []string{"fattree16", "fattree32", "jellyfish10k", "jellyfish100k"} {
 		b.Run(name, func(b *testing.B) {
 			top := largeFixture(b, name)
 			comms := largeCommodities(top)
@@ -642,6 +679,11 @@ func BenchmarkFrankWolfeLarge(b *testing.B) {
 					grid = append(grid, 2)
 				}
 				grid = append(grid, n)
+			}
+			if name == "jellyfish100k" {
+				// One all-core point only: sequential 100k-node solves
+				// would dominate the whole suite's runtime.
+				grid = []int{runtime.NumCPU()}
 			}
 			for _, workers := range grid {
 				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

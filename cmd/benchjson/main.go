@@ -31,7 +31,7 @@ import (
 
 // defaultBench selects the component micro-benchmarks (not the full-figure
 // regenerations, which take minutes at paper scale).
-const defaultBench = "BenchmarkFrankWolfe$|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkOnlineDelta|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
+const defaultBench = "BenchmarkFrankWolfe$|BenchmarkRandomSchedule|BenchmarkDijkstraFatTree8|BenchmarkMostCriticalFirst|BenchmarkYDS|BenchmarkOnlineGreedy|BenchmarkOnlineRolling|BenchmarkOnlineDelta|BenchmarkDeltaSeed|BenchmarkSimulator|BenchmarkExactSmall|BenchmarkEngineRepeatedSolve|BenchmarkEngineColdVsWarm"
 
 // graphBench selects the large-topology scale suite (10k-node SSSP and
 // intra-solve parallel Frank–Wolfe), tracked in BENCH_graph.json.

@@ -657,7 +657,7 @@ func solutionTable(sols []*dcnflow.Solution, lb float64) *stats.Table {
 	return tb
 }
 
-func runScenario(args []string) error {
+func runScenario(args []string) (retErr error) {
 	fs := newFlagSet("run <scenario.json>")
 	solvers := fs.String("solver", "dcfsr",
 		"comma-separated solver names, or \"all\"; registered: "+strings.Join(dcnflow.SolverNames(), ", "))
@@ -665,6 +665,8 @@ func runScenario(args []string) error {
 	progress := fs.Bool("progress", false, "stream per-interval / per-epoch progress events to stderr")
 	oracleWorkers := fs.Int("oracle-workers", 0,
 		"intra-solve shortest-path parallelism for the relaxation solvers (0/1 sequential, -1 = all cores); results are identical at any value")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the solves to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	// The spec path may come before the flags (`dcnflow run spec.json
 	// -solver x`, the documented form) or after them.
 	path := ""
@@ -690,6 +692,15 @@ func runScenario(args []string) error {
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = fmt.Errorf("run: %w", err)
+		}
+	}()
 
 	spec, err := dcnflow.LoadScenarioFile(path)
 	if err != nil {
@@ -759,7 +770,7 @@ func runScenario(args []string) error {
 // print the per-solver aggregate. JSONL bodies and aggregates are
 // byte-identical for every -workers value (runtime fields aside) — the
 // engine orders cells by index and derives every seed from the spec.
-func runSweep(args []string) error {
+func runSweep(args []string) (retErr error) {
 	fs := newFlagSet("sweep <sweep.json>")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"worker pool size; a pure wall-clock lever — results are identical for every value")
@@ -773,6 +784,8 @@ func runSweep(args []string) error {
 	fitEnergy := fs.Float64("fit-energy", 0, "fitness weight on total energy; any -fit-* flag re-scores every cell through the simulator")
 	fitMiss := fs.Float64("fit-miss", 0, "fitness weight per missed deadline")
 	fitSlack := fs.Float64("fit-slack", 0, "fitness credit on the p99 tail slack")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	// The spec path may come before or after the flags, like `dcnflow run`.
 	path := ""
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -793,6 +806,16 @@ func runSweep(args []string) error {
 	} else if fs.NArg() > 0 {
 		return fmt.Errorf("sweep: unexpected arguments %q", fs.Args())
 	}
+
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = fmt.Errorf("sweep: %w", err)
+		}
+	}()
 
 	spec, err := dcnflow.LoadSweepFile(path)
 	if err != nil {

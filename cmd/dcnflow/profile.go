@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles starts a pprof CPU profile and/or arranges a heap snapshot
+// for the -cpuprofile/-memprofile flags of the scheme-running commands.
+// Either path may be empty. The returned stop function must run exactly
+// once after the profiled work: it stops the CPU profiler and writes the
+// heap profile, and its error must fail the command (a truncated profile
+// that exits 0 reads as a complete one in `go tool pprof`).
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				keep(fmt.Errorf("cpuprofile: %w", err))
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(fmt.Errorf("memprofile: %w", err))
+				return first
+			}
+			// Settle the heap first so the snapshot shows retained memory,
+			// not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				keep(fmt.Errorf("memprofile: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				keep(fmt.Errorf("memprofile: %w", err))
+			}
+		}
+		return first
+	}, nil
+}

@@ -34,18 +34,28 @@ func ShortestPaths(g *graph.Graph, flows *flow.Set) (map[flow.ID]graph.Path, err
 	return ShortestPathsCompiled(graph.Compile(g), flows)
 }
 
-// ShortestPathsCompiled is ShortestPaths on an explicitly compiled view.
+// ShortestPathsCompiled is ShortestPaths on an explicitly compiled view. It
+// batches the queries through the compiled shared-frontier oracle
+// (graph.Compiled.BatchShortestPaths): flows sharing a source reuse one
+// early-exiting tree build instead of one Dijkstra run each. Paths and
+// errors are identical to the per-flow loop it replaces — the batch reports
+// the first failing flow in input order.
 func ShortestPathsCompiled(c *graph.Compiled, flows *flow.Set) (map[flow.ID]graph.Path, error) {
 	if c == nil || flows == nil {
 		return nil, fmt.Errorf("%w: nil graph or flows", ErrBadInput)
 	}
-	paths := make(map[flow.ID]graph.Path, flows.Len())
-	for _, f := range flows.Flows() {
-		p, err := c.ShortestPath(f.Src, f.Dst)
-		if err != nil {
-			return nil, fmt.Errorf("baseline: flow %d: %w", f.ID, err)
-		}
-		paths[f.ID] = p
+	fl := flows.Flows()
+	queries := make([]graph.PathQuery, len(fl))
+	for i, f := range fl {
+		queries[i] = graph.PathQuery{Src: f.Src, Dst: f.Dst}
+	}
+	batch, failed, err := c.BatchShortestPaths(queries)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: flow %d: %w", fl[failed].ID, err)
+	}
+	paths := make(map[flow.ID]graph.Path, len(fl))
+	for i, f := range fl {
+		paths[f.ID] = batch[i]
 	}
 	return paths, nil
 }
@@ -125,11 +135,14 @@ func AlwaysOnFullRate(g *graph.Graph, flows *flow.Set, m power.Model) (*AlwaysOn
 	}
 	t0, t1 := flows.Horizon()
 	sched := schedule.New(timeline.Interval{Start: t0, End: t1})
+	// One shared-frontier batch instead of a Dijkstra run per flow; the
+	// compiled paths are identical to Graph.ShortestPath's.
+	paths, err := ShortestPathsCompiled(graph.Compile(g), flows)
+	if err != nil {
+		return nil, err
+	}
 	for _, f := range flows.Flows() {
-		p, err := g.ShortestPath(f.Src, f.Dst)
-		if err != nil {
-			return nil, fmt.Errorf("baseline: flow %d: %w", f.ID, err)
-		}
+		p := paths[f.ID]
 		finish := f.Release + f.Size/m.C
 		if finish > f.Deadline+timeline.Eps {
 			return nil, fmt.Errorf("baseline: flow %d misses deadline even at full rate (%g > %g)",

@@ -1,0 +1,28 @@
+package graph
+
+import "unsafe"
+
+// cacheLine is the slab alignment used for the hot-path arrays: the
+// renumbered CSR's slot streams and the SSSP label array. Starting each
+// slab on a 64-byte boundary makes the "labels per cache line" packing of
+// nodeState exact (4 per line) and keeps the slot streams from straddling
+// an extra line per row.
+const cacheLine = 64
+
+// alignedSlab returns a zeroed length-n slice of T whose backing storage
+// starts on a cache-line boundary. T must be a pointer-free type (the
+// storage is a byte array the collector does not scan); every use in this
+// package is a plain numeric record. n == 0 yields nil.
+func alignedSlab[T any](n int) []T {
+	if n == 0 {
+		return nil
+	}
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	buf := make([]byte, n*size+cacheLine-1)
+	off := 0
+	if r := int(uintptr(unsafe.Pointer(&buf[0])) & (cacheLine - 1)); r != 0 {
+		off = cacheLine - r
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&buf[off])), n)
+}

@@ -8,13 +8,26 @@ import (
 )
 
 // Compiled bundles every immutable artifact the hot paths derive from one
-// Graph — the flat CSR adjacency, a flat reverse adjacency, the structural
-// fingerprint and a pool of reusable shortest-path scratch — built exactly
-// once per graph and shared by all consumers. It is the explicit
-// compile-once entry point of the compile-once/solve-many architecture:
-// solvers and baselines accept a *Compiled instead of rebuilding per-call
-// views, and the root-level Engine keys its instance cache by
-// Fingerprint-compatible identities.
+// Graph — the flat CSR adjacency, a flat reverse adjacency, a BFS-renumbered
+// cache-blocked "hot" CSR with its permutation, the structural fingerprint
+// and a pool of reusable shortest-path scratch — built exactly once per
+// graph and shared by all consumers. It is the explicit compile-once entry
+// point of the compile-once/solve-many architecture: solvers and baselines
+// accept a *Compiled instead of rebuilding per-call views, and the
+// root-level Engine keys its instance cache by Fingerprint-compatible
+// identities.
+//
+// Renumbering contract: Hot() is the graph re-indexed by a BFS visitation
+// order (ToHot/FromHot translate node ids), chosen so that the
+// neighbourhoods a frontier expands are contiguous in memory. The hot view
+// changes only WHERE labels and adjacency rows live, never WHAT the
+// algorithms compute: slot rows keep ascending-original-edge-id order, all
+// tie-breaks compare original edge ids (slotEid/pred), and no comparison
+// anywhere involves a node id — so every traversal is isomorphic to the
+// identity-order one and all outputs (paths, distances, schedules) are
+// byte-identical. Fingerprint is computed from the Graph itself and is
+// therefore permutation-independent by construction. CompileIdentity
+// builds the unrenumbered twin for tests that pin this equivalence.
 //
 // A Compiled is safe for concurrent use. It must not outlive mutations of
 // the underlying graph: AddNode/AddEdge invalidate it (the next Compile
@@ -22,22 +35,28 @@ import (
 // caller bug, exactly as for Graph.CSR.
 type Compiled struct {
 	g   *Graph
-	csr *CSR
+	csr *CSR // identity-order view (g.CSR())
+	hot *CSR // renumbered, structure-of-arrays, cache-aligned view
 	fp  uint64
+
+	// perm maps original node id -> hot id; inv is its inverse. For
+	// CompileIdentity both are the identity and hot == csr.
+	perm, inv []int32
 
 	// Flat reverse adjacency, the mirror of CSR's forward slot arrays:
 	// node v's in-slots are RAdjEdge[RStart[v]:RStart[v+1]] in ascending
 	// edge-id order (the order Graph.InEdges reports), and RAdjFrom[i] is
-	// the tail node of edge RAdjEdge[i]. Algorithms that sweep predecessors
-	// (reverse SSSP, backward reachability) read three contiguous arrays
-	// instead of chasing per-node slices.
+	// the tail node of edge RAdjEdge[i]. Original node space. Algorithms
+	// that sweep predecessors (reverse SSSP, backward reachability) read
+	// three contiguous arrays instead of chasing per-node slices.
 	RStart   []int32
 	RAdjEdge []EdgeID
 	RAdjFrom []NodeID
 
-	// scratch pools per-topology SSSP state: a Dijkstra run borrows a
-	// *SSSPScratch and returns it, so concurrent shortest-path callers on
-	// one compiled graph allocate nothing after warm-up.
+	// scratch pools per-topology SSSP state bound to the hot view: a
+	// Dijkstra run borrows a *SSSPScratch and returns it, so concurrent
+	// shortest-path callers on one compiled graph allocate nothing after
+	// warm-up.
 	scratch sync.Pool
 }
 
@@ -57,12 +76,21 @@ func Compile(g *Graph) *Compiled {
 	if c := g.compiled.ptr; c != nil {
 		return c
 	}
-	c := buildCompiled(g)
+	c := buildCompiled(g, true)
 	g.compiled.ptr = c
 	return c
 }
 
-func buildCompiled(g *Graph) *Compiled {
+// CompileIdentity builds a compiled bundle whose hot view IS the
+// identity-order CSR — no renumbering, no repacking. It is never cached on
+// the graph (Compile keeps returning the renumbered bundle) and exists so
+// tests can pin the byte-identity of renumbered and identity layouts
+// end to end. Production callers want Compile.
+func CompileIdentity(g *Graph) *Compiled {
+	return buildCompiled(g, false)
+}
+
+func buildCompiled(g *Graph, renumber bool) *Compiled {
 	csr := g.CSR()
 	n, e := g.NumNodes(), g.NumEdges()
 	c := &Compiled{
@@ -81,22 +109,124 @@ func buildCompiled(g *Graph) *Compiled {
 		}
 	}
 	c.RStart[n] = int32(len(c.RAdjEdge))
-	c.scratch.New = func() any { return NewSSSPScratch(csr) }
+	if renumber {
+		c.perm, c.inv = bfsOrder(csr)
+		c.hot = buildHotCSR(g, csr, c.perm, c.inv)
+	} else {
+		c.perm = make([]int32, n)
+		c.inv = make([]int32, n)
+		for i := range c.perm {
+			c.perm[i] = int32(i)
+			c.inv[i] = int32(i)
+		}
+		c.hot = csr
+	}
+	hot := c.hot
+	c.scratch.New = func() any { return NewSSSPScratch(hot) }
 	return c
+}
+
+// bfsOrder computes the hot-layout permutation: nodes in BFS visitation
+// order from node 0 (unreached components restart from the smallest
+// unvisited original id), expanding out-edges in ascending original edge-id
+// order. The order is a pure function of the graph, so compiles are
+// deterministic. inv doubles as the BFS queue — nodes are appended in
+// visitation order and expanded FIFO.
+func bfsOrder(csr *CSR) (perm, inv []int32) {
+	n := csr.NumNodes()
+	perm = make([]int32, n)
+	inv = make([]int32, 0, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	head := 0
+	for root := 0; root < n; root++ {
+		if perm[root] >= 0 {
+			continue
+		}
+		perm[root] = int32(len(inv))
+		inv = append(inv, int32(root))
+		for head < len(inv) {
+			u := inv[head]
+			head++
+			for _, v := range csr.slotTo[csr.Start[u]:csr.Start[u+1]] {
+				if perm[v] < 0 {
+					perm[v] = int32(len(inv))
+					inv = append(inv, v)
+				}
+			}
+		}
+	}
+	return perm, inv
+}
+
+// buildHotCSR repacks the adjacency into the renumbered node space on
+// cache-aligned structure-of-arrays slabs. Node indices (Start, AdjTo,
+// slotTo, the values of EdgeFrom/EdgeTo) are hot ids; edge ids
+// (AdjEdge, slotEid, the indexing of EdgeFrom/EdgeTo/Cap) stay original,
+// which is what lets predecessor chains and path extraction emit original
+// edge ids with zero translation. Per-node slot rows keep ascending
+// original-edge-id order — the node permutation permutes rows, never the
+// slots within a row — preserving every tie-break downstream.
+func buildHotCSR(g *Graph, csr *CSR, perm, inv []int32) *CSR {
+	n, e := g.NumNodes(), g.NumEdges()
+	hot := &CSR{
+		Start:    alignedSlab[int32](n + 1),
+		AdjEdge:  make([]EdgeID, 0, e),
+		AdjTo:    make([]NodeID, 0, e),
+		EdgeFrom: make([]NodeID, e),
+		EdgeTo:   make([]NodeID, e),
+		Cap:      csr.Cap, // original-edge-indexed; values are layout-free
+		slotEid:  alignedSlab[int32](e)[:0],
+		slotTo:   alignedSlab[int32](e)[:0],
+	}
+	for h := 0; h < n; h++ {
+		u := inv[h]
+		hot.Start[h] = int32(len(hot.AdjEdge))
+		for _, eid := range g.out[u] {
+			to := perm[g.edges[eid].To]
+			hot.AdjEdge = append(hot.AdjEdge, eid)
+			hot.AdjTo = append(hot.AdjTo, NodeID(to))
+			hot.slotEid = append(hot.slotEid, int32(eid))
+			hot.slotTo = append(hot.slotTo, to)
+		}
+	}
+	hot.Start[n] = int32(len(hot.AdjEdge))
+	for i := range g.edges {
+		hot.EdgeFrom[i] = NodeID(perm[g.edges[i].From])
+		hot.EdgeTo[i] = NodeID(perm[g.edges[i].To])
+	}
+	return hot
 }
 
 // Graph returns the compiled graph.
 func (c *Compiled) Graph() *Graph { return c.g }
 
-// CSR returns the flat forward adjacency view.
+// CSR returns the flat forward adjacency view in original node order (the
+// graph's own CSR). Hot paths that can run in renumbered space should use
+// Hot instead.
 func (c *Compiled) CSR() *CSR { return c.csr }
 
+// Hot returns the BFS-renumbered cache-blocked adjacency view. Its node
+// indices are hot ids (translate with ToHot/FromHot); its edge ids are
+// original. Scratch from AcquireScratch is bound to this view.
+func (c *Compiled) Hot() *CSR { return c.hot }
+
+// ToHot translates an original node id into the hot (renumbered) space.
+func (c *Compiled) ToHot(id NodeID) NodeID { return NodeID(c.perm[id]) }
+
+// FromHot translates a hot node id back to the original space.
+func (c *Compiled) FromHot(id NodeID) NodeID { return NodeID(c.inv[id]) }
+
 // Fingerprint returns the structural fingerprint of the compiled graph
-// (see Graph.Fingerprint).
+// (see Graph.Fingerprint). It is computed from the Graph's own node/edge
+// order, so it is identical for renumbered and identity compiles — engine
+// caches keyed by it can never double-cache one topology across layouts.
 func (c *Compiled) Fingerprint() uint64 { return c.fp }
 
-// AcquireScratch borrows reusable SSSP scratch sized for this graph; pair
-// it with ReleaseScratch. The scratch is bound to this compiled view and
+// AcquireScratch borrows reusable SSSP scratch sized for this graph and
+// bound to the hot view (node-id arguments to Tree/TreeDial and friends
+// are hot ids; ToHot translates); pair it with ReleaseScratch. The scratch
 // must not be used after the underlying graph mutates.
 func (c *Compiled) AcquireScratch() *SSSPScratch {
 	return c.scratch.Get().(*SSSPScratch)
@@ -106,7 +236,7 @@ func (c *Compiled) AcquireScratch() *SSSPScratch {
 // Any weight sharing set up with ShareWeightsFrom is severed first, so a
 // pooled scratch can never alias a buffer owned by a different borrower.
 func (c *Compiled) ReleaseScratch(s *SSSPScratch) {
-	if s != nil && s.csr == c.csr {
+	if s != nil && s.csr == c.hot {
 		s.UnshareWeights()
 		c.scratch.Put(s)
 	}
@@ -115,11 +245,11 @@ func (c *Compiled) ReleaseScratch(s *SSSPScratch) {
 // ShortestPath returns a minimum-hop path from src to dst with the exact
 // deterministic tie-breaking of Graph.ShortestPath (lowest predecessor
 // edge id wins among equal-distance labels, finalised nodes are never
-// relabelled), computed on pooled epoch-reset scratch instead of
-// freshly-allocated Dijkstra state. Results are identical to
+// relabelled), computed in renumbered space on pooled epoch-reset scratch
+// instead of freshly-allocated Dijkstra state. Results are identical to
 // Graph.ShortestPath on every input — asserted exhaustively by
-// TestCompiledShortestPathMatchesGraph — only the allocation profile
-// differs.
+// TestCompiledShortestPathMatchesGraph — only the layout and allocation
+// profile differ.
 func (c *Compiled) ShortestPath(src, dst NodeID) (Path, error) {
 	if !c.g.HasNode(src) || !c.g.HasNode(dst) {
 		return Path{}, fmt.Errorf("shortest path %d->%d: %w", src, dst, ErrNodeNotFound)
@@ -135,19 +265,94 @@ func (c *Compiled) ShortestPath(src, dst NodeID) (Path, error) {
 	}
 	// Unit weights quantize trivially (quantum 1, span 1), so the dial
 	// bucket queue applies; it is bit-identical to Tree by contract.
-	s.TreeDial(src, []NodeID{dst}, 1, 1)
-	edges, ok := s.AppendPathTo(dst, nil)
+	hd := c.ToHot(dst)
+	s.TreeDial(c.ToHot(src), []NodeID{hd}, 1, 1)
+	edges, ok := s.AppendPathTo(hd, nil)
 	if !ok {
 		return Path{}, fmt.Errorf("shortest path %d->%d: %w", src, dst, ErrNoPath)
 	}
 	return Path{Edges: edges}, nil
 }
 
+// PathQuery is one (src, dst) request for BatchShortestPaths, in original
+// node ids.
+type PathQuery struct {
+	Src, Dst NodeID
+}
+
+// BatchShortestPaths answers many unit-weight shortest-path queries with
+// one shared-frontier tree build per distinct source: queries are grouped
+// by source in first-appearance order and each group runs a single
+// early-exiting Dijkstra whose destination watermarks are the group's dst
+// set, instead of one full run per query. Results are identical to calling
+// ShortestPath per query — destinations only gate the early exit, and a
+// label is frozen the moment its node finalises — so the batch is a pure
+// cost optimisation. On failure it returns the index of the first failing
+// query in input order together with the error (wrapping ErrNodeNotFound
+// or ErrNoPath exactly as ShortestPath does); paths is nil in that case.
+func (c *Compiled) BatchShortestPaths(queries []PathQuery) (paths []Path, failed int, err error) {
+	n := len(queries)
+	paths = make([]Path, n)
+	errs := make([]error, n)
+	type group struct {
+		src     NodeID // hot id
+		dsts    []NodeID
+		members []int
+	}
+	gidx := make(map[NodeID]int, 8)
+	var groups []group
+	for i, q := range queries {
+		if !c.g.HasNode(q.Src) || !c.g.HasNode(q.Dst) {
+			errs[i] = fmt.Errorf("shortest path %d->%d: %w", q.Src, q.Dst, ErrNodeNotFound)
+			continue
+		}
+		if q.Src == q.Dst {
+			continue // empty path
+		}
+		hs := c.ToHot(q.Src)
+		gi, ok := gidx[hs]
+		if !ok {
+			gi = len(groups)
+			gidx[hs] = gi
+			groups = append(groups, group{src: hs})
+		}
+		groups[gi].dsts = append(groups[gi].dsts, c.ToHot(q.Dst))
+		groups[gi].members = append(groups[gi].members, i)
+	}
+	if len(groups) > 0 {
+		s := c.AcquireScratch()
+		w := s.SlotWeights()
+		for i := range w {
+			w[i] = 1
+		}
+		for _, gr := range groups {
+			s.TreeDial(gr.src, gr.dsts, 1, 1)
+			for j, qi := range gr.members {
+				edges, ok := s.AppendPathTo(gr.dsts[j], nil)
+				if !ok {
+					q := queries[qi]
+					errs[qi] = fmt.Errorf("shortest path %d->%d: %w", q.Src, q.Dst, ErrNoPath)
+					continue
+				}
+				paths[qi] = Path{Edges: edges}
+			}
+		}
+		c.ReleaseScratch(s)
+	}
+	for i, e := range errs {
+		if e != nil {
+			return nil, i, e
+		}
+	}
+	return paths, -1, nil
+}
+
 // Fingerprint returns a structural FNV-1a hash of the graph: node count,
 // per-node kinds, and every directed edge's endpoints and capacity bits.
 // Two graphs built by the same deterministic generator hash equal; any
 // change to the structure (a node, an edge, a capacity) changes the hash.
-// Node names are excluded — they label reports, never algorithms. The
+// Node names are excluded — they label reports, never algorithms — and so
+// is any compiled-layout artifact such as the hot-view renumbering. The
 // fingerprint identifies compiled artifacts in caches; it is not a
 // collision-proof identity, so caches that must never cross-wire distinct
 // graphs key by *Graph or *Compiled and use the fingerprint for reporting

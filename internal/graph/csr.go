@@ -7,38 +7,45 @@ import (
 
 // CSR is an immutable flat (compressed-sparse-row) adjacency view of a
 // Graph, built once and shared by hot-path shortest-path code. Relative to
-// walking Graph.OutEdges + MustEdge, a CSR traversal touches three
+// walking Graph.OutEdges + MustEdge, a CSR traversal touches a few
 // contiguous arrays and copies no Edge structs, which is what lets the
 // Frank–Wolfe oracle relax edges allocation- and indirection-free.
 //
-// The slot arrays (AdjEdge, AdjTo) are grouped by source node: the out-edges
-// of node u occupy slots Start[u]..Start[u+1], in ascending edge-id order —
-// the same order Graph.OutEdges reports, so tie-breaking behaviour of
-// algorithms ported to the CSR is unchanged. The edge-indexed arrays
-// (EdgeFrom, EdgeTo, Cap) are addressed by EdgeID.
+// The slot arrays (AdjEdge, AdjTo and their int32 structure-of-arrays twins
+// slotEid/slotTo) are grouped by source node: the out-edges of node u occupy
+// slots Start[u]..Start[u+1], in ascending edge-id order — the same order
+// Graph.OutEdges reports, so tie-breaking behaviour of algorithms ported to
+// the CSR is unchanged. The edge-indexed arrays (EdgeFrom, EdgeTo, Cap) are
+// addressed by EdgeID.
+//
+// A CSR may be a *renumbered* view (see Compile): node indices of Start,
+// AdjTo, slotTo, EdgeFrom and EdgeTo then live in a permuted "hot" node
+// space, while AdjEdge/slotEid and the indexing of EdgeFrom/EdgeTo/Cap stay
+// in original edge-id space. Graph.CSR always returns the identity-order
+// view.
 type CSR struct {
 	// Start has length NumNodes()+1; node u's out-slots are
 	// AdjEdge[Start[u]:Start[u+1]].
 	Start []int32
-	// AdjEdge holds the edge id of each slot.
+	// AdjEdge holds the edge id of each slot (always the original edge id,
+	// even in renumbered views).
 	AdjEdge []EdgeID
 	// AdjTo holds the head node of each slot (AdjTo[i] is the To of edge
-	// AdjEdge[i]).
+	// AdjEdge[i], in this view's node space).
 	AdjTo []NodeID
-	// EdgeFrom, EdgeTo and Cap are indexed by EdgeID.
+	// EdgeFrom, EdgeTo and Cap are indexed by (original) EdgeID. The node
+	// ids they hold are in this view's node space.
 	EdgeFrom []NodeID
 	EdgeTo   []NodeID
 	Cap      []float64
 
-	// slots packs (edge id, head node) per adjacency slot into one cache
-	// line friendly array for the Dijkstra inner loop.
-	slots []adjSlot
-}
-
-// adjSlot is the packed per-slot adjacency record used by SSSPScratch.
-type adjSlot struct {
-	eid int32
-	to  int32
+	// slotEid / slotTo are the int32 structure-of-arrays twin of
+	// (AdjEdge, AdjTo) used by the Dijkstra inner loop: splitting the two
+	// streams halves the bytes pulled per relaxation that only needs the
+	// head node, and packs twice as many slots per cache line as the old
+	// interleaved (eid, to) pair array.
+	slotEid []int32
+	slotTo  []int32
 }
 
 // NumNodes returns the number of nodes of the underlying graph.
@@ -74,6 +81,8 @@ func buildCSR(g *Graph) *CSR {
 		EdgeFrom: make([]NodeID, e),
 		EdgeTo:   make([]NodeID, e),
 		Cap:      make([]float64, e),
+		slotEid:  make([]int32, 0, e),
+		slotTo:   make([]int32, 0, e),
 	}
 	for i := range g.edges {
 		ed := &g.edges[i]
@@ -81,13 +90,13 @@ func buildCSR(g *Graph) *CSR {
 		c.EdgeTo[i] = ed.To
 		c.Cap[i] = ed.Capacity
 	}
-	c.slots = make([]adjSlot, 0, e)
 	for u := 0; u < n; u++ {
 		c.Start[u] = int32(len(c.AdjEdge))
 		for _, eid := range g.out[u] {
 			c.AdjEdge = append(c.AdjEdge, eid)
 			c.AdjTo = append(c.AdjTo, g.edges[eid].To)
-			c.slots = append(c.slots, adjSlot{eid: int32(eid), to: int32(g.edges[eid].To)})
+			c.slotEid = append(c.slotEid, int32(eid))
+			c.slotTo = append(c.slotTo, int32(g.edges[eid].To))
 		}
 	}
 	c.Start[n] = int32(len(c.AdjEdge))
@@ -112,13 +121,18 @@ type SSSPScratch struct {
 	wSlot []float64 // active slot-ordered weights (own, or shared — see ShareWeightsFrom)
 	own   []float64 // the scratch's private weight buffer
 
-	node      []nodeState // per-node label: one bounds check, one cache line
+	node      []nodeState // per-node label: one bounds check, 4 labels per cache line
 	epoch     uint32
 	remaining int // wanted destinations not yet finalised
 
 	heap []ssspItem
 
 	buckets [][]ssspItem // circular Dial bucket queue (see TreeDial)
+
+	// frontier/nextFrontier are the two-level queue of TreeDial's uniform
+	// (span == 1) mode: with no duplicate entries and one distance per
+	// level, a bucket entry is just the node id.
+	frontier, nextFrontier []int32
 
 	pathBuf []EdgeID // reversal scratch for AppendPathTo
 }
@@ -131,26 +145,42 @@ type ssspItem struct {
 }
 
 // nodeState packs one node's entire Dijkstra label — tentative distance,
-// predecessor edge, and the epoch stamps that replace per-run clearing
-// (dist/pred are valid when seen == epoch, the node is finalised when done
-// == epoch, and it is a wanted destination when need == epoch). Keeping the
-// label in one 24-byte struct means the relaxation step performs a single
-// bounds check and touches at most two cache lines per neighbour.
+// predecessor, and a combined epoch/flag stamp — into 16 bytes, so four
+// labels share each cache line (the old three-counter layout fit 2.67).
+// pred is the predecessor's adjacency SLOT index (into slotEid/slotTo),
+// not an edge id: recording the slot keeps the relax loop off the edge-id
+// stream entirely, and slotEid recovers the original edge id on the cold
+// paths that need it (exact-distance tie-breaks, path extraction). The
+// stamp's low three bits are the per-epoch flags (fSeen, fDone, fNeed) and
+// the rest is the epoch number: epochs advance by epochStride, and a stamp
+// is current exactly when stamp-epoch < epochStride (unsigned), which
+// replaces per-run clearing with one add. dist/pred are valid only when
+// the stamp is current and carries fSeen.
 type nodeState struct {
-	dist             float64
-	pred             int32
-	seen, done, need uint32
+	dist  float64
+	pred  int32
+	stamp uint32
 }
+
+// Epoch/flag packing for nodeState.stamp. epochStride is 8 (three flag
+// bits), so epochs wrap exactly at 2^32 and the wrap check in Tree/TreeDial
+// stays a single equality test.
+const (
+	fSeen       uint32 = 1 // dist/pred hold a tentative label this epoch
+	fDone       uint32 = 2 // node finalised this epoch
+	fNeed       uint32 = 4 // node is a wanted destination this epoch
+	epochStride uint32 = 8
+)
 
 // NewSSSPScratch allocates scratch state sized for c.
 func NewSSSPScratch(c *CSR) *SSSPScratch {
 	n := c.NumNodes()
-	own := make([]float64, len(c.slots))
+	own := make([]float64, len(c.slotEid))
 	return &SSSPScratch{
 		csr:   c,
 		wSlot: own,
 		own:   own,
-		node:  make([]nodeState, n),
+		node:  alignedSlab[nodeState](n),
 		heap:  make([]ssspItem, 0, n),
 	}
 }
@@ -177,13 +207,14 @@ func (s *SSSPScratch) UnshareWeights() { s.wSlot = s.own }
 // SetWeights loads the edge-indexed weights w (len NumEdges) into the
 // scratch's slot-ordered buffer so the Dijkstra inner loop reads weights
 // sequentially, and validates them: weights must be nonnegative.
-// Validating here keeps the per-relaxation step branch-free.
+// Validating here keeps the per-relaxation step branch-free. Weights are
+// always indexed by original edge id, on renumbered views too.
 func (s *SSSPScratch) SetWeights(w []float64) error {
-	slots := s.csr.slots
-	for i := range slots {
-		wt := w[slots[i].eid]
+	eids := s.csr.slotEid
+	for i := range eids {
+		wt := w[eids[i]]
 		if wt < 0 {
-			return fmt.Errorf("graph: negative weight %v on edge %d", wt, slots[i].eid)
+			return fmt.Errorf("graph: negative weight %v on edge %d", wt, eids[i])
 		}
 		s.wSlot[i] = wt
 	}
@@ -196,12 +227,43 @@ func (s *SSSPScratch) SetWeights(w []float64) error {
 // fill every entry with a nonnegative value before the next Tree call.
 func (s *SSSPScratch) SlotWeights() []float64 { return s.wSlot }
 
+// beginEpoch advances the stamp epoch for one Tree/TreeDial call and
+// returns it, clearing all labels on the (rare) 2^32 wrap, and stamps the
+// wanted destinations. It returns the epoch and the count of distinct
+// wanted destinations.
+func (s *SSSPScratch) beginEpoch(dsts []NodeID) (ep uint32, remaining int) {
+	s.epoch += epochStride
+	if s.epoch == 0 { // wrapped: stamps are stale, clear them
+		for i := range s.node {
+			s.node[i] = nodeState{}
+		}
+		s.epoch = epochStride
+	}
+	ep = s.epoch
+	for _, d := range dsts {
+		st := &s.node[d]
+		if st.stamp-ep < epochStride {
+			if st.stamp&fNeed == 0 {
+				st.stamp |= fNeed
+				remaining++
+			}
+		} else {
+			st.stamp = ep | fNeed
+			remaining++
+		}
+	}
+	return ep, remaining
+}
+
 // Tree computes the Dijkstra shortest-path tree from src under the weights
 // last loaded by SetWeights. When dsts is non-empty, the search stops as
 // soon as every listed destination is finalised — predecessors of other
 // nodes are then unspecified. Ties are broken exactly like the historical
 // oracle: a node finalised once is never relabelled, and among
-// equal-distance labels the smaller predecessor edge id wins.
+// equal-distance labels the smaller predecessor edge id wins. On a
+// renumbered view the edge ids compared are still the original ids
+// (slotEid), so the traversal is isomorphic to the identity-order one and
+// every downstream output is byte-identical — see Compile.
 //
 // The heap is inlined and all scratch state is hoisted into locals: the
 // compiler cannot prove the scratch's slice fields do not alias, so method
@@ -210,26 +272,16 @@ func (s *SSSPScratch) SlotWeights() []float64 { return s.wSlot }
 // historical swap-based heap, keeping pop order among equal keys — and
 // with it every deterministic tie-break downstream — unchanged.
 func (s *SSSPScratch) Tree(src NodeID, dsts []NodeID) {
-	s.epoch++
-	if s.epoch == 0 { // wrapped: stamps are stale, clear them
-		for i := range s.node {
-			s.node[i] = nodeState{}
-		}
-		s.epoch = 1
-	}
-	ep := s.epoch
-	remaining := 0
-	for _, d := range dsts {
-		if s.node[d].need != ep {
-			s.node[d].need = ep
-			remaining++
-		}
-	}
+	ep, remaining := s.beginEpoch(dsts)
 	nodes := s.node
 	wSlot := s.wSlot
-	slots, starts := s.csr.slots, s.csr.Start
+	eids, tos, starts := s.csr.slotEid, s.csr.slotTo, s.csr.Start
 
-	nodes[src] = nodeState{dist: 0, pred: int32(unreachedPred), seen: ep, need: nodes[src].need}
+	keep := uint32(0)
+	if st := nodes[src].stamp; st-ep < epochStride {
+		keep = st & fNeed
+	}
+	nodes[src] = nodeState{dist: 0, pred: int32(unreachedPred), stamp: ep | fSeen | keep}
 
 	h := append(s.heap[:0], ssspItem{node: int32(src), dist: 0})
 	for len(h) > 0 {
@@ -271,24 +323,34 @@ func (s *SSSPScratch) Tree(src NodeID, dsts []NodeID) {
 
 		u, d := top.node, top.dist
 		su := &nodes[u]
-		if su.done == ep || d > su.dist {
+		// Every heap entry was pushed this call, so su's stamp is current:
+		// the flag bits are exactly su.stamp-ep.
+		if su.stamp&fDone != 0 || d > su.dist {
 			continue
 		}
-		su.done = ep
-		if su.need == ep {
+		su.stamp |= fDone
+		if su.stamp&fNeed != 0 {
 			remaining--
 			if remaining == 0 {
 				break
 			}
 		}
 		// Sub-slice ranging bounds-checks the adjacency row once; ws is cut
-		// to the same bounds so its accesses are provably in range too.
-		row := slots[starts[u]:starts[u+1]]
-		ws := wSlot[starts[u]:starts[u+1]]
+		// to the same bounds so its accesses are provably in range too. The
+		// relax loop never reads the edge-id stream: predecessors are
+		// recorded as slot indices, and original edge ids are looked up
+		// through slotEid only on exact-distance ties (and at path
+		// extraction), keeping the hot loop to two streams plus labels.
+		base := starts[u]
+		row := tos[base:starts[u+1]]
+		ws := wSlot[base : base+int32(len(row))]
 		for k := range row {
-			v := row[k].to
+			v := row[k]
 			st := &nodes[v]
-			if st.done == ep {
+			sv := st.stamp - ep // unsigned: current iff < epochStride, then == flags
+			if sv&^uint32(fSeen|fNeed) == fDone {
+				// Current and finalised (single fused test: stale stamps have
+				// sv >= epochStride, so the masked value can't equal fDone).
 				// Never rewrite a finalised node's predecessor: an
 				// equal-distance overwrite after finalisation (common under
 				// float absorption of tiny weights) can create predecessor
@@ -296,13 +358,17 @@ func (s *SSSPScratch) Tree(src NodeID, dsts []NodeID) {
 				continue
 			}
 			nd := d + ws[k]
-			if st.seen != ep {
-				st.seen = ep
+			if sv >= epochStride {
+				st.stamp = ep | fSeen
 				st.dist = nd
-				st.pred = row[k].eid
-			} else if nd < st.dist || (nd == st.dist && st.pred != int32(unreachedPred) && row[k].eid < st.pred) {
+				st.pred = base + int32(k)
+			} else if sv&fSeen == 0 {
+				st.stamp |= fSeen
 				st.dist = nd
-				st.pred = row[k].eid
+				st.pred = base + int32(k)
+			} else if nd < st.dist || (nd == st.dist && st.pred != int32(unreachedPred) && eids[base+int32(k)] < eids[st.pred]) {
+				st.dist = nd
+				st.pred = base + int32(k)
 			} else {
 				continue
 			}
@@ -326,7 +392,10 @@ func (s *SSSPScratch) Tree(src NodeID, dsts []NodeID) {
 }
 
 // Reached reports whether dst was finalised by the last Tree call.
-func (s *SSSPScratch) Reached(dst NodeID) bool { return s.node[dst].done == s.epoch }
+func (s *SSSPScratch) Reached(dst NodeID) bool {
+	sv := s.node[dst].stamp - s.epoch
+	return sv < epochStride && sv&fDone != 0
+}
 
 // Dist returns the shortest distance to dst from the last Tree call; it is
 // meaningful only when Reached(dst).
@@ -335,24 +404,28 @@ func (s *SSSPScratch) Dist(dst NodeID) float64 { return s.node[dst].dist }
 // AppendPathTo appends the edge ids of the tree path src->dst to buf and
 // returns the extended slice. It reports ok=false when dst was not
 // finalised by the last Tree call (unreachable, or pruned by the dsts
-// early exit). An src==dst query yields an empty path. The appended edges
-// reuse no internal storage, but callers that retain the path across Tree
-// calls on shared buffers should copy it.
+// early exit). An src==dst query yields an empty path. The appended edge
+// ids are original edge ids even on a renumbered view (predecessors are
+// slot indices mapped through slotEid here), so callers intern paths
+// without any translation. The appended edges reuse no internal storage,
+// but callers that retain the path across Tree calls on shared buffers
+// should copy it.
 func (s *SSSPScratch) AppendPathTo(dst NodeID, buf []EdgeID) (out []EdgeID, ok bool) {
 	ep := s.epoch
-	if s.node[dst].done != ep {
+	if sv := s.node[dst].stamp - ep; sv >= epochStride || sv&fDone == 0 {
 		return buf, false
 	}
 	s.pathBuf = s.pathBuf[:0]
 	c := s.csr
 	for cur := dst; ; {
-		if s.node[cur].seen != ep {
+		if sv := s.node[cur].stamp - ep; sv >= epochStride || sv&fSeen == 0 {
 			return buf, false
 		}
-		eid := s.node[cur].pred
-		if eid == int32(unreachedPred) {
+		slot := s.node[cur].pred
+		if slot == int32(unreachedPred) {
 			break
 		}
+		eid := c.slotEid[slot]
 		s.pathBuf = append(s.pathBuf, EdgeID(eid))
 		cur = c.EdgeFrom[eid]
 		if len(s.pathBuf) > c.NumEdges() {

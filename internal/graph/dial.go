@@ -73,24 +73,83 @@ func QuantizeWeights(w []float64, maxSpan int) (q float64, span int, ok bool) {
 // TestTreeDialMatchesTree cross-checks the equivalence on randomized
 // weights.
 func (s *SSSPScratch) TreeDial(src NodeID, dsts []NodeID, quantum float64, span int) {
-	s.epoch++
-	if s.epoch == 0 { // wrapped: stamps are stale, clear them
-		for i := range s.node {
-			s.node[i] = nodeState{}
-		}
-		s.epoch = 1
-	}
-	ep := s.epoch
-	remaining := 0
-	for _, d := range dsts {
-		if s.node[d].need != ep {
-			s.node[d].need = ep
-			remaining++
-		}
-	}
+	ep, remaining := s.beginEpoch(dsts)
 	nodes := s.node
 	wSlot := s.wSlot
-	slots, starts := s.csr.slots, s.csr.Start
+	eids, tos, starts := s.csr.slotEid, s.csr.slotTo, s.csr.Start
+
+	keep := uint32(0)
+	if st := nodes[src].stamp; st-ep < epochStride {
+		keep = st & fNeed
+	}
+	nodes[src] = nodeState{dist: 0, pred: int32(unreachedPred), stamp: ep | fSeen | keep}
+
+	if span == 1 {
+		// Uniform fast path: span == 1 certifies every slot weight IS the
+		// quantum, so the weight stream never needs reading (nd = levelDist
+		// + quantum is the same float64 addition relaxation would perform —
+		// every node pushed into one level carries the same distance), and
+		// the two live buckets degenerate into a pair of level frontiers.
+		// With no duplicate entries (a live node's distance never improves
+		// under uniform weights, so a tie-break-only update leaves its
+		// entry valid), an entry is just the node id — 4 bytes instead of
+		// 16 — and the pop-side staleness checks of the general drain
+		// (finalised-already, distance-improved) can never fire. Pops stay
+		// LIFO from the end, the same order the bucket stack produced.
+		// This is the path for cold-start hop-count sweeps and unit-weight
+		// batch queries, which touch only the adjacency heads and labels.
+		cur := append(s.frontier[:0], int32(src))
+		next := s.nextFrontier[:0]
+		d := 0.0
+	levels:
+		for len(cur) > 0 {
+			nd := d + quantum
+			for len(cur) > 0 {
+				u := cur[len(cur)-1]
+				cur = cur[:len(cur)-1]
+				su := &nodes[u]
+				su.stamp |= fDone
+				if su.stamp&fNeed != 0 {
+					remaining--
+					if remaining == 0 {
+						break levels
+					}
+				}
+				base := starts[u]
+				row := tos[base:starts[u+1]]
+				for k := range row {
+					v := row[k]
+					st := &nodes[v]
+					sv := st.stamp - ep
+					if sv&^uint32(fSeen|fNeed) == fDone {
+						continue
+					}
+					if sv >= epochStride {
+						st.stamp = ep | fSeen
+					} else if sv&fSeen == 0 {
+						st.stamp |= fSeen
+					} else {
+						// Already offered: only the min-edge-id tie-break
+						// can apply (a same-level offer is equal, a
+						// same-frontier offer is one level higher and
+						// fails the equality), and no re-push is needed.
+						if nd == st.dist && st.pred != int32(unreachedPred) && eids[base+int32(k)] < eids[st.pred] {
+							st.pred = base + int32(k)
+						}
+						continue
+					}
+					st.dist = nd
+					st.pred = base + int32(k)
+					next = append(next, v)
+				}
+			}
+			cur, next = next, cur[:0]
+			d = nd
+		}
+		s.frontier, s.nextFrontier = cur[:0], next[:0]
+		s.remaining = remaining
+		return
+	}
 
 	nb := span + 1
 	if len(s.buckets) < nb {
@@ -103,7 +162,6 @@ func (s *SSSPScratch) TreeDial(src NodeID, dsts []NodeID, quantum float64, span 
 		buckets[i] = buckets[i][:0]
 	}
 
-	nodes[src] = nodeState{dist: 0, pred: int32(unreachedPred), seen: ep, need: nodes[src].need}
 	buckets[0] = append(buckets[0], ssspItem{node: int32(src), dist: 0})
 	pending := 1
 	inv := 1 / quantum
@@ -122,34 +180,50 @@ func (s *SSSPScratch) TreeDial(src NodeID, dsts []NodeID, quantum float64, span 
 
 		u, d := top.node, top.dist
 		su := &nodes[u]
-		if su.done == ep || d > su.dist {
+		// Bucket entries are all pushed this call, so su's stamp is current.
+		if su.stamp&fDone != 0 || d > su.dist {
 			continue // stale lazy entry: the node improved or finalised already
 		}
-		su.done = ep
-		if su.need == ep {
+		su.stamp |= fDone
+		if su.stamp&fNeed != 0 {
 			remaining--
 			if remaining == 0 {
 				break
 			}
 		}
-		row := slots[starts[u]:starts[u+1]]
-		ws := wSlot[starts[u]:starts[u+1]]
+		base := starts[u]
+		row := tos[base:starts[u+1]]
+		ws := wSlot[base : base+int32(len(row))]
 		for k := range row {
-			v := row[k].to
+			v := row[k]
 			st := &nodes[v]
-			if st.done == ep {
-				// Never rewrite a finalised node's predecessor — same
-				// invariant as Tree.
+			sv := st.stamp - ep
+			if sv&^uint32(fSeen|fNeed) == fDone {
+				// Current and finalised: never rewrite a finalised node's
+				// predecessor — same invariant as Tree.
 				continue
 			}
 			nd := d + ws[k]
-			if st.seen != ep {
-				st.seen = ep
+			if sv >= epochStride {
+				st.stamp = ep | fSeen
 				st.dist = nd
-				st.pred = row[k].eid
-			} else if nd < st.dist || (nd == st.dist && st.pred != int32(unreachedPred) && row[k].eid < st.pred) {
+				st.pred = base + int32(k)
+			} else if sv&fSeen == 0 {
+				st.stamp |= fSeen
 				st.dist = nd
-				st.pred = row[k].eid
+				st.pred = base + int32(k)
+			} else if nd < st.dist {
+				st.dist = nd
+				st.pred = base + int32(k)
+			} else if nd == st.dist && st.pred != int32(unreachedPred) && eids[base+int32(k)] < eids[st.pred] {
+				// Tie-break-only update: the distance is unchanged, so the
+				// node's existing bucket entry is still in the right bucket
+				// and a duplicate push would only add a stale pop. (Safe for
+				// the dial, where weights >= quantum > 0 mean every offer
+				// lands before the node finalises; the heap keeps its
+				// historical push sequence.)
+				st.pred = base + int32(k)
+				continue
 			} else {
 				continue
 			}

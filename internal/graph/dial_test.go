@@ -167,7 +167,9 @@ func TestTreeDialInterleaved(t *testing.T) {
 func TestShareWeights(t *testing.T) {
 	g := randomGraph(t, 23, 12, 40)
 	c := Compile(g)
-	canon := NewSSSPScratch(c.CSR())
+	// The canonical scratch must live on the same (hot) view as the pooled
+	// per-worker scratches, exactly as the oracle builds it.
+	canon := NewSSSPScratch(c.Hot())
 	w := canon.SlotWeights()
 	for i := range w {
 		w[i] = float64(i%3) + 1

@@ -540,7 +540,7 @@ func (s *Solver) SolveWarmCtx(ctx context.Context, commodities []Commodity, warm
 		// adjacency slot, so the values match an edge-indexed fill
 		// bit-for-bit.
 		slotW := s.orc.slotWeights()
-		slotEdges := s.csr.AdjEdge
+		slotEdges := s.orc.slotEdges()
 		if base != nil {
 			for i, eid := range slotEdges {
 				slotW[i] = cost.deriv(base[eid]+x[eid]) + 1e-12

@@ -28,16 +28,24 @@ import (
 // worker count — the same order-fixed reduction contract the scenario-sweep
 // pool established (see DESIGN.md "Determinism under parallel reduction").
 type oracle struct {
-	csr      *graph.CSR
+	hot      *graph.CSR // renumbered view; all trees run in hot node space
 	compiled *graph.Compiled
 	sssp     *graph.SSSPScratch
 	intern   *graph.PathInterner
 	workers  int
 
 	// Commodity grouping, rebuilt by bind() when the commodity set changes.
-	srcs    []graph.NodeID   // distinct sources, ascending
+	// srcs/dsts stay in ORIGINAL node space: the ascending-source
+	// determinism sort and ErrNoRoute messages must be layout-independent.
+	// hsrcs/hdsts/cdst are their hot-space translations, which is what the
+	// trees and path extraction consume (extracted paths still carry
+	// original edge ids — see graph.Compiled's renumbering contract).
+	srcs    []graph.NodeID   // distinct sources, ascending original ids
 	members [][]int32        // commodity indices per source (same order)
 	dsts    [][]graph.NodeID // destinations per source (deduplicated)
+	hsrcs   []graph.NodeID   // srcs translated to hot ids
+	hdsts   [][]graph.NodeID // dsts translated to hot ids
+	cdst    []graph.NodeID   // per-commodity hot destination
 	seen    map[[2]graph.NodeID]struct{}
 
 	pathBuf []graph.EdgeID // sequential extraction scratch
@@ -59,11 +67,11 @@ func newOracle(c *graph.Compiled, intern *graph.PathInterner, workers int) *orac
 	if workers < 1 {
 		workers = 1
 	}
-	csr := c.CSR()
+	hot := c.Hot()
 	return &oracle{
-		csr:      csr,
+		hot:      hot,
 		compiled: c,
-		sssp:     graph.NewSSSPScratch(csr),
+		sssp:     graph.NewSSSPScratch(hot),
 		intern:   intern,
 		workers:  workers,
 	}
@@ -114,11 +122,33 @@ func (o *oracle) bind(commodities []Commodity) {
 		srcs[i], members[i], dsts[i] = o.srcs[gi], o.members[gi], o.dsts[gi]
 	}
 	o.srcs, o.members, o.dsts = srcs, members, dsts
+
+	// Hot-space translations, built once per bind so the per-sweep tree and
+	// extraction loops are translation-free.
+	o.hsrcs = o.hsrcs[:0]
+	o.hdsts = o.hdsts[:0]
+	for gi, src := range o.srcs {
+		o.hsrcs = append(o.hsrcs, o.compiled.ToHot(src))
+		hd := make([]graph.NodeID, len(o.dsts[gi]))
+		for i, d := range o.dsts[gi] {
+			hd[i] = o.compiled.ToHot(d)
+		}
+		o.hdsts = append(o.hdsts, hd)
+	}
+	o.cdst = o.cdst[:0]
+	for _, c := range commodities {
+		o.cdst = append(o.cdst, o.compiled.ToHot(c.Dst))
+	}
 }
 
 // slotWeights exposes the slot-ordered weight buffer (slot i carries edge
-// csr.AdjEdge[i]); callers fill it before shortestPaths.
+// slotEdges()[i]); callers fill it before shortestPaths.
 func (o *oracle) slotWeights() []float64 { return o.sssp.SlotWeights() }
+
+// slotEdges returns the (original) edge id carried by each weight slot, in
+// the hot view's slot order. The Frank–Wolfe weight fill iterates this in
+// lockstep with slotWeights.
+func (o *oracle) slotEdges() []graph.EdgeID { return o.hot.AdjEdge }
 
 // tree runs one source group's shortest-path tree on s, via the dial bucket
 // queue when the current weights quantize and the binary heap otherwise.
@@ -126,9 +156,9 @@ func (o *oracle) slotWeights() []float64 { return o.sssp.SlotWeights() }
 // is invisible to everything downstream.
 func (o *oracle) tree(s *graph.SSSPScratch, gi int, quantum float64, span int, dial bool) {
 	if dial {
-		s.TreeDial(o.srcs[gi], o.dsts[gi], quantum, span)
+		s.TreeDial(o.hsrcs[gi], o.hdsts[gi], quantum, span)
 	} else {
-		s.Tree(o.srcs[gi], o.dsts[gi])
+		s.Tree(o.hsrcs[gi], o.hdsts[gi])
 	}
 }
 
@@ -151,11 +181,10 @@ func (o *oracle) shortestPathsSeq(commodities []Commodity, out []graph.PathHandl
 	for gi, src := range o.srcs {
 		o.tree(o.sssp, gi, quantum, span, dial)
 		for _, ci := range o.members[gi] {
-			dst := commodities[ci].Dst
 			o.pathBuf = o.pathBuf[:0]
-			buf, ok := o.sssp.AppendPathTo(dst, o.pathBuf)
+			buf, ok := o.sssp.AppendPathTo(o.cdst[ci], o.pathBuf)
 			if !ok {
-				return fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+				return fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, commodities[ci].Dst)
 			}
 			o.pathBuf = buf
 			out[ci] = o.intern.Intern(buf)
@@ -234,10 +263,9 @@ func (o *oracle) extractGroup(s *graph.SSSPScratch, gi int, commodities []Commod
 	o.tree(s, gi, quantum, span, dial)
 	src := o.srcs[gi]
 	for _, ci := range o.members[gi] {
-		dst := commodities[ci].Dst
-		buf, ok := s.AppendPathTo(dst, g.edges)
+		buf, ok := s.AppendPathTo(o.cdst[ci], g.edges)
 		if !ok {
-			g.err = fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+			g.err = fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, commodities[ci].Dst)
 			return
 		}
 		g.edges = buf

@@ -778,6 +778,7 @@ func (s *RollingScheduler) replanDelta(tau float64) (bool, error) {
 	s.stats.Epochs++
 	s.stats.DeltaEpochs++
 	s.stats.FWIters += res.FWIters
+	s.stats.SeededIntervals += res.SeededIntervals
 	s.stats.SolvedIntervals += res.Intervals - res.ReusedIntervals
 	s.stats.ReusedIntervals += res.ReusedIntervals
 	s.accumDrift += res.Drift
